@@ -1,0 +1,75 @@
+// Command xmlbench runs the experiment suite (E1–E9) that reproduces the
+// paper's tables and figures, printing one result table per experiment.
+//
+// Usage:
+//
+//	xmlbench [-exp E3] [-items 200] [-quick]
+//
+// Without -exp it runs every experiment. -quick shrinks workload sizes for a
+// fast smoke run; EXPERIMENTS.md records full-size results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ordxml/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "run one experiment (E1..E9); default all")
+	items := flag.Int("items", 200, "catalog items per region for query/update experiments")
+	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	flag.Parse()
+
+	sizes := []int{50, 200, 800}
+	reps := 20
+	inserts := 200
+	if *quick {
+		sizes = []int{20, 50}
+		reps = 3
+		inserts = 40
+		if *items > 50 {
+			*items = 50
+		}
+	}
+
+	type runner struct {
+		id  string
+		fn  func() (bench.Table, error)
+		ref string
+	}
+	runners := []runner{
+		{"E1", func() (bench.Table, error) { return bench.RunE1(sizes) }, "storage-cost table"},
+		{"E2", func() (bench.Table, error) { return bench.RunE2(sizes, reps/4+1) }, "bulk-load figure"},
+		{"E3", func() (bench.Table, error) { return bench.RunE3(*items, reps) }, "ordered-query figures"},
+		{"E4", func() (bench.Table, error) { return bench.RunE4(*items) }, "update-by-position figure"},
+		{"E5", func() (bench.Table, error) { return bench.RunE5(sizes) }, "update-vs-size figure"},
+		{"E6", func() (bench.Table, error) { return bench.RunE6(*items, inserts, []uint32{1, 4, 16, 64}) }, "gap amortization"},
+		{"E7", func() (bench.Table, error) { return bench.RunE7(*items, reps/4+1) }, "reconstruction figure"},
+		{"E8", func() (bench.Table, error) { return bench.RunE8(*items, reps) }, "Dewey codec ablation"},
+		{"E9", func() (bench.Table, error) { return bench.RunE9(sizes, reps/2+1) }, "query scaling"},
+	}
+
+	want := strings.ToUpper(*exp)
+	ran := false
+	for _, r := range runners {
+		if want != "" && r.id != want {
+			continue
+		}
+		ran = true
+		t, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		t.Title = r.id + " (" + r.ref + ") — " + strings.TrimPrefix(t.Title, r.id+": ")
+		fmt.Println(t.String())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9)\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,66 @@
+// Command xmlgen emits synthetic XML documents (the benchmark workloads) to
+// stdout.
+//
+// Usage:
+//
+//	xmlgen -kind catalog -items 100 -seed 1 > catalog.xml
+//	xmlgen -kind play -acts 5 > play.xml
+//	xmlgen -kind random -seed 7 > random.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ordxml/internal/xmlgen"
+	"ordxml/internal/xmltree"
+)
+
+func main() {
+	kind := flag.String("kind", "catalog", "document family: catalog, play or random")
+	seed := flag.Int64("seed", 1, "generator seed")
+	items := flag.Int("items", 50, "catalog: items per region")
+	regions := flag.Int("regions", 3, "catalog: regions")
+	keywords := flag.Int("keywords", 2, "catalog: keywords per item")
+	acts := flag.Int("acts", 3, "play: acts")
+	scenes := flag.Int("scenes", 4, "play: scenes per act")
+	speeches := flag.Int("speeches", 10, "play: speeches per scene")
+	stats := flag.Bool("stats", false, "print document statistics to stderr")
+	flag.Parse()
+
+	var doc *xmltree.Node
+	switch *kind {
+	case "catalog":
+		doc = xmlgen.Catalog(xmlgen.CatalogConfig{
+			Regions: *regions, ItemsPerRegion: *items,
+			KeywordsPerItem: *keywords, DescriptionWords: 8, Seed: *seed,
+		})
+	case "play":
+		doc = xmlgen.Play(xmlgen.PlayConfig{
+			Acts: *acts, ScenesPerAct: *scenes, SpeechesPerScene: *speeches,
+			LinesPerSpeech: 3, Seed: *seed,
+		})
+	case "random":
+		doc = xmlgen.Random(xmlgen.DefaultRandom(*seed))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q (want catalog, play or random)\n", *kind)
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := doc.WriteXML(w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w)
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		s := xmltree.ComputeStats(doc)
+		fmt.Fprintf(os.Stderr, "nodes=%d elements=%d attrs=%d texts=%d depth=%d fanout=%d tags=%d\n",
+			s.Nodes, s.Elements, s.Attrs, s.Texts, s.MaxDepth, s.MaxFanout, len(s.Tags))
+	}
+}

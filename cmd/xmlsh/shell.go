@@ -1,0 +1,332 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ordxml"
+)
+
+// shell is the interactive session state: one store, one current document.
+// Commands are parsed and executed by Execute, which returns the text to
+// print — keeping the interpreter separate from the REPL loop makes it
+// testable.
+type shell struct {
+	store *ordxml.Store
+	doc   ordxml.DocID
+}
+
+// helpText lists every command.
+const helpText = `commands:
+  open <global|local|dewey> [gap]   start a fresh store
+  load <file> [name]                load an XML file as the current document
+  loadstr <xml>                     load inline XML
+  docs                              list documents (switch with: use <id>)
+  use <id>                          select the current document
+  query <xpath>                     run a query; prints node ids and order keys
+  values <xpath>                    run a query; prints string values
+  explain <xpath>                   show the generated SQL
+  sql <select ...>                  raw SELECT against the store's relations
+  insert <id> <first|last|before|after> <xml>   insert a fragment
+  delete <id>                       delete a subtree
+  move <id> <target> <first|last|before|after>  relocate a subtree
+  set <id> <value>                  set a text/attribute value
+  rename <id> <name>                rename an element/attribute
+  serialize [id]                    print the document (or subtree) as XML
+  check                             verify the document's storage invariants
+  stats                             storage and work-counter summary
+  save <path>                       write a snapshot file
+  restore <path>                    open a snapshot file
+  help                              this text
+  quit                              exit`
+
+// positions maps the command spelling to insert positions.
+var positions = map[string]ordxml.Position{
+	"first": ordxml.FirstChild, "last": ordxml.LastChild,
+	"before": ordxml.Before, "after": ordxml.After,
+}
+
+// Execute runs one command line and returns its output.
+func (sh *shell) Execute(line string) (string, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	cmd, args := fields[0], fields[1:]
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), cmd))
+
+	switch cmd {
+	case "help":
+		return helpText, nil
+	case "open":
+		if len(args) < 1 {
+			return "", fmt.Errorf("usage: open <global|local|dewey> [gap]")
+		}
+		enc, err := ordxml.ParseEncoding(args[0])
+		if err != nil {
+			return "", err
+		}
+		var gap uint64
+		if len(args) > 1 {
+			if gap, err = strconv.ParseUint(args[1], 10, 32); err != nil {
+				return "", fmt.Errorf("bad gap %q", args[1])
+			}
+		}
+		store, err := ordxml.Open(ordxml.Options{Encoding: enc, Gap: uint32(gap)})
+		if err != nil {
+			return "", err
+		}
+		sh.store, sh.doc = store, 0
+		return fmt.Sprintf("opened empty %s store", enc), nil
+	case "restore":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: restore <path>")
+		}
+		store, err := ordxml.OpenFile(args[0])
+		if err != nil {
+			return "", err
+		}
+		sh.store, sh.doc = store, 0
+		if docs, err := store.Documents(); err == nil && len(docs) > 0 {
+			sh.doc = docs[0].ID
+		}
+		return fmt.Sprintf("restored %s store from %s", store.Encoding(), args[0]), nil
+	}
+
+	if sh.store == nil {
+		return "", fmt.Errorf("no store open (use: open dewey)")
+	}
+
+	switch cmd {
+	case "load":
+		if len(args) < 1 {
+			return "", fmt.Errorf("usage: load <file> [name]")
+		}
+		name := args[0]
+		if len(args) > 1 {
+			name = args[1]
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		doc, err := sh.store.Load(name, f)
+		if err != nil {
+			return "", err
+		}
+		sh.doc = doc
+		return fmt.Sprintf("loaded document %d", doc), nil
+	case "loadstr":
+		if rest == "" {
+			return "", fmt.Errorf("usage: loadstr <xml>")
+		}
+		doc, err := sh.store.LoadString("inline", rest)
+		if err != nil {
+			return "", err
+		}
+		sh.doc = doc
+		return fmt.Sprintf("loaded document %d", doc), nil
+	case "docs":
+		docs, err := sh.store.Documents()
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		for _, d := range docs {
+			marker := " "
+			if d.ID == sh.doc {
+				marker = "*"
+			}
+			fmt.Fprintf(&sb, "%s %d\t%s\t%d nodes\n", marker, d.ID, d.Name, d.Nodes)
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
+	case "use":
+		id, err := parseID(args, 0, "use <id>")
+		if err != nil {
+			return "", err
+		}
+		sh.doc = id
+		return fmt.Sprintf("using document %d", id), nil
+	case "save":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: save <path>")
+		}
+		if err := sh.store.SaveFile(args[0]); err != nil {
+			return "", err
+		}
+		return "saved " + args[0], nil
+	case "stats":
+		st := sh.store.Storage()
+		c := sh.store.Counters()
+		return fmt.Sprintf("storage: %d rows, %d pages, %d bytes\nwork: %d probes, %d scanned, %d ins, %d del, %d upd",
+			st.Rows, st.HeapPages, st.HeapBytes,
+			c.IndexProbes, c.RowsScanned, c.RowsInserted, c.RowsDeleted, c.RowsUpdated), nil
+	}
+
+	if sh.doc == 0 {
+		return "", fmt.Errorf("no document loaded (use: loadstr <xml>)")
+	}
+
+	switch cmd {
+	case "query":
+		nodes, err := sh.store.Query(sh.doc, rest)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		for _, n := range nodes {
+			label := "<" + n.Tag + ">"
+			switch n.Kind {
+			case ordxml.AttributeNode:
+				label = "@" + n.Tag + "=" + n.Value
+			case ordxml.TextNode:
+				label = strconv.Quote(n.Value)
+			}
+			fmt.Fprintf(&sb, "#%d\t%s\torder=%s\n", n.ID, label, n.OrderKey)
+		}
+		fmt.Fprintf(&sb, "%d match(es)", len(nodes))
+		return sb.String(), nil
+	case "values":
+		vals, err := sh.store.QueryValues(sh.doc, rest)
+		if err != nil {
+			return "", err
+		}
+		return strings.Join(vals, "\n"), nil
+	case "explain":
+		sqls, err := sh.store.ExplainQuery(sh.doc, rest)
+		if err != nil {
+			return "", err
+		}
+		return strings.Join(sqls, "\n"), nil
+	case "sql":
+		rows, err := sh.store.SQL(rest)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		sb.WriteString(strings.Join(rows.Columns, "\t"))
+		for _, r := range rows.Values {
+			sb.WriteString("\n" + strings.Join(r, "\t"))
+		}
+		return sb.String(), nil
+	case "insert":
+		if len(args) < 3 {
+			return "", fmt.Errorf("usage: insert <id> <first|last|before|after> <xml>")
+		}
+		id, err := parseID(args, 0, "")
+		if err != nil {
+			return "", err
+		}
+		pos, ok := positions[args[1]]
+		if !ok {
+			return "", fmt.Errorf("bad position %q (want %s)", args[1], positionNames())
+		}
+		frag := strings.TrimSpace(strings.SplitN(rest, args[1], 2)[1])
+		rep, err := sh.store.Insert(sh.doc, id, pos, frag)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("inserted %d node(s) as #%d, renumbered %d row(s)",
+			rep.RowsInserted, rep.NewID, rep.RowsRenumbered), nil
+	case "delete":
+		id, err := parseID(args, 0, "delete <id>")
+		if err != nil {
+			return "", err
+		}
+		rep, err := sh.store.Delete(sh.doc, id)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("deleted %d row(s)", rep.RowsDeleted), nil
+	case "move":
+		if len(args) != 3 {
+			return "", fmt.Errorf("usage: move <id> <target> <first|last|before|after>")
+		}
+		id, err := parseID(args, 0, "")
+		if err != nil {
+			return "", err
+		}
+		target, err := parseID(args, 1, "")
+		if err != nil {
+			return "", err
+		}
+		pos, ok := positions[args[2]]
+		if !ok {
+			return "", fmt.Errorf("bad position %q (want %s)", args[2], positionNames())
+		}
+		rep, err := sh.store.Move(sh.doc, id, target, pos)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("moved as #%d, renumbered %d row(s)", rep.NewID, rep.RowsRenumbered), nil
+	case "set":
+		if len(args) < 2 {
+			return "", fmt.Errorf("usage: set <id> <value>")
+		}
+		id, err := parseID(args, 0, "")
+		if err != nil {
+			return "", err
+		}
+		value := strings.TrimSpace(strings.TrimPrefix(rest, args[0]))
+		if err := sh.store.SetValue(sh.doc, id, value); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	case "rename":
+		if len(args) != 2 {
+			return "", fmt.Errorf("usage: rename <id> <name>")
+		}
+		id, err := parseID(args, 0, "")
+		if err != nil {
+			return "", err
+		}
+		if err := sh.store.Rename(sh.doc, id, args[1]); err != nil {
+			return "", err
+		}
+		return "ok", nil
+	case "check":
+		problems, err := sh.store.Check(sh.doc)
+		if err != nil {
+			return "", err
+		}
+		if len(problems) == 0 {
+			return "consistent", nil
+		}
+		return strings.Join(problems, "\n"), nil
+	case "serialize":
+		if len(args) == 1 {
+			id, err := parseID(args, 0, "")
+			if err != nil {
+				return "", err
+			}
+			return sh.store.Serialize(sh.doc, id)
+		}
+		return sh.store.SerializeDocument(sh.doc)
+	default:
+		return "", fmt.Errorf("unknown command %q (try: help)", cmd)
+	}
+}
+
+func parseID(args []string, i int, usage string) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("usage: %s", usage)
+	}
+	id, err := strconv.ParseInt(strings.TrimPrefix(args[i], "#"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", args[i])
+	}
+	return id, nil
+}
+
+func positionNames() string {
+	names := make([]string, 0, len(positions))
+	for n := range positions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a command and fails the test on error.
+func run(t *testing.T, sh *shell, line string) string {
+	t.Helper()
+	out, err := sh.Execute(line)
+	if err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+	return out
+}
+
+// mustFail executes a command expecting an error.
+func mustFail(t *testing.T, sh *shell, line string) {
+	t.Helper()
+	if out, err := sh.Execute(line); err == nil {
+		t.Fatalf("%q succeeded: %s", line, out)
+	}
+}
+
+func TestShellSession(t *testing.T) {
+	sh := &shell{}
+
+	// Commands before a store is open fail cleanly.
+	mustFail(t, sh, "loadstr <a/>")
+	mustFail(t, sh, "query /a")
+	mustFail(t, sh, "bogus")
+	if out := run(t, sh, "help"); !strings.Contains(out, "serialize") {
+		t.Errorf("help = %.60s", out)
+	}
+	if out := run(t, sh, ""); out != "" {
+		t.Errorf("empty line output: %q", out)
+	}
+
+	run(t, sh, "open dewey 8")
+	mustFail(t, sh, "open nope")
+	mustFail(t, sh, "query /a") // store open, no document
+
+	run(t, sh, "loadstr <list><i>a</i><i>b</i><i>c</i></list>")
+	out := run(t, sh, "query /list/i[2]")
+	if !strings.Contains(out, "1 match(es)") || !strings.Contains(out, "<i>") {
+		t.Errorf("query output: %s", out)
+	}
+	if out := run(t, sh, "values /list/i"); out != "a\nb\nc" {
+		t.Errorf("values output: %q", out)
+	}
+	if out := run(t, sh, "explain /list/i"); !strings.Contains(out, "SELECT") {
+		t.Errorf("explain output: %s", out)
+	}
+	if out := run(t, sh, "sql SELECT COUNT(*) FROM xd_nodes"); !strings.Contains(out, "7") {
+		t.Errorf("sql output: %s", out)
+	}
+
+	// Mutations: insert before the second item, set a value, rename, move.
+	out = run(t, sh, "query /list/i[2]")
+	id := strings.Fields(out)[0] // "#N"
+	run(t, sh, "insert "+id+" before <i>a2</i>")
+	if out := run(t, sh, "values /list/i"); out != "a\na2\nb\nc" {
+		t.Errorf("after insert: %q", out)
+	}
+	out = run(t, sh, "query /list/i[1]/text()")
+	textID := strings.Fields(out)[0]
+	run(t, sh, "set "+textID+" alpha")
+	if out := run(t, sh, "values /list/i[1]"); out != "alpha" {
+		t.Errorf("after set: %q", out)
+	}
+	out = run(t, sh, "query /list/i[4]")
+	lastID := strings.Fields(out)[0]
+	run(t, sh, "rename "+lastID+" z")
+	if out := run(t, sh, "values /list/z"); out != "c" {
+		t.Errorf("after rename: %q", out)
+	}
+	out = run(t, sh, "query /list/z")
+	zID := strings.Fields(out)[0]
+	out = run(t, sh, "query /list/i[1]")
+	firstID := strings.Fields(out)[0]
+	run(t, sh, "move "+zID+" "+firstID+" before")
+	if out := run(t, sh, "serialize"); !strings.HasPrefix(out, "<list><z>c</z>") {
+		t.Errorf("after move: %s", out)
+	}
+	out = run(t, sh, "query /list/i[2]")
+	run(t, sh, "delete "+strings.Fields(out)[0])
+
+	// Stats and docs listing.
+	if out := run(t, sh, "stats"); !strings.Contains(out, "storage:") {
+		t.Errorf("stats: %s", out)
+	}
+	if out := run(t, sh, "docs"); !strings.Contains(out, "* 1") {
+		t.Errorf("docs: %s", out)
+	}
+
+	// Snapshot round trip through a fresh shell.
+	path := filepath.Join(t.TempDir(), "s.oxdb")
+	run(t, sh, "save "+path)
+	want := run(t, sh, "serialize")
+	sh2 := &shell{}
+	run(t, sh2, "restore "+path)
+	if got := run(t, sh2, "serialize"); got != want {
+		t.Errorf("snapshot round trip: %s vs %s", got, want)
+	}
+
+	// Error paths with arguments.
+	mustFail(t, sh, "insert 1 sideways <x/>")
+	mustFail(t, sh, "insert notanid before <x/>")
+	mustFail(t, sh, "delete 9999")
+	mustFail(t, sh, "use")
+	mustFail(t, sh, "restore /nonexistent")
+	mustFail(t, sh, "sql DELETE FROM xd_nodes")
+}
+
+func TestShellMultipleDocuments(t *testing.T) {
+	sh := &shell{}
+	run(t, sh, "open local")
+	run(t, sh, "loadstr <a>one</a>")
+	run(t, sh, "loadstr <b>two</b>")
+	if out := run(t, sh, "values /b"); out != "two" {
+		t.Errorf("current doc: %q", out)
+	}
+	run(t, sh, "use 1")
+	if out := run(t, sh, "values /a"); out != "one" {
+		t.Errorf("after use 1: %q", out)
+	}
+}
+
+func TestShellLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.xml")
+	if err := os.WriteFile(path, []byte("<a><b>x</b></a>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sh := &shell{}
+	run(t, sh, "open global")
+	run(t, sh, "load "+path+" mydoc")
+	if out := run(t, sh, "values /a/b"); out != "x" {
+		t.Errorf("values = %q", out)
+	}
+	if out := run(t, sh, "docs"); !strings.Contains(out, "mydoc") {
+		t.Errorf("docs = %q", out)
+	}
+	mustFail(t, sh, "load /nonexistent.xml")
+	if out := run(t, sh, "check"); out != "consistent" {
+		t.Errorf("check = %q", out)
+	}
+}

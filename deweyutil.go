@@ -1,0 +1,12 @@
+package ordxml
+
+import "ordxml/internal/core/dewey"
+
+// deweyPathString renders a binary Dewey key in dotted form for display.
+func deweyPathString(key []byte) (string, error) {
+	p, err := dewey.FromBytes(key)
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}

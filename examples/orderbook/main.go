@@ -1,0 +1,123 @@
+// Orderbook: a merchandising feed where *position is data* — the product
+// list's order determines on-site placement, so reordering operations must
+// be cheap and position queries exact. This is the "order as a first-class
+// citizen" scenario from the paper's introduction, exercised through the
+// public API: ranked reads, top-K queries, and native Move operations.
+//
+//	go run ./examples/orderbook
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ordxml"
+)
+
+func main() {
+	store, err := ordxml.Open(ordxml.Options{Encoding: ordxml.Dewey, Gap: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("<feed><lineup>")
+	products := []string{"anvil", "beacon", "compass", "dynamo", "engine", "flywheel", "gasket", "hinge"}
+	for i, p := range products {
+		fmt.Fprintf(&sb, `<product sku="sku%d"><name>%s</name></product>`, i+1, p)
+	}
+	sb.WriteString("</lineup></feed>")
+	doc, err := store.LoadString("feed", sb.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string) {
+		names, err := store.QueryValues(doc, "/feed/lineup/product/name")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %s\n", label+":", strings.Join(names, " > "))
+	}
+	show("initial lineup")
+
+	// Top-3 placement is a position-range query.
+	top, err := store.QueryValues(doc, "/feed/lineup/product[position() <= 3]/name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top-3 shelf:", top)
+
+	// What is ranked directly after the compass?
+	next, err := store.QueryValues(doc,
+		"/feed/lineup/product[name = 'compass']/following-sibling::product[1]/name")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after compass:", next)
+
+	// Promote "gasket" to rank 2 with the native Move operation.
+	moveToRank(store, doc, "gasket", 2)
+	show("after promoting gasket")
+
+	// Demote "anvil" to the end.
+	moveToEnd(store, doc, "anvil")
+	show("after demoting anvil")
+
+	// A burst of promotions at the same rank: the gap absorbs renumbering.
+	var renumbered int64
+	for _, name := range []string{"engine", "hinge", "beacon"} {
+		renumbered += moveToRank(store, doc, name, 1)
+	}
+	show("after three promotions")
+	fmt.Printf("rows renumbered across the burst: %d (gap-based keys absorb churn)\n", renumbered)
+
+	// Rank of every product, derived from document order.
+	nodes, err := store.Query(doc, "/feed/lineup/product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final ranking (order keys shown):")
+	for i, n := range nodes {
+		name, err := store.QueryValues(doc, fmt.Sprintf("/feed/lineup/product[%d]/name", i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  #%d %-10s key=%s\n", i+1, name[0], n.OrderKey)
+	}
+}
+
+// moveToRank relocates the named product so it lands at the given 1-based
+// rank using the native Move operation, returning rows renumbered.
+func moveToRank(store *ordxml.Store, doc ordxml.DocID, name string, rank int) int64 {
+	q := fmt.Sprintf("/feed/lineup/product[name = '%s']", name)
+	hits, err := store.Query(doc, q)
+	if err != nil || len(hits) != 1 {
+		log.Fatalf("product %s: %v (%d hits)", name, err, len(hits))
+	}
+	anchor, err := store.Query(doc, fmt.Sprintf("/feed/lineup/product[%d]", rank))
+	if err != nil || len(anchor) != 1 {
+		log.Fatalf("rank %d: %v", rank, err)
+	}
+	rep, err := store.Move(doc, hits[0].ID, anchor[0].ID, ordxml.Before)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.RowsRenumbered
+}
+
+func moveToEnd(store *ordxml.Store, doc ordxml.DocID, name string) {
+	q := fmt.Sprintf("/feed/lineup/product[name = '%s']", name)
+	hits, err := store.Query(doc, q)
+	if err != nil || len(hits) != 1 {
+		log.Fatalf("product %s: %v", name, err)
+	}
+	lineup, err := store.Query(doc, "/feed/lineup")
+	if err != nil || len(lineup) != 1 {
+		log.Fatal("lineup missing")
+	}
+	if _, err := store.Move(doc, hits[0].ID, lineup[0].ID, ordxml.LastChild); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Quickstart: load an ordered XML document into a relational store, run
+// ordered XPath queries, update it in place, and reconstruct it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ordxml"
+)
+
+const recipeBook = `<book>
+  <recipe id="r1">
+    <title>Pancakes</title>
+    <step>Mix flour and milk</step>
+    <step>Add eggs</step>
+    <step>Fry until golden</step>
+  </recipe>
+  <recipe id="r2">
+    <title>Omelette</title>
+    <step>Beat eggs</step>
+    <step>Cook gently</step>
+  </recipe>
+</book>`
+
+func main() {
+	// Open a store with the Dewey order encoding (the paper's best
+	// all-rounder) and load a document.
+	store, err := ordxml.Open(ordxml.Options{Encoding: ordxml.Dewey})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := store.LoadString("recipes", recipeBook)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ordered queries: position predicates respect document order.
+	titles, err := store.QueryValues(doc, "/book/recipe/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recipes:", titles)
+
+	second, err := store.QueryValues(doc, "/book/recipe[1]/step[2]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pancakes, step 2:", second[0])
+
+	// Sibling axes see the same order.
+	after, err := store.QueryValues(doc, "/book/recipe[1]/step[1]/following-sibling::step")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steps after step 1:", after)
+
+	// Updates preserve order: insert a forgotten step before step 3.
+	steps, err := store.Query(doc, "/book/recipe[1]/step")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := store.Insert(doc, steps[2].ID, ordxml.Before, "<step>Heat the pan</step>")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d node(s), renumbered %d row(s)\n", rep.RowsInserted, rep.RowsRenumbered)
+
+	updated, err := store.QueryValues(doc, "/book/recipe[1]/step")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pancake steps now:", updated)
+
+	// Reconstruct a subtree as XML.
+	hit, err := store.Query(doc, "//recipe[@id = 'r2']")
+	if err != nil || len(hit) != 1 {
+		log.Fatal("recipe r2 not found")
+	}
+	xml, err := store.Serialize(doc, hit[0].ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serialized r2:", xml)
+
+	// Peek under the hood: the SQL the store generated for a query.
+	sqls, err := store.ExplainQuery(doc, "/book/recipe[1]/step[2]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated SQL:")
+	for _, s := range sqls {
+		fmt.Println(" ", s)
+	}
+}

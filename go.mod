@@ -1,0 +1,3 @@
+module ordxml
+
+go 1.22

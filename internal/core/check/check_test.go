@@ -1,0 +1,162 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/shred"
+	"ordxml/internal/core/update"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/xmlgen"
+)
+
+func allOptions() []encoding.Options {
+	return []encoding.Options{
+		{Kind: encoding.Global},
+		{Kind: encoding.Local},
+		{Kind: encoding.Dewey},
+		{Kind: encoding.Dewey, Gap: 8},
+		{Kind: encoding.Dewey, DeweyAsText: true},
+	}
+}
+
+func load(t *testing.T, opts encoding.Options, seed int64) (*sqldb.DB, int64, *Checker) {
+	t.Helper()
+	db := sqldb.Open()
+	if err := encoding.Install(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shred.New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sh.LoadTree("d", xmlgen.Random(xmlgen.DefaultRandom(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, doc, c
+}
+
+// Freshly shredded documents are consistent under every encoding, and stay
+// consistent through an edit sequence.
+func TestConsistentAfterShredAndUpdates(t *testing.T) {
+	for _, opts := range allOptions() {
+		db, doc, c := load(t, opts, 3)
+		problems, err := c.Document(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 0 {
+			t.Fatalf("%s: fresh document inconsistent: %v", opts.Kind, problems)
+		}
+		// Drive updates and re-check.
+		mgr, err := update.New(db, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := mgr.InsertXML(doc, 1, update.FirstChild,
+				fmt.Sprintf("<edit n=\"%d\"><t>v</t></edit>", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := mgr.Delete(doc, 2); err != nil {
+			t.Fatal(err)
+		}
+		problems, err = c.Document(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(problems) != 0 {
+			t.Fatalf("%s: post-update inconsistent: %v", opts.Kind, problems)
+		}
+	}
+}
+
+// Corrupting rows through raw SQL must be detected.
+func TestDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		opts    encoding.Options
+		corrupt string
+		want    string
+	}{
+		{encoding.Options{Kind: encoding.Global},
+			"UPDATE xg_nodes SET parent = 9999 WHERE doc = 1 AND id = 3",
+			"missing parent"},
+		{encoding.Options{Kind: encoding.Global},
+			"UPDATE xg_nodes SET gorder = 0 WHERE doc = 1 AND id = 3",
+			"does not follow its parent"},
+		{encoding.Options{Kind: encoding.Local},
+			"UPDATE xl_nodes SET lorder = -1 WHERE doc = 1 AND id = 3",
+			"non-positive lorder"},
+		{encoding.Options{Kind: encoding.Dewey},
+			"UPDATE xd_nodes SET parent = 1 WHERE doc = 1 AND id = 4",
+			"not a direct extension"},
+		{encoding.Options{Kind: encoding.Global},
+			"UPDATE xg_nodes SET kind = 'text' WHERE doc = 1 AND id = 1",
+			"want element"},
+		{encoding.Options{Kind: encoding.Global},
+			"UPDATE xg_nodes SET tag = NULL WHERE doc = 1 AND id = 1 AND kind = 'elem'",
+			"has no tag"},
+		{encoding.Options{Kind: encoding.Global},
+			"UPDATE docs SET nodes = 99999 WHERE doc = 1",
+			"docs.nodes"},
+		{encoding.Options{Kind: encoding.Global},
+			"DELETE FROM docs WHERE doc = 1",
+			"missing from docs registry"},
+	}
+	for _, tc := range cases {
+		db, doc, c := load(t, tc.opts, 5)
+		if _, err := db.Exec(tc.corrupt); err != nil {
+			t.Fatalf("corrupt %q: %v", tc.corrupt, err)
+		}
+		problems, err := c.Document(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, p := range problems {
+			if contains(p, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: corruption %q not detected; problems: %v", tc.opts.Kind, tc.corrupt, problems)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMissingDocument(t *testing.T) {
+	_, _, c := load(t, encoding.Options{Kind: encoding.Dewey}, 1)
+	problems, err := c.Document(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !contains(problems[0], "no rows") {
+		t.Errorf("missing doc: %v", problems)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	db := sqldb.Open()
+	if _, err := New(db, encoding.Options{Kind: encoding.Kind(8)}); err == nil {
+		t.Error("bad options accepted")
+	}
+	if _, err := New(db, encoding.Options{Kind: encoding.Global}); err == nil {
+		t.Error("uninstalled encoding accepted")
+	}
+}

@@ -1,0 +1,288 @@
+// Package dewey implements the paper's Dewey order encoding: every node is
+// identified by the path of sibling ordinals from the root (e.g. 1.2.3 is
+// the third child of the second child of the root). Two codecs are provided:
+//
+//   - the binary codec (Bytes/FromBytes): each component is a self-delimiting
+//     prefix-free byte code chosen so that byte-wise lexicographic comparison
+//     of encoded paths equals component-wise numeric comparison — document
+//     order — and "p is an ancestor-or-self of q" is exactly "Bytes(p) is a
+//     byte prefix of Bytes(q)". Descendant axes become index range scans.
+//     This is the UTF-8-style encoding the paper recommends.
+//
+//   - the padded string codec (PaddedString/ParsePadded): fixed-width decimal
+//     components joined with '.', order-preserving under string comparison
+//     but much larger; it exists for the storage/performance ablation (E8).
+package dewey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Path is a Dewey path: the sibling ordinal at each level from the root.
+// Ordinals are positive (gap-based orders use spaced positive values). The
+// root of a document is the one-component path.
+type Path []uint32
+
+// Component range boundaries of the binary codec. The ranges are increasing
+// and the first byte determines the code length, making codes prefix-free
+// and order-preserving.
+const (
+	max1 = 0x7F         // 1 byte: 0x01..0x7E encode 1..126
+	max2 = max1 + 1<<14 // 2 bytes: lead 0x80..0xBF
+	max3 = max2 + 1<<21 // 3 bytes: lead 0xC0..0xDF
+	// MaxComponent is the largest encodable ordinal; 4-byte codes use lead
+	// bytes 0xE0..0xEF, keeping 0xF0..0xFF free (so a 0xFF sentinel can
+	// never be confused with a lead byte).
+	MaxComponent = uint32(max3 + 1<<28 - 1)
+)
+
+// String renders the path in dotted form, e.g. "1.2.3".
+func (p Path) String() string {
+	if len(p) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, c := range p {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return sb.String()
+}
+
+// Parse reads dotted form.
+func Parse(s string) (Path, error) {
+	if s == "" {
+		return nil, fmt.Errorf("dewey: empty path")
+	}
+	parts := strings.Split(s, ".")
+	p := make(Path, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dewey: bad component %q: %w", part, err)
+		}
+		if v == 0 || uint32(v) > MaxComponent {
+			return nil, fmt.Errorf("dewey: component %d out of range", v)
+		}
+		p[i] = uint32(v)
+	}
+	return p, nil
+}
+
+// Clone copies the path.
+func (p Path) Clone() Path {
+	out := make(Path, len(p))
+	copy(out, p)
+	return out
+}
+
+// Parent returns the path with the last component removed, or nil for a
+// root path.
+func (p Path) Parent() Path {
+	if len(p) <= 1 {
+		return nil
+	}
+	return p[:len(p)-1].Clone()
+}
+
+// Child returns p extended with ordinal ord.
+func (p Path) Child(ord uint32) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = ord
+	return out
+}
+
+// WithLast returns a copy of p whose final component is ord.
+func (p Path) WithLast(ord uint32) Path {
+	out := p.Clone()
+	out[len(out)-1] = ord
+	return out
+}
+
+// Last returns the final component (the sibling ordinal).
+func (p Path) Last() uint32 { return p[len(p)-1] }
+
+// Depth returns the number of components.
+func (p Path) Depth() int { return len(p) }
+
+// Compare orders paths in document order (component-wise; a proper ancestor
+// precedes its descendants).
+func Compare(a, b Path) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsAncestorOf reports whether p is a proper ancestor of q.
+func (p Path) IsAncestorOf(q Path) bool {
+	if len(p) >= len(q) {
+		return false
+	}
+	for i, c := range p {
+		if q[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes encodes the path with the binary codec. Panics on zero or
+// out-of-range components (they cannot be produced by the public
+// constructors).
+func (p Path) Bytes() []byte {
+	out := make([]byte, 0, len(p)*2)
+	for _, c := range p {
+		out = appendComponent(out, c)
+	}
+	return out
+}
+
+func appendComponent(dst []byte, c uint32) []byte {
+	if c == 0 || c > MaxComponent {
+		panic(fmt.Sprintf("dewey: component %d out of range", c))
+	}
+	switch {
+	case c < max1:
+		return append(dst, byte(c))
+	case c < max2:
+		v := c - max1
+		return append(dst, 0x80|byte(v>>8), byte(v))
+	case c < max3:
+		v := c - max2
+		return append(dst, 0xC0|byte(v>>16), byte(v>>8), byte(v))
+	default:
+		v := c - max3
+		return append(dst, 0xE0|byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+}
+
+// FromBytes decodes a binary path.
+func FromBytes(b []byte) (Path, error) {
+	var p Path
+	i := 0
+	for i < len(b) {
+		first := b[i]
+		var need int
+		switch {
+		case first < 0x7F:
+			need = 1
+		case first >= 0x80 && first < 0xC0:
+			need = 2
+		case first >= 0xC0 && first < 0xE0:
+			need = 3
+		case first >= 0xE0 && first < 0xF0:
+			need = 4
+		default:
+			return nil, fmt.Errorf("dewey: bad lead byte 0x%02x at %d", first, i)
+		}
+		if i+need > len(b) {
+			return nil, fmt.Errorf("dewey: truncated component at %d", i)
+		}
+		var c uint32
+		switch need {
+		case 1:
+			c = uint32(first)
+		case 2:
+			c = max1 + uint32(first&0x3F)<<8 + uint32(b[i+1])
+		case 3:
+			c = max2 + uint32(first&0x1F)<<16 + uint32(b[i+1])<<8 + uint32(b[i+2])
+		case 4:
+			c = max3 + uint32(first&0x0F)<<24 + uint32(b[i+1])<<16 + uint32(b[i+2])<<8 + uint32(b[i+3])
+		}
+		if c == 0 {
+			return nil, fmt.Errorf("dewey: zero component at %d", i)
+		}
+		p = append(p, c)
+		i += need
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("dewey: empty encoding")
+	}
+	return p, nil
+}
+
+// PrefixSuccessor returns the exclusive upper bound of the byte range
+// containing every descendant-or-self encoding of p: keys k with
+// Bytes(p) <= k < PrefixSuccessor(p) are exactly p and its descendants.
+func (p Path) PrefixSuccessor() []byte {
+	b := p.Bytes()
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xFF {
+			out := make([]byte, i+1)
+			copy(out, b[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// PaddedWidth is the component width of the padded string codec: documents
+// with sibling ordinals up to 10^8-1 stay order-preserving.
+const PaddedWidth = 8
+
+// PaddedString renders the path with fixed-width zero-padded components so
+// that plain string comparison preserves document order ("00000002" <
+// "00000010"). This is the string-Dewey variant measured by ablation E8.
+func (p Path) PaddedString() string {
+	var sb strings.Builder
+	for i, c := range p {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		fmt.Fprintf(&sb, "%0*d", PaddedWidth, c)
+	}
+	return sb.String()
+}
+
+// ParsePadded reads the padded form.
+func ParsePadded(s string) (Path, error) {
+	return Parse(trimZeroes(s))
+}
+
+func trimZeroes(s string) string {
+	parts := strings.Split(s, ".")
+	for i, part := range parts {
+		trimmed := strings.TrimLeft(part, "0")
+		if trimmed == "" {
+			trimmed = "0"
+		}
+		parts[i] = trimmed
+	}
+	return strings.Join(parts, ".")
+}
+
+// PaddedPrefixSuccessor is the string-codec analogue of PrefixSuccessor: the
+// exclusive upper bound for descendants of p under string comparison. With
+// the padded codec, every descendant string starts with p's padded form
+// followed by '.', so the bound is that prefix with '.'+1.
+func (p Path) PaddedPrefixSuccessor() string {
+	return p.PaddedString() + string(rune('.'+1))
+}
+
+// PaddedDescendantLow is the inclusive lower bound for proper descendants.
+func (p Path) PaddedDescendantLow() string {
+	return p.PaddedString() + "."
+}

@@ -1,0 +1,44 @@
+package dewey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFromBytes checks the binary decoder never panics and that accepted
+// inputs re-encode to the identical bytes (the codec is bijective on its
+// image).
+func FuzzFromBytes(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Add(Path{1, 127, 200000, MaxComponent}.Bytes())
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(p.Bytes(), data) {
+			t.Fatalf("decode/encode not identity: %x -> %v -> %x", data, p, p.Bytes())
+		}
+	})
+}
+
+// FuzzParse checks the dotted-string parser.
+func FuzzParse(f *testing.F) {
+	f.Add("1.2.3")
+	f.Add("1")
+	f.Add("0")
+	f.Add("1..2")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(p.String())
+		if err != nil || Compare(p, back) != 0 {
+			t.Fatalf("string round trip: %q -> %v -> %v (%v)", s, p, back, err)
+		}
+	})
+}

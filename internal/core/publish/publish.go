@@ -1,0 +1,286 @@
+// Package publish reconstructs XML from the relational encodings — the
+// inverse of shredding. Reconstruction cost differs sharply by encoding,
+// which experiment E7 quantifies:
+//
+//   - Global and Dewey: one index scan in order-key order yields the
+//     document in pre-order; the tree is rebuilt with a single pass.
+//   - Local: sibling order is only meaningful per parent, so the publisher
+//     fetches all rows and sorts each sibling group (or, for subtrees,
+//     descends with one indexed child query per element).
+//   - Subtrees: Dewey extracts a subtree with a single path-prefix range
+//     scan; Global and Local must recurse through parent links.
+package publish
+
+import (
+	"fmt"
+	"sort"
+
+	"ordxml/internal/core/dewey"
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/xmltree"
+)
+
+// Publisher reconstructs documents from one encoding's tables.
+type Publisher struct {
+	db   *sqldb.DB
+	opts encoding.Options
+
+	allOrdered *sqldb.Stmt // doc rows in order-key order (global/dewey)
+	allRows    *sqldb.Stmt // doc rows unordered (local)
+	children   *sqldb.Stmt // rows under one parent in sibling order
+	byID       *sqldb.Stmt
+	pathRange  *sqldb.Stmt // dewey subtree range
+}
+
+// New prepares a publisher for the encoding.
+func New(db *sqldb.DB, opts encoding.Options) (*Publisher, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !encoding.Installed(db, opts) {
+		return nil, fmt.Errorf("encoding %s is not installed", opts.Kind)
+	}
+	tbl, ord := opts.NodesTable(), opts.OrderColumn()
+	p := &Publisher{db: db, opts: opts}
+	var err error
+	cols := fmt.Sprintf("id, parent, kind, tag, value, %s", ord)
+	if p.allOrdered, err = db.Prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ? ORDER BY %s`, cols, tbl, ord)); err != nil {
+		return nil, err
+	}
+	if p.allRows, err = db.Prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ?`, cols, tbl)); err != nil {
+		return nil, err
+	}
+	if p.children, err = db.Prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ? AND parent = ? ORDER BY %s`, cols, tbl, ord)); err != nil {
+		return nil, err
+	}
+	if p.byID, err = db.Prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ? AND id = ?`, cols, tbl)); err != nil {
+		return nil, err
+	}
+	if opts.Kind == encoding.Dewey {
+		if p.pathRange, err = db.Prepare(fmt.Sprintf(
+			`SELECT %s FROM %s WHERE doc = ? AND %s >= ? AND %s < ? ORDER BY %s`,
+			cols, tbl, ord, ord, ord)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// nodeRow is one decoded node record.
+type nodeRow struct {
+	id     int64
+	parent int64 // 0 = none
+	kind   xmltree.Kind
+	tag    string
+	value  string
+	order  sqltypes.Value
+}
+
+func decodeRow(r sqltypes.Row) (nodeRow, error) {
+	kind, err := xmltree.ParseKind(r[2].Text())
+	if err != nil {
+		return nodeRow{}, err
+	}
+	n := nodeRow{id: r[0].Int(), kind: kind, order: r[5]}
+	if !r[1].IsNull() {
+		n.parent = r[1].Int()
+	}
+	if !r[3].IsNull() {
+		n.tag = r[3].Text()
+	}
+	if !r[4].IsNull() {
+		n.value = r[4].Text()
+	}
+	return n, nil
+}
+
+func (r nodeRow) toNode() *xmltree.Node {
+	switch r.kind {
+	case xmltree.Element:
+		return xmltree.NewElement(r.tag)
+	case xmltree.Attr:
+		return xmltree.NewAttr(r.tag, r.value)
+	default:
+		return xmltree.NewText(r.value)
+	}
+}
+
+// attach links child into parent respecting node kind.
+func attach(parent, child *xmltree.Node) {
+	if child.Kind == xmltree.Attr {
+		child.Parent = parent
+		parent.Attrs = append(parent.Attrs, child)
+		return
+	}
+	parent.AddChild(child)
+}
+
+// Document reconstructs the whole document.
+func (p *Publisher) Document(doc int64) (*xmltree.Node, error) {
+	if p.opts.Kind == encoding.Local {
+		return p.documentLocal(doc)
+	}
+	res, err := p.allOrdered.Query(sqldb.I(doc))
+	if err != nil {
+		return nil, err
+	}
+	return buildPreOrder(res.Rows, 0)
+}
+
+// buildPreOrder rebuilds a tree from rows sorted in document (pre-)order.
+// rootParent identifies the parent id that marks the subtree root row.
+func buildPreOrder(rows []sqltypes.Row, rootParent int64) (*xmltree.Node, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no rows to publish")
+	}
+	byID := make(map[int64]*xmltree.Node, len(rows))
+	var root *xmltree.Node
+	for i, r := range rows {
+		nr, err := decodeRow(r)
+		if err != nil {
+			return nil, err
+		}
+		n := nr.toNode()
+		byID[nr.id] = n
+		if i == 0 {
+			if nr.parent != rootParent && rootParent != 0 {
+				return nil, fmt.Errorf("subtree root mismatch: row parent %d", nr.parent)
+			}
+			root = n
+			continue
+		}
+		parent, ok := byID[nr.parent]
+		if !ok {
+			return nil, fmt.Errorf("row %d arrived before its parent %d (order key corrupt?)", nr.id, nr.parent)
+		}
+		attach(parent, n)
+	}
+	return root, nil
+}
+
+// documentLocal rebuilds from the local encoding: one unordered scan, then a
+// per-parent sibling sort.
+func (p *Publisher) documentLocal(doc int64) (*xmltree.Node, error) {
+	res, err := p.allRows.Query(sqldb.I(doc))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("no rows to publish")
+	}
+	type entry struct {
+		row  nodeRow
+		node *xmltree.Node
+	}
+	byParent := map[int64][]entry{}
+	var root *entry
+	for _, r := range res.Rows {
+		nr, err := decodeRow(r)
+		if err != nil {
+			return nil, err
+		}
+		e := entry{row: nr, node: nr.toNode()}
+		if nr.parent == 0 {
+			root = &e
+			continue
+		}
+		byParent[nr.parent] = append(byParent[nr.parent], e)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("document %d has no root row", doc)
+	}
+	var link func(e *entry)
+	link = func(e *entry) {
+		kids := byParent[e.row.id]
+		sort.Slice(kids, func(a, b int) bool {
+			return kids[a].row.order.Int() < kids[b].row.order.Int()
+		})
+		for i := range kids {
+			attach(e.node, kids[i].node)
+			link(&kids[i])
+		}
+	}
+	link(root)
+	return root.node, nil
+}
+
+// Subtree reconstructs the subtree rooted at the node with the given
+// surrogate id.
+func (p *Publisher) Subtree(doc, id int64) (*xmltree.Node, error) {
+	res, err := p.byID.Query(sqldb.I(doc), sqldb.I(id))
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("document %d has no node %d", doc, id)
+	}
+	rootRow, err := decodeRow(res.Rows[0])
+	if err != nil {
+		return nil, err
+	}
+	if p.opts.Kind == encoding.Dewey {
+		return p.subtreeDewey(doc, rootRow)
+	}
+	// Global and Local: recurse through the (doc, parent, order) index —
+	// there is no single range containing exactly the subtree.
+	node := rootRow.toNode()
+	if err := p.fillChildren(doc, rootRow.id, node); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *Publisher) fillChildren(doc, id int64, node *xmltree.Node) error {
+	res, err := p.children.Query(sqldb.I(doc), sqldb.I(id))
+	if err != nil {
+		return err
+	}
+	for _, r := range res.Rows {
+		nr, err := decodeRow(r)
+		if err != nil {
+			return err
+		}
+		child := nr.toNode()
+		attach(node, child)
+		if err := p.fillChildren(doc, nr.id, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// subtreeDewey extracts the subtree with one path-prefix range scan.
+func (p *Publisher) subtreeDewey(doc int64, rootRow nodeRow) (*xmltree.Node, error) {
+	var low, high sqltypes.Value
+	if p.opts.DeweyAsText {
+		ps := rootRow.order.Text()
+		path, err := dewey.ParsePadded(ps)
+		if err != nil {
+			return nil, err
+		}
+		low = sqldb.S(ps)
+		high = sqldb.S(path.PaddedPrefixSuccessor())
+	} else {
+		path, err := dewey.FromBytes(rootRow.order.Blob())
+		if err != nil {
+			return nil, err
+		}
+		low = sqldb.B(path.Bytes())
+		succ := path.PrefixSuccessor()
+		if succ == nil {
+			return nil, fmt.Errorf("path has no prefix successor")
+		}
+		high = sqldb.B(succ)
+	}
+	res, err := p.pathRange.Query(sqldb.I(doc), low, high)
+	if err != nil {
+		return nil, err
+	}
+	return buildPreOrder(res.Rows, rootRow.parent)
+}

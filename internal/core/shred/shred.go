@@ -1,0 +1,217 @@
+// Package shred loads XML documents into the relational encodings: it walks
+// a document tree in document order, assigns surrogate ids and order keys
+// (global position, sibling ordinal, or Dewey path — gap-adjusted), and
+// inserts one row per node.
+package shred
+
+import (
+	"fmt"
+	"io"
+
+	"ordxml/internal/core/dewey"
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/xmltree"
+)
+
+// Shredder loads documents into one encoding's tables.
+type Shredder struct {
+	db   *sqldb.DB
+	opts encoding.Options
+
+	insertNode *sqldb.Stmt
+	insertDoc  *sqldb.Stmt
+	maxDoc     *sqldb.Stmt
+	deleteDoc  *sqldb.Stmt
+	deleteReg  *sqldb.Stmt
+}
+
+// New prepares a shredder. The encoding's schema must already be installed.
+func New(db *sqldb.DB, opts encoding.Options) (*Shredder, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !encoding.Installed(db, opts) {
+		return nil, fmt.Errorf("encoding %s is not installed", opts.Kind)
+	}
+	tbl := opts.NodesTable()
+	s := &Shredder{db: db, opts: opts}
+	var err error
+	if s.insertNode, err = db.Prepare(fmt.Sprintf(
+		`INSERT INTO %s (doc, id, parent, kind, tag, value, %s) VALUES (?, ?, ?, ?, ?, ?, ?)`,
+		tbl, opts.OrderColumn())); err != nil {
+		return nil, err
+	}
+	if s.insertDoc, err = db.Prepare(`INSERT INTO docs (doc, name, root, nodes) VALUES (?, ?, ?, ?)`); err != nil {
+		return nil, err
+	}
+	if s.maxDoc, err = db.Prepare(`SELECT MAX(doc) FROM docs`); err != nil {
+		return nil, err
+	}
+	if s.deleteDoc, err = db.Prepare(fmt.Sprintf(`DELETE FROM %s WHERE doc = ?`, tbl)); err != nil {
+		return nil, err
+	}
+	if s.deleteReg, err = db.Prepare(`DELETE FROM docs WHERE doc = ?`); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Options returns the shredder's encoding options.
+func (s *Shredder) Options() encoding.Options { return s.opts }
+
+// Load parses XML from r and stores it under the given name, returning the
+// new document id.
+func (s *Shredder) Load(name string, r io.Reader) (int64, error) {
+	root, err := xmltree.Parse(r)
+	if err != nil {
+		return 0, err
+	}
+	return s.LoadTree(name, root)
+}
+
+// LoadTree stores an already-parsed document.
+func (s *Shredder) LoadTree(name string, root *xmltree.Node) (int64, error) {
+	docID, err := s.nextDocID()
+	if err != nil {
+		return 0, err
+	}
+	w := &walker{s: s, doc: docID}
+	if err := w.walk(root, 0, nil, 1); err != nil {
+		return 0, err
+	}
+	if _, err := s.insertDoc.Exec(sqldb.I(docID), sqldb.S(name), sqldb.I(1), sqldb.I(w.nextID-1)); err != nil {
+		return 0, err
+	}
+	return docID, nil
+}
+
+// DropDocument removes a document and all its rows.
+func (s *Shredder) DropDocument(docID int64) error {
+	n, err := s.deleteDoc.Exec(sqldb.I(docID))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("document %d has no rows in %s", docID, s.opts.NodesTable())
+	}
+	if _, err := s.deleteReg.Exec(sqldb.I(docID)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Shredder) nextDocID() (int64, error) {
+	res, err := s.maxDoc.Query()
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 1, nil
+	}
+	return res.Rows[0][0].Int() + 1, nil
+}
+
+// walker assigns ids and order keys during the pre-order traversal. Root id
+// is always 1.
+type walker struct {
+	s      *Shredder
+	doc    int64
+	nextID int64
+	gpos   int64 // running global position (document order)
+}
+
+func (w *walker) walk(n *xmltree.Node, parentID int64, parentPath dewey.Path, ordinal uint32) error {
+	if w.nextID == 0 {
+		w.nextID = 1
+	}
+	id := w.nextID
+	w.nextID++
+	gap := int64(w.s.opts.EffectiveGap())
+	w.gpos += gap
+
+	var path dewey.Path
+	if w.s.opts.Kind == encoding.Dewey {
+		spaced := ordinal * w.s.opts.EffectiveGap()
+		if parentPath == nil {
+			path = dewey.Path{spaced}
+		} else {
+			path = parentPath.Child(spaced)
+		}
+	}
+	if err := w.insert(n, id, parentID, ordinal, path); err != nil {
+		return err
+	}
+	// Attributes take the first sibling ordinals, then element/text children
+	// continue the numbering — one consistent sibling order for every
+	// encoding.
+	ord := uint32(1)
+	for _, a := range n.Attrs {
+		if err := w.walk(a, id, path, ord); err != nil {
+			return err
+		}
+		ord++
+	}
+	for _, c := range n.Children {
+		if err := w.walk(c, id, path, ord); err != nil {
+			return err
+		}
+		ord++
+	}
+	return nil
+}
+
+// insert writes one node row.
+func (w *walker) insert(n *xmltree.Node, id, parentID int64, ordinal uint32, path dewey.Path) error {
+	parent := sqldb.Null()
+	if parentID != 0 {
+		parent = sqldb.I(parentID)
+	}
+	tag := sqldb.Null()
+	if n.Kind != xmltree.Text {
+		tag = sqldb.S(n.Tag)
+	}
+	value := sqldb.Null()
+	if n.Kind != xmltree.Element {
+		value = sqldb.S(n.Value)
+	}
+	var orderKey sqltypes.Value
+	switch w.s.opts.Kind {
+	case encoding.Global:
+		orderKey = sqldb.I(w.gpos)
+	case encoding.Local:
+		orderKey = sqldb.I(int64(ordinal) * int64(w.s.opts.EffectiveGap()))
+	default:
+		if w.s.opts.DeweyAsText {
+			orderKey = sqldb.S(path.PaddedString())
+		} else {
+			orderKey = sqldb.B(path.Bytes())
+		}
+	}
+	_, err := w.s.insertNode.Exec(
+		sqldb.I(w.doc), sqldb.I(id), parent,
+		sqldb.S(n.Kind.String()), tag, value, orderKey)
+	return err
+}
+
+// DocInfo describes one stored document.
+type DocInfo struct {
+	Doc   int64
+	Name  string
+	Root  int64
+	Nodes int64
+}
+
+// Documents lists the stored documents (shared across encodings).
+func Documents(db *sqldb.DB) ([]DocInfo, error) {
+	res, err := db.Query(`SELECT doc, name, root, nodes FROM docs ORDER BY doc`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocInfo, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = DocInfo{Doc: r[0].Int(), Name: r[1].Text(), Root: r[2].Int(), Nodes: r[3].Int()}
+	}
+	return out, nil
+}

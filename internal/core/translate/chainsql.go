@@ -1,0 +1,229 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/xpath"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// anchorMode describes how a segment's first step binds to the incoming
+// context and which parameters each per-context execution needs.
+type anchorMode int
+
+const (
+	anchorRoot      anchorMode = iota // document root: parent IS NULL
+	anchorScan                        // no structural condition (tag scan)
+	anchorChildOf                     // parent = ?        (ctx id)
+	anchorParentOf                    // id = ?            (ctx parent)
+	anchorFollowing                   // parent = ? AND ord > ?
+	anchorPreceding                   // parent = ? AND ord < ?
+	anchorDeweyDesc                   // ord > ? AND ord < ?  (path range)
+	anchorEmpty                       // statically empty (e.g. sibling of root)
+)
+
+// chainSQL is a compiled segment.
+type chainSQL struct {
+	sql    string
+	anchor anchorMode
+	// stepCols[i] is the column offset of step i's (id, parent, ord)
+	// triple; the final step additionally exposes kind/tag/value.
+	stepCols []int
+	finalExt int // offset of kind,tag,value
+}
+
+// buildChainSQL compiles a segment into one SELECT.
+func (e *Evaluator) buildChainSQL(doc int64, seg segment, first bool) (chainSQL, error) {
+	b := &chainBuilder{ev: e, doc: doc}
+	out := chainSQL{}
+
+	for i, s := range seg.steps {
+		alias := b.addNodeAlias()
+		if i == 0 {
+			mode, err := b.anchorConds(alias, s, first, seg.ancestryCheck)
+			if err != nil {
+				return chainSQL{}, err
+			}
+			out.anchor = mode
+			if mode == anchorEmpty {
+				return out, nil
+			}
+		} else {
+			b.stepConds(alias, b.prevAlias, s)
+		}
+		b.testConds(alias, s.Axis, s.Test)
+		for _, pred := range s.Preds {
+			if pred.Kind == xpath.PredValue || pred.Kind == xpath.PredExists {
+				selfLeaf := s.Axis == xpath.Attribute || s.Test.TextTest
+				if err := b.predConds(alias, pred, selfLeaf); err != nil {
+					return chainSQL{}, err
+				}
+			}
+		}
+		out.stepCols = append(out.stepCols, len(b.sel))
+		b.sel = append(b.sel,
+			alias+".id", alias+".parent", alias+"."+e.ord)
+		b.prevAlias = alias
+	}
+	final := b.prevAlias
+	out.finalExt = len(b.sel)
+	b.sel = append(b.sel, final+".kind", final+".tag", final+".value")
+
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(strings.Join(b.sel, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(b.from, ", "))
+	sb.WriteString(" WHERE ")
+	sb.WriteString(strings.Join(b.where, " AND "))
+	if e.opts.Kind != encoding.Local {
+		sb.WriteString(" ORDER BY " + final + "." + e.ord)
+	}
+	out.sql = sb.String()
+	return out, nil
+}
+
+type chainBuilder struct {
+	ev        *Evaluator
+	doc       int64
+	nAlias    int
+	prevAlias string
+	sel       []string
+	from      []string
+	where     []string
+}
+
+func (b *chainBuilder) addNodeAlias() string {
+	b.nAlias++
+	alias := fmt.Sprintf("n%d", b.nAlias)
+	b.from = append(b.from, b.ev.tbl+" "+alias)
+	b.where = append(b.where, fmt.Sprintf("%s.doc = %d", alias, b.doc))
+	return alias
+}
+
+// anchorConds emits the first step's binding conditions.
+func (b *chainBuilder) anchorConds(alias string, s xpath.Step, first, ancestry bool) (anchorMode, error) {
+	ord := b.ev.ord
+	if first {
+		switch s.Axis {
+		case xpath.Child:
+			b.where = append(b.where, alias+".parent IS NULL")
+			return anchorRoot, nil
+		case xpath.Attribute:
+			// Attributes of the virtual document node: none.
+			return anchorEmpty, nil
+		case xpath.Descendant:
+			// Every node descends from the virtual document node.
+			return anchorScan, nil
+		default:
+			// Siblings/parent of the virtual document node: none.
+			return anchorEmpty, nil
+		}
+	}
+	switch s.Axis {
+	case xpath.Child, xpath.Attribute:
+		b.where = append(b.where, alias+".parent = ?")
+		return anchorChildOf, nil
+	case xpath.Parent:
+		b.where = append(b.where, alias+".id = ?")
+		return anchorParentOf, nil
+	case xpath.FollowingSibling:
+		b.where = append(b.where, alias+".parent = ?", alias+"."+ord+" > ?")
+		return anchorFollowing, nil
+	case xpath.PrecedingSibling:
+		b.where = append(b.where, alias+".parent = ?", alias+"."+ord+" < ?")
+		return anchorPreceding, nil
+	case xpath.Descendant:
+		if b.ev.opts.Kind == encoding.Dewey {
+			b.where = append(b.where, alias+"."+ord+" > ?", alias+"."+ord+" < ?")
+			return anchorDeweyDesc, nil
+		}
+		if !ancestry {
+			return 0, fmt.Errorf("internal: %s descendant segment lacks ancestry check", b.ev.opts.Kind)
+		}
+		return anchorScan, nil
+	default:
+		return 0, fmt.Errorf("internal: bad anchor axis %s", s.Axis)
+	}
+}
+
+// stepConds emits the structural join between consecutive chain steps.
+func (b *chainBuilder) stepConds(alias, prev string, s xpath.Step) {
+	ord := b.ev.ord
+	switch s.Axis {
+	case xpath.Child, xpath.Attribute:
+		b.where = append(b.where, fmt.Sprintf("%s.parent = %s.id", alias, prev))
+	case xpath.Parent:
+		b.where = append(b.where, fmt.Sprintf("%s.id = %s.parent", alias, prev))
+	case xpath.FollowingSibling:
+		b.where = append(b.where,
+			fmt.Sprintf("%s.parent = %s.parent", alias, prev),
+			fmt.Sprintf("%s.%s > %s.%s", alias, ord, prev, ord))
+	case xpath.PrecedingSibling:
+		b.where = append(b.where,
+			fmt.Sprintf("%s.parent = %s.parent", alias, prev),
+			fmt.Sprintf("%s.%s < %s.%s", alias, ord, prev, ord))
+	case xpath.Descendant:
+		// Only reachable under Dewey (splitSegments isolates the rest).
+		b.where = append(b.where,
+			fmt.Sprintf("%s.%s > %s.%s", alias, ord, prev, ord),
+			fmt.Sprintf("%s.%s < PREFIX_SUCC(%s.%s)", alias, ord, prev, ord))
+	}
+}
+
+// testConds emits node-test conditions.
+func (b *chainBuilder) testConds(alias string, axis xpath.Axis, t xpath.NodeTest) {
+	kind := "elem"
+	if axis == xpath.Attribute {
+		kind = "attr"
+	} else if t.TextTest {
+		kind = "text"
+	}
+	b.where = append(b.where, fmt.Sprintf("%s.kind = '%s'", alias, kind))
+	if !t.Any && !t.TextTest {
+		b.where = append(b.where, fmt.Sprintf("%s.tag = %s", alias, sqlString(t.Name)))
+	}
+}
+
+// predConds emits the joins implementing a value or existence predicate.
+// Value comparison against an element compares a text child, matching the
+// oracle for simple-content elements (the standard shredding assumption).
+// ctxIsLeaf reports that the context node itself is an attribute or text
+// node, whose value column is compared directly for a '.' predicate.
+func (b *chainBuilder) predConds(ctxAlias string, p xpath.Predicate, ctxIsLeaf bool) error {
+	cur := ctxAlias
+	curIsAttrOrText := ctxIsLeaf
+	if p.Path != nil {
+		for _, ps := range p.Path.Steps {
+			alias := b.addNodeAlias()
+			b.where = append(b.where, fmt.Sprintf("%s.parent = %s.id", alias, cur))
+			b.testConds(alias, ps.Axis, ps.Test)
+			cur = alias
+			curIsAttrOrText = ps.Axis == xpath.Attribute || ps.Test.TextTest
+		}
+	}
+	if p.Kind == xpath.PredExists {
+		return nil
+	}
+	op := "="
+	if p.ValOp == xpath.CmpNe {
+		op = "<>"
+	}
+	if curIsAttrOrText {
+		b.where = append(b.where, fmt.Sprintf("%s.value %s %s", cur, op, sqlString(p.Value)))
+		return nil
+	}
+	// Element (or '.') comparison: join its text child.
+	alias := b.addNodeAlias()
+	b.where = append(b.where,
+		fmt.Sprintf("%s.parent = %s.id", alias, cur),
+		fmt.Sprintf("%s.kind = 'text'", alias),
+		fmt.Sprintf("%s.value %s %s", alias, op, sqlString(p.Value)))
+	return nil
+}
+
+func sqlString(s string) string {
+	return sqltypes.NewText(s).SQLLiteral()
+}

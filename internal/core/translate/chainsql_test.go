@@ -1,0 +1,143 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/shred"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/xmltree"
+)
+
+// These tests pin the shape of the generated SQL per encoding — the
+// reproduction's analogue of the paper's translation examples.
+
+func evalFor(t *testing.T, opts encoding.Options) (*Evaluator, int64) {
+	t.Helper()
+	db := sqldb.Open()
+	if err := encoding.Install(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shred.New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := xmltree.ParseString(
+		`<site><regions><namerica><item id="i1"><name>x</name><keyword>k</keyword></item></namerica></regions></site>`)
+	doc, err := sh.LoadTree("d", tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, doc
+}
+
+func sqlFor(t *testing.T, opts encoding.Options, query string) []string {
+	t.Helper()
+	ev, doc := evalFor(t, opts)
+	if _, err := ev.Query(doc, query); err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	return ev.LastSQL()
+}
+
+func TestChainSQLChildPath(t *testing.T) {
+	// A pure child chain is one self-join statement under every encoding.
+	for _, opts := range []encoding.Options{
+		{Kind: encoding.Global}, {Kind: encoding.Local}, {Kind: encoding.Dewey},
+	} {
+		sqls := sqlFor(t, opts, "/site/regions/namerica/item")
+		if len(sqls) != 1 {
+			t.Fatalf("%s: %d statements", opts.Kind, len(sqls))
+		}
+		sql := sqls[0]
+		if got := strings.Count(sql, opts.NodesTable()+" n"); got != 4 {
+			t.Errorf("%s: %d aliases, want 4:\n%s", opts.Kind, got, sql)
+		}
+		if !strings.Contains(sql, "n1.parent IS NULL") {
+			t.Errorf("%s: root anchor missing:\n%s", opts.Kind, sql)
+		}
+		if !strings.Contains(sql, "n4.parent = n3.id") {
+			t.Errorf("%s: parent join missing:\n%s", opts.Kind, sql)
+		}
+		ordered := strings.Contains(sql, "ORDER BY n4."+opts.OrderColumn())
+		if opts.Kind == encoding.Local && ordered {
+			t.Errorf("local must not ORDER BY lorder globally:\n%s", sql)
+		}
+		if opts.Kind != encoding.Local && !ordered {
+			t.Errorf("%s: ORDER BY missing:\n%s", opts.Kind, sql)
+		}
+	}
+}
+
+func TestChainSQLDeweyDescendant(t *testing.T) {
+	// Mid-path // under Dewey is a PREFIX_SUCC range join in one statement.
+	sqls := sqlFor(t, encoding.Options{Kind: encoding.Dewey}, "/site/regions//keyword")
+	if len(sqls) != 1 {
+		t.Fatalf("%d statements: %v", len(sqls), sqls)
+	}
+	if !strings.Contains(sqls[0], "n3.path > n2.path") ||
+		!strings.Contains(sqls[0], "n3.path < PREFIX_SUCC(n2.path)") {
+		t.Errorf("dewey descendant join missing:\n%s", sqls[0])
+	}
+	// Under Global the same path splits: prefix chain, then a tag scan that
+	// gets ancestry-checked client-side.
+	sqls = sqlFor(t, encoding.Options{Kind: encoding.Global}, "/site/regions//keyword")
+	if len(sqls) != 2 {
+		t.Fatalf("global statements = %d: %v", len(sqls), sqls)
+	}
+	if !strings.Contains(sqls[1], "n1.tag = 'keyword'") || strings.Contains(sqls[1], "parent =") {
+		t.Errorf("global descendant segment should be an unanchored tag scan:\n%s", sqls[1])
+	}
+}
+
+func TestChainSQLSiblingAnchor(t *testing.T) {
+	// A sibling step after a positional break becomes a per-context query
+	// with parent and order parameters.
+	for _, opts := range []encoding.Options{
+		{Kind: encoding.Global}, {Kind: encoding.Dewey},
+	} {
+		sqls := sqlFor(t, opts, "/site/regions/namerica/item[1]/following-sibling::item")
+		last := sqls[len(sqls)-1]
+		ord := opts.OrderColumn()
+		if !strings.Contains(last, "n1.parent = ?") || !strings.Contains(last, "n1."+ord+" > ?") {
+			t.Errorf("%s: sibling anchor missing:\n%s", opts.Kind, last)
+		}
+	}
+}
+
+func TestChainSQLValuePredicate(t *testing.T) {
+	// [name = 'x'] joins the name element and its text child.
+	sqls := sqlFor(t, encoding.Options{Kind: encoding.Dewey}, "//item[name = 'x']")
+	sql := sqls[0]
+	for _, want := range []string{
+		"n2.tag = 'name'", "n2.parent = n1.id",
+		"n3.kind = 'text'", "n3.parent = n2.id", "n3.value = 'x'",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("value predicate fragment %q missing:\n%s", want, sql)
+		}
+	}
+	// Attribute predicates compare the attr node's value directly.
+	sqls = sqlFor(t, encoding.Options{Kind: encoding.Dewey}, "//item[@id = 'i1']")
+	if !strings.Contains(sqls[0], "n2.kind = 'attr'") || !strings.Contains(sqls[0], "n2.value = 'i1'") {
+		t.Errorf("attribute predicate:\n%s", sqls[0])
+	}
+}
+
+func TestChainSQLLiteralEscaping(t *testing.T) {
+	// XPath uses the other quote kind for embedded quotes; the SQL literal
+	// must escape them (no injection through predicate values).
+	sqls := sqlFor(t, encoding.Options{Kind: encoding.Dewey}, `//item[name = "o'brien"]`)
+	if !strings.Contains(sqls[0], "'o''brien'") {
+		t.Errorf("quote escaping:\n%s", sqls[0])
+	}
+	ev, doc := evalFor(t, encoding.Options{Kind: encoding.Dewey})
+	if _, err := ev.Query(doc, `//item[name = "'; DROP TABLE xd_nodes --"]`); err != nil {
+		t.Fatalf("quoted literal broke the statement: %v", err)
+	}
+}

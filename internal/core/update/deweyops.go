@@ -1,0 +1,237 @@
+package update
+
+import (
+	"fmt"
+
+	"ordxml/internal/core/dewey"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/xmltree"
+)
+
+// pathOf decodes a node's stored Dewey key.
+func (m *Manager) pathOf(order sqltypes.Value) (dewey.Path, error) {
+	if m.opts.DeweyAsText {
+		return dewey.ParsePadded(order.Text())
+	}
+	return dewey.FromBytes(order.Blob())
+}
+
+// keyOf encodes a path for storage.
+func (m *Manager) keyOf(p dewey.Path) sqltypes.Value {
+	if m.opts.DeweyAsText {
+		return sqldb.S(p.PaddedString())
+	}
+	return sqldb.B(p.Bytes())
+}
+
+// insertDewey assigns the fragment root a fresh sibling ordinal under its
+// parent's path. When the local ordinal gap is exhausted, following siblings
+// are renumbered — and, unlike the local encoding, each renumbered sibling
+// drags its whole subtree along, because the sibling ordinal is a prefix
+// component of every descendant path.
+func (m *Manager) insertDewey(doc int64, t node, mode Mode, frag *xmltree.Node) (Stats, error) {
+	tPath, err := m.pathOf(t.order)
+	if err != nil {
+		return Stats{}, err
+	}
+	var parentID int64
+	var parentPath dewey.Path
+	switch mode {
+	case FirstChild, LastChild:
+		parentID = t.id
+		parentPath = tPath
+	default:
+		parentID = t.parent
+		parentPath = tPath.Parent()
+	}
+	anchor, err := m.localAnchor(doc, t, mode)
+	if err != nil {
+		return Stats{}, err
+	}
+	gap := m.opts.EffectiveGap()
+	stats := Stats{RowsInserted: int64(frag.Size())}
+
+	var rootComp uint32
+	if anchor == nil {
+		last, err := m.lastChildComponent(doc, parentID)
+		if err != nil {
+			return stats, err
+		}
+		rootComp = last + gap
+	} else {
+		aPath, err := m.pathOf(anchor.order)
+		if err != nil {
+			return stats, err
+		}
+		aComp := aPath.Last()
+		prevComp, err := m.prevSiblingComponent(doc, parentID, anchor.order)
+		if err != nil {
+			return stats, err
+		}
+		if aComp-prevComp > 1 {
+			rootComp = prevComp + (aComp-prevComp)/2
+		} else {
+			renumbered, err := m.shiftDeweySiblings(doc, parentID, aPath, gap)
+			if err != nil {
+				return stats, err
+			}
+			stats.RowsRenumbered = renumbered
+			rootComp = aComp
+		}
+	}
+
+	var rootPath dewey.Path
+	if parentPath == nil {
+		// Inserting a sibling of the root is rejected earlier; parentPath is
+		// nil only for first/last child of the root, where tPath is depth 1.
+		return stats, fmt.Errorf("internal: no parent path")
+	}
+	rootPath = parentPath.Child(rootComp)
+
+	base, err := m.nextID(doc)
+	if err != nil {
+		return stats, err
+	}
+	rows := flattenFragment(frag)
+	paths := map[int64]dewey.Path{}
+	for i := range rows {
+		rows[i].id += base - 1
+		pid := rows[i].parent
+		var p dewey.Path
+		if pid == 0 {
+			pid = parentID
+			p = rootPath
+		} else {
+			pid += base - 1
+			p = paths[pid].Child(rows[i].ordinal * gap)
+		}
+		paths[rows[i].id] = p
+		if err := m.insertRow(doc, rows[i], pid, m.keyOf(p)); err != nil {
+			return stats, err
+		}
+	}
+	stats.NewID = base
+	return stats, nil
+}
+
+// lastChildComponent returns the sibling ordinal of parent's last child, or
+// 0 when childless.
+func (m *Manager) lastChildComponent(doc, parent int64) (uint32, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ? AND parent = ? ORDER BY %s DESC LIMIT 1`,
+		m.ord, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(parent))
+	if err != nil || len(res.Rows) == 0 {
+		return 0, err
+	}
+	p, err := m.pathOf(res.Rows[0][0])
+	if err != nil {
+		return 0, err
+	}
+	return p.Last(), nil
+}
+
+// prevSiblingComponent returns the ordinal of the sibling immediately before
+// the anchor, or 0.
+func (m *Manager) prevSiblingComponent(doc, parent int64, anchorKey sqltypes.Value) (uint32, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT %s FROM %s WHERE doc = ? AND parent = ? AND %s < ? ORDER BY %s DESC LIMIT 1`,
+		m.ord, m.tbl, m.ord, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(parent), anchorKey)
+	if err != nil || len(res.Rows) == 0 {
+		return 0, err
+	}
+	p, err := m.pathOf(res.Rows[0][0])
+	if err != nil {
+		return 0, err
+	}
+	return p.Last(), nil
+}
+
+// shiftDeweySiblings renumbers every sibling at or after the anchor path by
+// +delta ordinals, re-pathing each sibling's entire subtree. The affected
+// rows form one contiguous key range — from the anchor path to the end of
+// the parent's subtree — so a single range scan finds them all; rows are
+// rewritten in descending key order so new paths never collide with unmoved
+// ones.
+func (m *Manager) shiftDeweySiblings(doc, parent int64, from dewey.Path, delta uint32) (int64, error) {
+	parentPath := from.Parent()
+	if parentPath == nil {
+		return 0, fmt.Errorf("internal: anchor %s has no parent path", from)
+	}
+	var highKey sqltypes.Value
+	if m.opts.DeweyAsText {
+		highKey = sqldb.S(parentPath.PaddedPrefixSuccessor())
+	} else {
+		high := parentPath.PrefixSuccessor()
+		if high == nil {
+			return 0, fmt.Errorf("parent path has no successor")
+		}
+		highKey = sqldb.B(high)
+	}
+	sel, err := m.prepare(fmt.Sprintf(
+		`SELECT id, %s FROM %s WHERE doc = ? AND %s >= ? AND %s < ? ORDER BY %s DESC`,
+		m.ord, m.tbl, m.ord, m.ord, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := sel.Query(sqldb.I(doc), m.keyOf(from), highKey)
+	if err != nil {
+		return 0, err
+	}
+	upd, err := m.prepare(fmt.Sprintf(
+		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	comp := len(parentPath) // index of the sibling ordinal in each path
+	for _, r := range res.Rows {
+		p, err := m.pathOf(r[1])
+		if err != nil {
+			return 0, err
+		}
+		np := p.Clone()
+		np[comp] += delta
+		if _, err := upd.Exec(m.keyOf(np), sqldb.I(doc), sqldb.I(r[0].Int())); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(res.Rows)), nil
+}
+
+// deleteDewey removes the subtree with one path-range delete.
+func (m *Manager) deleteDewey(doc int64, t node) (Stats, error) {
+	p, err := m.pathOf(t.order)
+	if err != nil {
+		return Stats{}, err
+	}
+	var low, high sqltypes.Value
+	if m.opts.DeweyAsText {
+		low = sqldb.S(p.PaddedString())
+		high = sqldb.S(p.PaddedPrefixSuccessor())
+	} else {
+		low = sqldb.B(p.Bytes())
+		succ := p.PrefixSuccessor()
+		if succ == nil {
+			return Stats{}, fmt.Errorf("path has no successor")
+		}
+		high = sqldb.B(succ)
+	}
+	stmt, err := m.prepare(fmt.Sprintf(
+		`DELETE FROM %s WHERE doc = ? AND %s >= ? AND %s < ?`, m.tbl, m.ord, m.ord))
+	if err != nil {
+		return Stats{}, err
+	}
+	n, err := stmt.Exec(sqldb.I(doc), low, high)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{RowsDeleted: int64(n)}, nil
+}

@@ -1,0 +1,251 @@
+package update
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb"
+	"ordxml/internal/xmltree"
+)
+
+// insertGlobal places the fragment in the global order. The insertion point
+// is expressed as the "anchor": the existing node that will immediately
+// follow the new subtree in document order (nil when appending at the end).
+// If the gap before the anchor cannot hold the subtree, every node from the
+// anchor onward is shifted — the global encoding's worst case.
+func (m *Manager) insertGlobal(doc int64, t node, mode Mode, frag *xmltree.Node) (Stats, error) {
+	anchor, err := m.globalAnchor(doc, t, mode)
+	if err != nil {
+		return Stats{}, err
+	}
+	rows := flattenFragment(frag)
+	k := int64(len(rows))
+	gap := int64(m.opts.EffectiveGap())
+	stats := Stats{RowsInserted: k}
+
+	positions := make([]int64, k)
+	switch {
+	case anchor == nil:
+		maxG, err := m.maxOrder(doc)
+		if err != nil {
+			return stats, err
+		}
+		for i := range positions {
+			positions[i] = maxG + gap*int64(i+1)
+		}
+	default:
+		aPos := anchor.order.Int()
+		prev, err := m.maxOrderBelow(doc, aPos)
+		if err != nil {
+			return stats, err
+		}
+		if avail := aPos - prev - 1; avail >= k {
+			// The subtree fits in the existing gap: spread it evenly, no
+			// renumbering.
+			step := (aPos - prev) / (k + 1)
+			if step < 1 {
+				step = 1
+			}
+			for i := range positions {
+				positions[i] = prev + step*int64(i+1)
+			}
+		} else {
+			delta := k * gap
+			renumbered, err := m.shiftGlobal(doc, aPos, delta)
+			if err != nil {
+				return stats, err
+			}
+			stats.RowsRenumbered = renumbered
+			for i := range positions {
+				positions[i] = aPos + gap*int64(i)
+			}
+		}
+	}
+
+	base, err := m.nextID(doc)
+	if err != nil {
+		return stats, err
+	}
+	rootParent := insertionParent(t, mode)
+	for i := range rows {
+		rows[i].id += base - 1
+		parentID := rows[i].parent
+		if parentID == 0 {
+			parentID = rootParent
+		} else {
+			parentID += base - 1
+		}
+		if err := m.insertRow(doc, rows[i], parentID, sqldb.I(positions[i])); err != nil {
+			return stats, err
+		}
+	}
+	stats.NewID = base
+	return stats, nil
+}
+
+// insertionParent resolves which node becomes the fragment root's parent.
+func insertionParent(t node, mode Mode) int64 {
+	if mode == FirstChild || mode == LastChild {
+		return t.id
+	}
+	return t.parent
+}
+
+// globalAnchor finds the node that will follow the inserted subtree.
+func (m *Manager) globalAnchor(doc int64, t node, mode Mode) (*node, error) {
+	switch mode {
+	case Before:
+		return &t, nil
+	case FirstChild:
+		first, err := m.firstNonAttrChild(doc, t.id)
+		if err != nil {
+			return nil, err
+		}
+		if first != nil {
+			return first, nil
+		}
+		return m.successorAfterSubtree(doc, t)
+	default: // After, LastChild
+		return m.successorAfterSubtree(doc, t)
+	}
+}
+
+// successorAfterSubtree is the first node in document order after t's
+// subtree: t's next sibling, or the nearest ancestor's next sibling.
+func (m *Manager) successorAfterSubtree(doc int64, t node) (*node, error) {
+	for {
+		if t.parent == 0 {
+			return nil, nil
+		}
+		next, err := m.nextSibling(doc, t)
+		if err != nil {
+			return nil, err
+		}
+		if next != nil {
+			return next, nil
+		}
+		parent, err := m.fetch(doc, t.parent)
+		if err != nil {
+			return nil, err
+		}
+		t = parent
+	}
+}
+
+func (m *Manager) nextSibling(doc int64, t node) (*node, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND parent = ? AND %s > ? ORDER BY %s LIMIT 1`,
+		m.ord, m.tbl, m.ord, m.ord))
+	if err != nil {
+		return nil, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(t.parent), t.order)
+	if err != nil || len(res.Rows) == 0 {
+		return nil, err
+	}
+	n, err := decodeNode(res.Rows[0])
+	return &n, err
+}
+
+func (m *Manager) firstNonAttrChild(doc, parent int64) (*node, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND parent = ? AND kind <> 'attr' ORDER BY %s LIMIT 1`,
+		m.ord, m.tbl, m.ord))
+	if err != nil {
+		return nil, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(parent))
+	if err != nil || len(res.Rows) == 0 {
+		return nil, err
+	}
+	n, err := decodeNode(res.Rows[0])
+	return &n, err
+}
+
+func (m *Manager) maxOrder(doc int64) (int64, error) {
+	stmt, err := m.prepare(fmt.Sprintf(`SELECT MAX(%s) FROM %s WHERE doc = ?`, m.ord, m.tbl))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+func (m *Manager) maxOrderBelow(doc, below int64) (int64, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT MAX(%s) FROM %s WHERE doc = ? AND %s < ?`, m.ord, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(below))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+// shiftGlobal adds delta to the global order of every node at or after
+// from. Rows are rewritten in descending order so the unique (doc, gorder)
+// index never sees a transient collision.
+func (m *Manager) shiftGlobal(doc, from, delta int64) (int64, error) {
+	sel, err := m.prepare(fmt.Sprintf(
+		`SELECT id, %s FROM %s WHERE doc = ? AND %s >= ? ORDER BY %s DESC`,
+		m.ord, m.tbl, m.ord, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := sel.Query(sqldb.I(doc), sqldb.I(from))
+	if err != nil {
+		return 0, err
+	}
+	upd, err := m.prepare(fmt.Sprintf(
+		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range res.Rows {
+		if _, err := upd.Exec(sqldb.I(r[1].Int()+delta), sqldb.I(doc), sqldb.I(r[0].Int())); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(res.Rows)), nil
+}
+
+// deleteGlobal removes the contiguous global-order range of t's subtree.
+func (m *Manager) deleteGlobal(doc int64, t node) (Stats, error) {
+	succ, err := m.successorAfterSubtree(doc, t)
+	if err != nil {
+		return Stats{}, err
+	}
+	var n int
+	if succ == nil {
+		stmt, err := m.prepare(fmt.Sprintf(
+			`DELETE FROM %s WHERE doc = ? AND %s >= ?`, m.tbl, m.ord))
+		if err != nil {
+			return Stats{}, err
+		}
+		n, err = stmt.Exec(sqldb.I(doc), t.order)
+		if err != nil {
+			return Stats{}, err
+		}
+	} else {
+		stmt, err := m.prepare(fmt.Sprintf(
+			`DELETE FROM %s WHERE doc = ? AND %s >= ? AND %s < ?`, m.tbl, m.ord, m.ord))
+		if err != nil {
+			return Stats{}, err
+		}
+		n, err = stmt.Exec(sqldb.I(doc), t.order, succ.order)
+		if err != nil {
+			return Stats{}, err
+		}
+	}
+	return Stats{RowsDeleted: int64(n)}, nil
+}

@@ -1,0 +1,178 @@
+package update
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb"
+	"ordxml/internal/xmltree"
+)
+
+// insertLocal places the fragment under its parent with a fresh sibling
+// ordinal. Only following siblings can need renumbering; the fragment's
+// interior gets fresh per-parent numbering, so subtree size never matters —
+// the local encoding's defining strength.
+func (m *Manager) insertLocal(doc int64, t node, mode Mode, frag *xmltree.Node) (Stats, error) {
+	parentID := insertionParent(t, mode)
+	anchor, err := m.localAnchor(doc, t, mode)
+	if err != nil {
+		return Stats{}, err
+	}
+	gap := int64(m.opts.EffectiveGap())
+	stats := Stats{RowsInserted: int64(frag.Size())}
+
+	var rootOrd int64
+	if anchor == nil {
+		maxL, err := m.maxChildOrder(doc, parentID)
+		if err != nil {
+			return stats, err
+		}
+		rootOrd = maxL + gap
+	} else {
+		aPos := anchor.order.Int()
+		prev, err := m.maxChildOrderBelow(doc, parentID, aPos)
+		if err != nil {
+			return stats, err
+		}
+		if aPos-prev > 1 {
+			rootOrd = prev + (aPos-prev)/2
+		} else {
+			renumbered, err := m.shiftSiblings(doc, parentID, aPos, gap)
+			if err != nil {
+				return stats, err
+			}
+			stats.RowsRenumbered = renumbered
+			rootOrd = aPos
+		}
+	}
+
+	base, err := m.nextID(doc)
+	if err != nil {
+		return stats, err
+	}
+	rows := flattenFragment(frag)
+	for i := range rows {
+		rows[i].id += base - 1
+		pid := rows[i].parent
+		ord := int64(rows[i].ordinal) * gap
+		if pid == 0 {
+			pid = parentID
+			ord = rootOrd
+		} else {
+			pid += base - 1
+		}
+		if err := m.insertRow(doc, rows[i], pid, sqldb.I(ord)); err != nil {
+			return stats, err
+		}
+	}
+	stats.NewID = base
+	return stats, nil
+}
+
+// localAnchor finds the sibling the new node goes in front of (nil: append).
+func (m *Manager) localAnchor(doc int64, t node, mode Mode) (*node, error) {
+	switch mode {
+	case Before:
+		return &t, nil
+	case After:
+		return m.nextSibling(doc, t)
+	case FirstChild:
+		return m.firstNonAttrChild(doc, t.id)
+	default: // LastChild
+		return nil, nil
+	}
+}
+
+func (m *Manager) maxChildOrder(doc, parent int64) (int64, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT MAX(%s) FROM %s WHERE doc = ? AND parent = ?`, m.ord, m.tbl))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(parent))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+func (m *Manager) maxChildOrderBelow(doc, parent, below int64) (int64, error) {
+	stmt, err := m.prepare(fmt.Sprintf(
+		`SELECT MAX(%s) FROM %s WHERE doc = ? AND parent = ? AND %s < ?`, m.ord, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := stmt.Query(sqldb.I(doc), sqldb.I(parent), sqldb.I(below))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+// shiftSiblings adds delta to the sibling order of every child of parent at
+// or after from, in descending order to respect the unique sibling index.
+func (m *Manager) shiftSiblings(doc, parent, from, delta int64) (int64, error) {
+	sel, err := m.prepare(fmt.Sprintf(
+		`SELECT id, %s FROM %s WHERE doc = ? AND parent = ? AND %s >= ? ORDER BY %s DESC`,
+		m.ord, m.tbl, m.ord, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	res, err := sel.Query(sqldb.I(doc), sqldb.I(parent), sqldb.I(from))
+	if err != nil {
+		return 0, err
+	}
+	upd, err := m.prepare(fmt.Sprintf(
+		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range res.Rows {
+		if _, err := upd.Exec(sqldb.I(r[1].Int()+delta), sqldb.I(doc), sqldb.I(r[0].Int())); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(res.Rows)), nil
+}
+
+// deleteLocal removes the subtree by walking children (the local encoding
+// has no subtree range).
+func (m *Manager) deleteLocal(doc int64, t node) (Stats, error) {
+	childSel, err := m.prepare(fmt.Sprintf(
+		`SELECT id FROM %s WHERE doc = ? AND parent = ?`, m.tbl))
+	if err != nil {
+		return Stats{}, err
+	}
+	del, err := m.prepare(fmt.Sprintf(
+		`DELETE FROM %s WHERE doc = ? AND id = ?`, m.tbl))
+	if err != nil {
+		return Stats{}, err
+	}
+	var count int64
+	var walk func(id int64) error
+	walk = func(id int64) error {
+		res, err := childSel.Query(sqldb.I(doc), sqldb.I(id))
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Rows {
+			if err := walk(r[0].Int()); err != nil {
+				return err
+			}
+		}
+		if _, err := del.Exec(sqldb.I(doc), sqldb.I(id)); err != nil {
+			return err
+		}
+		count++
+		return nil
+	}
+	if err := walk(t.id); err != nil {
+		return Stats{RowsDeleted: count}, err
+	}
+	return Stats{RowsDeleted: count}, nil
+}

@@ -1,0 +1,335 @@
+// Package update implements ordered XML updates over the relational
+// encodings: subtree insertion at any position and subtree deletion. The
+// renumbering behaviour is the paper's central trade-off:
+//
+//   - GLOBAL: inserting k nodes shifts the global order of every node after
+//     the insertion point — potentially the rest of the document.
+//   - LOCAL: only following siblings of the insertion point shift.
+//   - DEWEY: following siblings shift and their entire subtrees must be
+//     re-pathed (a sibling ordinal is a prefix component of its descendants).
+//
+// Gap-based (sparse) order values amortize all three: an insert first tries
+// to claim an unused value between its neighbours and only renumbers when
+// the local gap is exhausted. Stats report rows inserted and rows renumbered
+// so experiments can separate the two costs.
+package update
+
+import (
+	"fmt"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/xmltree"
+)
+
+// Mode places an inserted subtree relative to the target node.
+type Mode int
+
+// Insertion modes.
+const (
+	// FirstChild inserts as the target's first child (after its attributes).
+	FirstChild Mode = iota
+	// LastChild appends as the target's last child.
+	LastChild
+	// Before inserts as the sibling immediately preceding the target.
+	Before
+	// After inserts as the sibling immediately following the target.
+	After
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	return [...]string{"first-child", "last-child", "before", "after"}[m]
+}
+
+// Stats reports the work an update performed.
+type Stats struct {
+	// RowsInserted is the size of the inserted subtree (0 for deletes).
+	RowsInserted int64
+	// RowsRenumbered counts existing rows whose order key was rewritten.
+	RowsRenumbered int64
+	// RowsDeleted counts removed rows (0 for inserts).
+	RowsDeleted int64
+	// NewID is the surrogate id of the inserted subtree root.
+	NewID int64
+}
+
+// Manager performs updates for one encoding.
+type Manager struct {
+	db   *sqldb.DB
+	opts encoding.Options
+	tbl  string
+	ord  string
+
+	byID        *sqldb.Stmt
+	maxID       *sqldb.Stmt
+	insertNode  *sqldb.Stmt
+	bumpDocSize *sqldb.Stmt
+	stmts       map[string]*sqldb.Stmt
+}
+
+// node mirrors one row's identity fields.
+type node struct {
+	id     int64
+	parent int64
+	kind   xmltree.Kind
+	order  sqltypes.Value
+}
+
+// New prepares a manager. The encoding must be installed.
+func New(db *sqldb.DB, opts encoding.Options) (*Manager, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if !encoding.Installed(db, opts) {
+		return nil, fmt.Errorf("encoding %s is not installed", opts.Kind)
+	}
+	m := &Manager{db: db, opts: opts, tbl: opts.NodesTable(), ord: opts.OrderColumn(),
+		stmts: map[string]*sqldb.Stmt{}}
+	var err error
+	if m.byID, err = db.Prepare(fmt.Sprintf(
+		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND id = ?`, m.ord, m.tbl)); err != nil {
+		return nil, err
+	}
+	if m.maxID, err = db.Prepare(fmt.Sprintf(
+		`SELECT MAX(id) FROM %s WHERE doc = ?`, m.tbl)); err != nil {
+		return nil, err
+	}
+	if m.insertNode, err = db.Prepare(fmt.Sprintf(
+		`INSERT INTO %s (doc, id, parent, kind, tag, value, %s) VALUES (?, ?, ?, ?, ?, ?, ?)`,
+		m.tbl, m.ord)); err != nil {
+		return nil, err
+	}
+	if m.bumpDocSize, err = db.Prepare(`UPDATE docs SET nodes = nodes + ? WHERE doc = ?`); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Options returns the manager's encoding options.
+func (m *Manager) Options() encoding.Options { return m.opts }
+
+func (m *Manager) prepare(sql string) (*sqldb.Stmt, error) {
+	if s, ok := m.stmts[sql]; ok {
+		return s, nil
+	}
+	s, err := m.db.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	m.stmts[sql] = s
+	return s, nil
+}
+
+func (m *Manager) fetch(doc, id int64) (node, error) {
+	res, err := m.byID.Query(sqldb.I(doc), sqldb.I(id))
+	if err != nil {
+		return node{}, err
+	}
+	if len(res.Rows) == 0 {
+		return node{}, fmt.Errorf("document %d has no node %d", doc, id)
+	}
+	return decodeNode(res.Rows[0])
+}
+
+func decodeNode(r sqltypes.Row) (node, error) {
+	kind, err := xmltree.ParseKind(r[2].Text())
+	if err != nil {
+		return node{}, err
+	}
+	n := node{id: r[0].Int(), kind: kind, order: r[3]}
+	if !r[1].IsNull() {
+		n.parent = r[1].Int()
+	}
+	return n, nil
+}
+
+// InsertXML parses a fragment and inserts it.
+func (m *Manager) InsertXML(doc, target int64, mode Mode, fragment string) (Stats, error) {
+	frag, err := xmltree.ParseString(fragment)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.InsertTree(doc, target, mode, frag)
+}
+
+// InsertTree inserts a parsed fragment relative to the target node.
+func (m *Manager) InsertTree(doc, target int64, mode Mode, frag *xmltree.Node) (Stats, error) {
+	if frag.Kind != xmltree.Element {
+		return Stats{}, fmt.Errorf("inserted fragment must be an element")
+	}
+	t, err := m.fetch(doc, target)
+	if err != nil {
+		return Stats{}, err
+	}
+	if t.kind == xmltree.Attr {
+		return Stats{}, fmt.Errorf("cannot insert relative to an attribute node")
+	}
+	switch mode {
+	case FirstChild, LastChild:
+		if t.kind != xmltree.Element {
+			return Stats{}, fmt.Errorf("%s requires an element target", mode)
+		}
+	case Before, After:
+		if t.parent == 0 {
+			return Stats{}, fmt.Errorf("cannot insert a sibling of the document root")
+		}
+	default:
+		return Stats{}, fmt.Errorf("bad insert mode %d", mode)
+	}
+
+	var stats Stats
+	switch m.opts.Kind {
+	case encoding.Global:
+		stats, err = m.insertGlobal(doc, t, mode, frag)
+	case encoding.Local:
+		stats, err = m.insertLocal(doc, t, mode, frag)
+	default:
+		stats, err = m.insertDewey(doc, t, mode, frag)
+	}
+	if err != nil {
+		return stats, err
+	}
+	if _, err := m.bumpDocSize.Exec(sqldb.I(stats.RowsInserted), sqldb.I(doc)); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// nextID allocates fresh surrogate ids.
+func (m *Manager) nextID(doc int64) (int64, error) {
+	res, err := m.maxID.Query(sqldb.I(doc))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+		return 1, nil
+	}
+	return res.Rows[0][0].Int() + 1, nil
+}
+
+// Delete removes the subtree rooted at id.
+func (m *Manager) Delete(doc, id int64) (Stats, error) {
+	t, err := m.fetch(doc, id)
+	if err != nil {
+		return Stats{}, err
+	}
+	var stats Stats
+	switch m.opts.Kind {
+	case encoding.Global:
+		stats, err = m.deleteGlobal(doc, t)
+	case encoding.Local:
+		stats, err = m.deleteLocal(doc, t)
+	default:
+		stats, err = m.deleteDewey(doc, t)
+	}
+	if err != nil {
+		return stats, err
+	}
+	if _, err := m.bumpDocSize.Exec(sqldb.I(-stats.RowsDeleted), sqldb.I(doc)); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// fragRows flattens a fragment in document order for insertion: each entry
+// carries its position in the parent-ordinal numbering used by all
+// encodings.
+type fragRow struct {
+	n       *xmltree.Node
+	id      int64
+	parent  int64  // surrogate id of parent within fragment; 0 = fragment root
+	ordinal uint32 // 1-based sibling ordinal within the fragment
+}
+
+// flattenFragment assigns fragment-internal ids 1..size; callers rebase
+// them onto freshly allocated surrogate ids. The root's parent is 0.
+func flattenFragment(frag *xmltree.Node) []fragRow {
+	var rows []fragRow
+	var walk func(n *xmltree.Node, parent int64, ordinal uint32)
+	next := int64(1)
+	walk = func(n *xmltree.Node, parent int64, ordinal uint32) {
+		id := next
+		next++
+		rows = append(rows, fragRow{n: n, id: id, parent: parent, ordinal: ordinal})
+		ord := uint32(1)
+		for _, a := range n.Attrs {
+			walk(a, id, ord)
+			ord++
+		}
+		for _, c := range n.Children {
+			walk(c, id, ord)
+			ord++
+		}
+	}
+	walk(frag, 0, 1)
+	return rows
+}
+
+// insertRow writes one new node row.
+func (m *Manager) insertRow(doc int64, fr fragRow, parentID int64, orderKey sqltypes.Value) error {
+	parent := sqldb.Null()
+	if parentID != 0 {
+		parent = sqldb.I(parentID)
+	}
+	tag := sqldb.Null()
+	if fr.n.Kind != xmltree.Text {
+		tag = sqldb.S(fr.n.Tag)
+	}
+	value := sqldb.Null()
+	if fr.n.Kind != xmltree.Element {
+		value = sqldb.S(fr.n.Value)
+	}
+	_, err := m.insertNode.Exec(sqldb.I(doc), sqldb.I(fr.id), parent,
+		sqldb.S(fr.n.Kind.String()), tag, value, orderKey)
+	return err
+}
+
+// SetValue rewrites the value of a text or attribute node in place. No
+// order keys change, so the operation is renumbering-free under every
+// encoding.
+func (m *Manager) SetValue(doc, id int64, value string) error {
+	t, err := m.fetch(doc, id)
+	if err != nil {
+		return err
+	}
+	if t.kind == xmltree.Element {
+		return fmt.Errorf("node %d is an element; set the value of its text child", id)
+	}
+	upd, err := m.prepare(fmt.Sprintf(
+		`UPDATE %s SET value = ? WHERE doc = ? AND id = ?`, m.tbl))
+	if err != nil {
+		return err
+	}
+	_, err = upd.Exec(sqldb.S(value), sqldb.I(doc), sqldb.I(id))
+	return err
+}
+
+// Rename changes an element tag or attribute name in place.
+func (m *Manager) Rename(doc, id int64, name string) error {
+	t, err := m.fetch(doc, id)
+	if err != nil {
+		return err
+	}
+	if t.kind == xmltree.Text {
+		return fmt.Errorf("node %d is a text node and has no name", id)
+	}
+	upd, err := m.prepare(fmt.Sprintf(
+		`UPDATE %s SET tag = ? WHERE doc = ? AND id = ?`, m.tbl))
+	if err != nil {
+		return err
+	}
+	_, err = upd.Exec(sqldb.S(name), sqldb.I(doc), sqldb.I(id))
+	return err
+}
+
+// Node returns the parent id of a node (0 for the root), for ancestry
+// checks by higher layers.
+func (m *Manager) Node(doc, id int64) (int64, error) {
+	t, err := m.fetch(doc, id)
+	if err != nil {
+		return 0, err
+	}
+	return t.parent, nil
+}

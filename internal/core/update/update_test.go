@@ -1,0 +1,460 @@
+package update
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/publish"
+	"ordxml/internal/core/shred"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/xmlgen"
+	"ordxml/internal/xmltree"
+)
+
+func allOptions() []encoding.Options {
+	return []encoding.Options{
+		{Kind: encoding.Global},
+		{Kind: encoding.Local},
+		{Kind: encoding.Dewey},
+		{Kind: encoding.Global, Gap: 16},
+		{Kind: encoding.Local, Gap: 16},
+		{Kind: encoding.Dewey, Gap: 16},
+		{Kind: encoding.Dewey, DeweyAsText: true},
+	}
+}
+
+func optName(o encoding.Options) string {
+	n := o.Kind.String()
+	if o.Gap > 1 {
+		n += "_gap"
+	}
+	if o.DeweyAsText {
+		n += "_text"
+	}
+	return n
+}
+
+// store is one encoding instance under test, with the oracle-node -> db-id
+// mapping maintained across edits.
+type store struct {
+	opts encoding.Options
+	db   *sqldb.DB
+	mgr  *Manager
+	pub  *publish.Publisher
+	doc  int64
+	ids  map[*xmltree.Node]int64
+}
+
+func newStore(t *testing.T, opts encoding.Options, tree *xmltree.Node) *store {
+	t.Helper()
+	db := sqldb.Open()
+	if err := encoding.Install(db, opts); err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shred.New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := sh.LoadTree("d", tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := publish.New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &store{opts: opts, db: db, mgr: mgr, pub: pub, doc: doc,
+		ids: map[*xmltree.Node]int64{}}
+	next := int64(1)
+	tree.Walk(func(n *xmltree.Node) bool {
+		s.ids[n] = next
+		next++
+		return true
+	})
+	return s
+}
+
+// mapFragment extends the id mapping for an inserted fragment, mirroring
+// flattenFragment's walk order.
+func (s *store) mapFragment(frag *xmltree.Node, base int64) {
+	next := base
+	frag.Walk(func(n *xmltree.Node) bool {
+		s.ids[n] = next
+		next++
+		return true
+	})
+}
+
+// oracleInsert applies the same insertion to the in-memory tree.
+func oracleInsert(target *xmltree.Node, mode Mode, frag *xmltree.Node) {
+	switch mode {
+	case FirstChild:
+		frag.Parent = target
+		target.Children = append([]*xmltree.Node{frag}, target.Children...)
+	case LastChild:
+		target.AddChild(frag)
+	case Before, After:
+		p := target.Parent
+		idx := target.ChildIndex()
+		if mode == After {
+			idx++
+		}
+		frag.Parent = p
+		p.Children = append(p.Children, nil)
+		copy(p.Children[idx+1:], p.Children[idx:])
+		p.Children[idx] = frag
+	}
+}
+
+// oracleDelete removes the node from the in-memory tree.
+func oracleDelete(target *xmltree.Node) {
+	p := target.Parent
+	idx := target.ChildIndex()
+	p.Children = append(p.Children[:idx], p.Children[idx+1:]...)
+}
+
+func (s *store) verify(t *testing.T, oracle *xmltree.Node) {
+	t.Helper()
+	got, err := s.pub.Document(s.doc)
+	if err != nil {
+		t.Fatalf("%s: publish: %v", optName(s.opts), err)
+	}
+	if !xmltree.Equal(oracle, got) {
+		t.Fatalf("%s: document diverged\nwant: %s\ngot:  %s",
+			optName(s.opts), clip(oracle.String()), clip(got.String()))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 500 {
+		return s[:500] + "..."
+	}
+	return s
+}
+
+func TestInsertModes(t *testing.T) {
+	const base = `<r><a/><b><x/><y/></b><c/></r>`
+	cases := []struct {
+		name   string
+		target func(root *xmltree.Node) *xmltree.Node
+		mode   Mode
+		want   string
+	}{
+		{"before_first", func(r *xmltree.Node) *xmltree.Node { return r.Children[0] }, Before,
+			`<r><new/><a/><b><x/><y/></b><c/></r>`},
+		{"after_first", func(r *xmltree.Node) *xmltree.Node { return r.Children[0] }, After,
+			`<r><a/><new/><b><x/><y/></b><c/></r>`},
+		{"before_mid", func(r *xmltree.Node) *xmltree.Node { return r.Children[1] }, Before,
+			`<r><a/><new/><b><x/><y/></b><c/></r>`},
+		{"after_last", func(r *xmltree.Node) *xmltree.Node { return r.Children[2] }, After,
+			`<r><a/><b><x/><y/></b><c/><new/></r>`},
+		{"first_child_root", func(r *xmltree.Node) *xmltree.Node { return r }, FirstChild,
+			`<r><new/><a/><b><x/><y/></b><c/></r>`},
+		{"last_child_root", func(r *xmltree.Node) *xmltree.Node { return r }, LastChild,
+			`<r><a/><b><x/><y/></b><c/><new/></r>`},
+		{"first_child_nested", func(r *xmltree.Node) *xmltree.Node { return r.Children[1] }, FirstChild,
+			`<r><a/><b><new/><x/><y/></b><c/></r>`},
+		{"last_child_leaf", func(r *xmltree.Node) *xmltree.Node { return r.Children[2] }, LastChild,
+			`<r><a/><b><x/><y/></b><c><new/></c></r>`},
+		{"after_inner", func(r *xmltree.Node) *xmltree.Node { return r.Children[1].Children[0] }, After,
+			`<r><a/><b><x/><new/><y/></b><c/></r>`},
+	}
+	for _, opts := range allOptions() {
+		for _, c := range cases {
+			t.Run(optName(opts)+"/"+c.name, func(t *testing.T) {
+				tree, err := xmltree.ParseString(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := newStore(t, opts, tree)
+				target := c.target(tree)
+				stats, err := s.mgr.InsertXML(s.doc, s.ids[target], c.mode, "<new/>")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.RowsInserted != 1 {
+					t.Errorf("RowsInserted = %d", stats.RowsInserted)
+				}
+				got, err := s.pub.Document(s.doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.String() != c.want {
+					t.Errorf("document = %s, want %s", got.String(), c.want)
+				}
+			})
+		}
+	}
+}
+
+func TestInsertSubtreeWithStructure(t *testing.T) {
+	frag := `<section title="s"><para>one</para><para>two <b>bold</b></para></section>`
+	for _, opts := range allOptions() {
+		tree, _ := xmltree.ParseString(`<doc><chapter/><chapter/></doc>`)
+		s := newStore(t, opts, tree)
+		target := tree.Children[0]
+		stats, err := s.mgr.InsertXML(s.doc, s.ids[target], LastChild, frag)
+		if err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if stats.RowsInserted != 8 { // section+title attr+2 para+3 texts+b
+			t.Errorf("%s: RowsInserted = %d", optName(opts), stats.RowsInserted)
+		}
+		got, _ := s.pub.Document(s.doc)
+		want := `<doc><chapter>` + frag + `</chapter><chapter/></doc>`
+		if got.String() != want {
+			t.Errorf("%s: %s", optName(opts), got.String())
+		}
+	}
+}
+
+func TestRenumberingCosts(t *testing.T) {
+	// 20 sibling leaves, dense encodings: inserting before the first child
+	// must renumber per the paper's cost model.
+	mk := func() *xmltree.Node {
+		r := xmltree.NewElement("r")
+		for i := 0; i < 20; i++ {
+			c := r.AddChild(xmltree.NewElement("c"))
+			c.AddChild(xmltree.NewText(fmt.Sprintf("t%d", i)))
+		}
+		return r
+	}
+	// Expected renumber counts for insert-before-first-child:
+	//   global: every following node (root excluded): 40 rows
+	//   local:  the 20 following siblings
+	//   dewey:  the 20 siblings plus their text children = 40
+	expect := map[string]int64{"global": 40, "local": 20, "dewey": 40, "dewey_text": 40}
+	for _, opts := range []encoding.Options{
+		{Kind: encoding.Global}, {Kind: encoding.Local}, {Kind: encoding.Dewey},
+		{Kind: encoding.Dewey, DeweyAsText: true},
+	} {
+		tree := mk()
+		s := newStore(t, opts, tree)
+		first := tree.Children[0]
+		stats, err := s.mgr.InsertXML(s.doc, s.ids[first], Before, "<new/>")
+		if err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if want := expect[optName(opts)]; stats.RowsRenumbered != want {
+			t.Errorf("%s: RowsRenumbered = %d, want %d", optName(opts), stats.RowsRenumbered, want)
+		}
+	}
+	// Appending at the end renumbers nothing under any encoding.
+	for _, opts := range allOptions() {
+		tree := mk()
+		s := newStore(t, opts, tree)
+		stats, err := s.mgr.InsertXML(s.doc, s.ids[tree], LastChild, "<new/>")
+		if err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if stats.RowsRenumbered != 0 {
+			t.Errorf("%s: append renumbered %d rows", optName(opts), stats.RowsRenumbered)
+		}
+	}
+	// Gap encodings absorb the first midpoint insert without renumbering.
+	for _, opts := range []encoding.Options{
+		{Kind: encoding.Global, Gap: 16},
+		{Kind: encoding.Local, Gap: 16},
+		{Kind: encoding.Dewey, Gap: 16},
+	} {
+		tree := mk()
+		s := newStore(t, opts, tree)
+		first := tree.Children[0]
+		stats, err := s.mgr.InsertXML(s.doc, s.ids[first], Before, "<new/>")
+		if err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if stats.RowsRenumbered != 0 {
+			t.Errorf("%s gap: renumbered %d rows", optName(opts), stats.RowsRenumbered)
+		}
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	for _, opts := range allOptions() {
+		tree, _ := xmltree.ParseString(`<r><a><x/><y>t</y></a><b/><c/></r>`)
+		s := newStore(t, opts, tree)
+		target := tree.Children[0] // <a> subtree: a,x,y,text = 4 rows
+		stats, err := s.mgr.Delete(s.doc, s.ids[target])
+		if err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if stats.RowsDeleted != 4 {
+			t.Errorf("%s: RowsDeleted = %d", optName(opts), stats.RowsDeleted)
+		}
+		got, _ := s.pub.Document(s.doc)
+		if got.String() != `<r><b/><c/></r>` {
+			t.Errorf("%s: %s", optName(opts), got.String())
+		}
+		// Deleting the last child then reinserting keeps order sane.
+		if _, err := s.mgr.Delete(s.doc, s.ids[tree.Children[2]]); err != nil {
+			t.Fatal(err)
+		}
+		got, _ = s.pub.Document(s.doc)
+		if got.String() != `<r><b/></r>` {
+			t.Errorf("%s after second delete: %s", optName(opts), got.String())
+		}
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	tree, _ := xmltree.ParseString(`<r a="1"><b>text</b></r>`)
+	s := newStore(t, encoding.Options{Kind: encoding.Dewey}, tree)
+	rootID := s.ids[tree]
+	attrID := s.ids[tree.Attrs[0]]
+	textID := s.ids[tree.Children[0].Children[0]]
+	if _, err := s.mgr.InsertXML(s.doc, rootID, Before, "<x/>"); err == nil {
+		t.Error("sibling of root accepted")
+	}
+	if _, err := s.mgr.InsertXML(s.doc, attrID, After, "<x/>"); err == nil {
+		t.Error("insert relative to attribute accepted")
+	}
+	if _, err := s.mgr.InsertXML(s.doc, textID, FirstChild, "<x/>"); err == nil {
+		t.Error("child of text node accepted")
+	}
+	if _, err := s.mgr.InsertXML(s.doc, 9999, After, "<x/>"); err == nil {
+		t.Error("missing target accepted")
+	}
+	if _, err := s.mgr.InsertXML(s.doc, rootID, LastChild, "<bad"); err == nil {
+		t.Error("malformed fragment accepted")
+	}
+	if _, err := s.mgr.Delete(s.doc, 9999); err == nil {
+		t.Error("delete of missing node accepted")
+	}
+}
+
+// TestRandomEditScripts is the cross-encoding equivalence property: a random
+// sequence of inserts and deletes applied to every encoding and to the
+// in-memory oracle must leave identical documents.
+func TestRandomEditScripts(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		oracle := xmlgen.Random(xmlgen.DefaultRandom(seed + 100))
+		var stores []*store
+		for _, opts := range allOptions() {
+			stores = append(stores, newStore(t, opts, oracle))
+		}
+		for op := 0; op < 25; op++ {
+			// Collect current element nodes as insertion targets.
+			var elems []*xmltree.Node
+			oracle.Walk(func(n *xmltree.Node) bool {
+				if n.Kind == xmltree.Element {
+					elems = append(elems, n)
+				}
+				return true
+			})
+			target := elems[r.Intn(len(elems))]
+			isRoot := target.Parent == nil
+			switch {
+			case r.Intn(4) == 0 && !isRoot && len(elems) > 3:
+				// Delete.
+				for _, s := range stores {
+					if _, err := s.mgr.Delete(s.doc, s.ids[target]); err != nil {
+						t.Fatalf("seed %d op %d %s: delete: %v", seed, op, optName(s.opts), err)
+					}
+				}
+				oracleDelete(target)
+			default:
+				mode := Mode(r.Intn(4))
+				if isRoot && (mode == Before || mode == After) {
+					mode = LastChild
+				}
+				fragXML := fmt.Sprintf(`<ins n="%d"><leaf>v%d</leaf></ins>`, op, op)
+				oracleFrag, _ := xmltree.ParseString(fragXML)
+				for _, s := range stores {
+					frag, _ := xmltree.ParseString(fragXML)
+					stats, err := s.mgr.InsertTree(s.doc, s.ids[target], mode, frag)
+					if err != nil {
+						t.Fatalf("seed %d op %d %s: insert %s: %v", seed, op, optName(s.opts), mode, err)
+					}
+					s.mapFragment(oracleFrag, stats.NewID)
+				}
+				oracleInsert(target, mode, oracleFrag)
+			}
+		}
+		for _, s := range stores {
+			s.verify(t, oracle)
+		}
+	}
+}
+
+// TestGapExhaustion drives repeated inserts at the same point until gaps run
+// out, checking the document stays correct and renumbering eventually kicks
+// in.
+func TestGapExhaustion(t *testing.T) {
+	for _, opts := range []encoding.Options{
+		{Kind: encoding.Global, Gap: 8},
+		{Kind: encoding.Local, Gap: 8},
+		{Kind: encoding.Dewey, Gap: 8},
+	} {
+		tree, _ := xmltree.ParseString(`<r><a/><b/></r>`)
+		s := newStore(t, opts, tree)
+		oracle := tree
+		bID := s.ids[oracle.Children[1]]
+		renumberEvents := 0
+		for i := 0; i < 12; i++ {
+			stats, err := s.mgr.InsertXML(s.doc, bID, Before, "<n/>")
+			if err != nil {
+				t.Fatalf("%s insert %d: %v", optName(s.opts), i, err)
+			}
+			if stats.RowsRenumbered > 0 {
+				renumberEvents++
+			}
+		}
+		if renumberEvents == 0 {
+			t.Errorf("%s: gap never exhausted in 12 inserts", optName(s.opts))
+		}
+		got, err := s.pub.Document(s.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for _, c := range got.Children {
+			if c.Tag == "n" {
+				count++
+			}
+		}
+		if count != 12 || got.Children[0].Tag != "a" || got.Children[len(got.Children)-1].Tag != "b" {
+			t.Errorf("%s: document wrong after gap exhaustion: %s", optName(s.opts), got.String())
+		}
+	}
+}
+
+func TestSetValueAndRename(t *testing.T) {
+	for _, opts := range allOptions() {
+		tree, _ := xmltree.ParseString(`<r a="old"><b>text</b></r>`)
+		s := newStore(t, opts, tree)
+		attrID := s.ids[tree.Attrs[0]]
+		textID := s.ids[tree.Children[0].Children[0]]
+		elemID := s.ids[tree.Children[0]]
+		if err := s.mgr.SetValue(s.doc, attrID, "new"); err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if err := s.mgr.SetValue(s.doc, textID, "edited"); err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if err := s.mgr.SetValue(s.doc, elemID, "x"); err == nil {
+			t.Errorf("%s: SetValue on element accepted", optName(opts))
+		}
+		if err := s.mgr.Rename(s.doc, elemID, "c"); err != nil {
+			t.Fatalf("%s: %v", optName(opts), err)
+		}
+		if err := s.mgr.Rename(s.doc, textID, "x"); err == nil {
+			t.Errorf("%s: Rename on text accepted", optName(opts))
+		}
+		if err := s.mgr.SetValue(s.doc, 999, "x"); err == nil {
+			t.Errorf("%s: SetValue on missing node accepted", optName(opts))
+		}
+		got, _ := s.pub.Document(s.doc)
+		want := `<r a="new"><c>edited</c></r>`
+		if got.String() != want {
+			t.Errorf("%s: %s, want %s", optName(opts), got.String(), want)
+		}
+	}
+}

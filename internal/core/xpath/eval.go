@@ -1,0 +1,255 @@
+package xpath
+
+import (
+	"strings"
+
+	"ordxml/internal/xmltree"
+)
+
+// Eval evaluates an absolute path against a document tree and returns the
+// matching nodes in document order. It is the reference implementation
+// ("oracle") that the relational translations are validated against.
+func Eval(root *xmltree.Node, p *Path) []*xmltree.Node {
+	e := &evaluator{order: documentOrder(root)}
+	// The virtual document node: its only child is the root element.
+	ctx := []*xmltree.Node{{Kind: xmltree.Element, Children: []*xmltree.Node{root}}}
+	// Wire the virtual parent so sibling/parent axes at the top behave.
+	// (The root's real Parent stays nil; steps never navigate above it
+	// because the virtual node is not any real node's parent.)
+	for _, s := range p.Steps {
+		ctx = e.step(ctx, s)
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return e.sortUnique(ctx)
+}
+
+// EvalString is a convenience wrapper: parse and evaluate.
+func EvalString(root *xmltree.Node, path string) ([]*xmltree.Node, error) {
+	p, err := Parse(path)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Absolute {
+		p = &Path{Absolute: true, Steps: p.Steps}
+	}
+	return Eval(root, p), nil
+}
+
+type evaluator struct {
+	order map[*xmltree.Node]int
+}
+
+// documentOrder numbers every node of the tree in document order.
+func documentOrder(root *xmltree.Node) map[*xmltree.Node]int {
+	order := make(map[*xmltree.Node]int)
+	i := 0
+	root.Walk(func(n *xmltree.Node) bool {
+		order[n] = i
+		i++
+		return true
+	})
+	return order
+}
+
+// step applies one location step to a context list, deduplicating results.
+func (e *evaluator) step(ctx []*xmltree.Node, s Step) []*xmltree.Node {
+	var out []*xmltree.Node
+	seen := map[*xmltree.Node]bool{}
+	for _, c := range e.sortUnique(ctx) {
+		for _, n := range e.applyStep(c, s) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// applyStep evaluates axis, node test and predicates for one context node.
+// Candidates are kept in axis order so position() is correct (reverse
+// document order for preceding-sibling, per XPath).
+func (e *evaluator) applyStep(c *xmltree.Node, s Step) []*xmltree.Node {
+	var cands []*xmltree.Node
+	switch s.Axis {
+	case Child:
+		cands = append(cands, c.Children...)
+	case Descendant:
+		// descendant (elements and text; attributes are not on this axis).
+		var walk func(n *xmltree.Node)
+		walk = func(n *xmltree.Node) {
+			for _, ch := range n.Children {
+				cands = append(cands, ch)
+				walk(ch)
+			}
+		}
+		walk(c)
+	case Attribute:
+		cands = append(cands, c.Attrs...)
+	case FollowingSibling:
+		if c.Parent != nil && c.Kind != xmltree.Attr {
+			idx := c.ChildIndex()
+			if idx >= 0 {
+				cands = append(cands, c.Parent.Children[idx+1:]...)
+			}
+		}
+	case PrecedingSibling:
+		if c.Parent != nil && c.Kind != xmltree.Attr {
+			idx := c.ChildIndex()
+			for i := idx - 1; i >= 0; i-- { // reverse document order
+				cands = append(cands, c.Parent.Children[i])
+			}
+		}
+	case Parent:
+		if c.Parent != nil {
+			cands = append(cands, c.Parent)
+		}
+	case Ancestor:
+		for a := c.Parent; a != nil; a = a.Parent {
+			cands = append(cands, a) // nearest first (reverse axis)
+		}
+	}
+	matched := cands[:0:0]
+	for _, n := range cands {
+		if matchTest(n, s.Axis, s.Test) {
+			matched = append(matched, n)
+		}
+	}
+	for _, pred := range s.Preds {
+		matched = e.applyPred(matched, pred)
+	}
+	return matched
+}
+
+func matchTest(n *xmltree.Node, axis Axis, t NodeTest) bool {
+	if axis == Attribute {
+		if n.Kind != xmltree.Attr {
+			return false
+		}
+		return t.Any || n.Tag == t.Name
+	}
+	switch {
+	case t.TextTest:
+		return n.Kind == xmltree.Text
+	case t.Any:
+		return n.Kind == xmltree.Element
+	default:
+		return n.Kind == xmltree.Element && n.Tag == t.Name
+	}
+}
+
+// applyPred filters an axis-ordered candidate list.
+func (e *evaluator) applyPred(nodes []*xmltree.Node, p Predicate) []*xmltree.Node {
+	out := nodes[:0:0]
+	for i, n := range nodes {
+		pos := i + 1
+		keep := false
+		switch p.Kind {
+		case PredPos:
+			switch p.Op {
+			case CmpEq:
+				keep = pos == p.Pos
+			case CmpNe:
+				keep = pos != p.Pos
+			case CmpLt:
+				keep = pos < p.Pos
+			case CmpLe:
+				keep = pos <= p.Pos
+			case CmpGt:
+				keep = pos > p.Pos
+			case CmpGe:
+				keep = pos >= p.Pos
+			}
+		case PredLast:
+			keep = pos == len(nodes)
+		case PredValue:
+			keep = e.valueMatch(n, p)
+		case PredExists:
+			keep = len(e.evalRelative(n, p.Path)) > 0
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// valueMatch implements [path = 'lit'] with XPath any-match semantics; a nil
+// path compares the context node's own string value.
+func (e *evaluator) valueMatch(n *xmltree.Node, p Predicate) bool {
+	var values []string
+	if p.Path == nil {
+		values = []string{n.TextContent()}
+	} else {
+		for _, m := range e.evalRelative(n, p.Path) {
+			values = append(values, m.TextContent())
+		}
+	}
+	for _, v := range values {
+		eq := v == p.Value
+		if (p.ValOp == CmpEq && eq) || (p.ValOp == CmpNe && !eq) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *evaluator) evalRelative(n *xmltree.Node, p *Path) []*xmltree.Node {
+	ctx := []*xmltree.Node{n}
+	for _, s := range p.Steps {
+		ctx = e.step(ctx, s)
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
+// sortUnique returns the nodes deduplicated in document order. Nodes outside
+// the order map (the virtual document node) keep position 0.
+func (e *evaluator) sortUnique(nodes []*xmltree.Node) []*xmltree.Node {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	seen := map[*xmltree.Node]bool{}
+	out := make([]*xmltree.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	// Insertion sort keeps it simple; context lists are small relative to
+	// documents and often already ordered.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && e.order[out[j]] < e.order[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StringValues returns the XPath string values of nodes, a convenience for
+// tests and examples.
+func StringValues(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.TextContent()
+	}
+	return out
+}
+
+// Describe renders a result node compactly for display: elements as
+// <tag>, attributes as @name=value, text as quoted content.
+func Describe(n *xmltree.Node) string {
+	switch n.Kind {
+	case xmltree.Attr:
+		return "@" + n.Tag + "=" + n.Value
+	case xmltree.Text:
+		return "\"" + strings.TrimSpace(n.Value) + "\""
+	default:
+		return "<" + n.Tag + ">"
+	}
+}

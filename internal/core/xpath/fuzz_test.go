@@ -1,0 +1,49 @@
+package xpath
+
+import (
+	"testing"
+
+	"ordxml/internal/xmltree"
+)
+
+// FuzzParse checks the parser never panics and that accepted paths render
+// and re-parse to the same AST (String is a normal form).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"/a/b/c", "//x", "/a[1]", "/a[position() <= 3]", "/a[@id = 'x']",
+		"/a/b[c/d = 'y']/following-sibling::e", "/a/text()", "/*", "/a/..",
+		"[", "/a[", "///", "/a[==]", "/a[last()]", "/a[. = '1']",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered form %q of %q does not re-parse: %v", rendered, input, err)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("render not a fixed point: %q -> %q", rendered, p2.String())
+		}
+	})
+}
+
+// FuzzEval checks the oracle never panics on arbitrary accepted paths.
+func FuzzEval(f *testing.F) {
+	f.Add("/a/b[1]")
+	f.Add("//c/following-sibling::*")
+	f.Add("/a/*[last()]/@x")
+	doc, err := xmltree.ParseString(`<a x="1"><b><c/><c>t</c></b><b y="2">mix<c/></b></a>`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if _, err := EvalString(doc, input); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,356 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a path expression.
+//
+//	path  := ('/' | '//') step (('/' | '//') step)*   -- absolute
+//	       | step (('/' | '//') step)*                -- relative (predicates)
+//	step  := axis? nodetest predicate*  |  '..'  |  '.'
+//	axis  := '@' | 'following-sibling::' | 'preceding-sibling::'
+//	       | 'parent::' | 'child::'
+//	nodetest  := NAME | '*' | 'text()'
+//	predicate := '[' INT ']'
+//	           | '[' 'position()' cmp INT ']'
+//	           | '[' 'last()' ']'
+//	           | '[' relpath (('='|'!=') literal)? ']'
+func Parse(input string) (*Path, error) {
+	p := &parser{src: input}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, p.errf("trailing input %q", p.src[p.pos:])
+	}
+	return path, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath syntax error at byte %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) accept(s string) bool {
+	if p.peek(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	first := true
+	for {
+		var axisFromSlash Axis = Child
+		switch {
+		case p.accept("//"):
+			axisFromSlash = Descendant
+			path.Absolute = path.Absolute || first
+		case p.accept("/"):
+			path.Absolute = path.Absolute || first
+		default:
+			if first {
+				// Relative path (used inside predicates).
+				if p.pos >= len(p.src) {
+					return nil, p.errf("empty path")
+				}
+			} else {
+				return path, nil
+			}
+		}
+		if first && !path.Absolute && p.pos >= len(p.src) {
+			return nil, p.errf("empty path")
+		}
+		step, err := p.parseStep(axisFromSlash)
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		first = false
+		if !p.peek("/") {
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseStep(axis Axis) (Step, error) {
+	p.skipSpace()
+	step := Step{Axis: axis}
+	switch {
+	case p.accept(".."):
+		if axis == Descendant {
+			return Step{}, p.errf("'//..' is not supported")
+		}
+		step.Axis = Parent
+		step.Test = NodeTest{Any: true}
+		return step, nil
+	case p.accept("@"):
+		if axis == Descendant {
+			return Step{}, p.errf("'//@' is not supported; use //*/@name")
+		}
+		step.Axis = Attribute
+	case p.accept("following-sibling::"):
+		step.Axis = FollowingSibling
+	case p.accept("preceding-sibling::"):
+		step.Axis = PrecedingSibling
+	case p.accept("parent::"):
+		step.Axis = Parent
+	case p.accept("ancestor::"):
+		step.Axis = Ancestor
+	case p.accept("descendant::"):
+		step.Axis = Descendant
+	case p.accept("child::"):
+		// Explicit child spelling; Descendant from '//' stays.
+		if axis == Child {
+			step.Axis = Child
+		}
+	}
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return Step{}, err
+	}
+	step.Test = test
+	for p.peek("[") {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return Step{}, err
+		}
+		step.Preds = append(step.Preds, pred)
+	}
+	normalizePreds(step.Preds)
+	return step, nil
+}
+
+// normalizePreds orders a step's predicates value/exists-first,
+// positional-last (stable). The two orders only differ when one step mixes
+// both kinds; fixing the order lets the relational translation evaluate
+// value predicates inside SQL and positional ones as an ordered
+// post-processing step, with semantics identical to the oracle's sequential
+// application.
+func normalizePreds(preds []Predicate) {
+	var values, positions []Predicate
+	for _, p := range preds {
+		if p.Kind == PredPos || p.Kind == PredLast {
+			positions = append(positions, p)
+		} else {
+			values = append(values, p)
+		}
+	}
+	copy(preds, values)
+	copy(preds[len(values):], positions)
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	p.skipSpace()
+	if p.accept("*") {
+		return NodeTest{Any: true}, nil
+	}
+	if p.accept("text()") {
+		return NodeTest{TextTest: true}, nil
+	}
+	name := p.parseName()
+	if name == "" {
+		return NodeTest{}, p.errf("expected node test")
+	}
+	return NodeTest{Name: name}, nil
+}
+
+func (p *parser) parseName() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	if !p.accept("[") {
+		return Predicate{}, p.errf("expected '['")
+	}
+	p.skipSpace()
+	// Number: positional shorthand.
+	if n, ok := p.tryNumber(); ok {
+		if !p.accept("]") {
+			return Predicate{}, p.errf("expected ']'")
+		}
+		if n <= 0 {
+			return Predicate{}, p.errf("position %d out of range", n)
+		}
+		return Predicate{Kind: PredPos, Op: CmpEq, Pos: n}, nil
+	}
+	if p.accept("position()") {
+		op, err := p.parseCmp()
+		if err != nil {
+			return Predicate{}, err
+		}
+		n, ok := p.tryNumber()
+		if !ok {
+			return Predicate{}, p.errf("expected number after position()%s", op)
+		}
+		if !p.accept("]") {
+			return Predicate{}, p.errf("expected ']'")
+		}
+		return Predicate{Kind: PredPos, Op: op, Pos: n}, nil
+	}
+	if p.accept("last()") {
+		if !p.accept("]") {
+			return Predicate{}, p.errf("expected ']'")
+		}
+		return Predicate{Kind: PredLast}, nil
+	}
+	// Relative path, possibly compared to a literal. `.` means self.
+	var rel *Path
+	if p.accept(".") {
+		rel = nil
+	} else {
+		end := p.findPredPathEnd()
+		sub := p.src[p.pos:end]
+		inner, err := Parse(strings.TrimSpace(sub))
+		if err != nil {
+			return Predicate{}, err
+		}
+		if inner.Absolute {
+			return Predicate{}, p.errf("absolute paths are not allowed in predicates")
+		}
+		rel = inner
+		p.pos = end
+	}
+	p.skipSpace()
+	if p.accept("=") {
+		return p.finishValuePred(rel, CmpEq)
+	}
+	if p.accept("!=") {
+		return p.finishValuePred(rel, CmpNe)
+	}
+	if rel == nil {
+		return Predicate{}, p.errf("'.' predicate requires a comparison")
+	}
+	if !p.accept("]") {
+		return Predicate{}, p.errf("expected ']'")
+	}
+	return Predicate{Kind: PredExists, Path: rel}, nil
+}
+
+// findPredPathEnd locates the end of the relative path inside a predicate:
+// the first '=', '!' or ']' at depth zero.
+func (p *parser) findPredPathEnd() int {
+	for i := p.pos; i < len(p.src); i++ {
+		switch p.src[i] {
+		case '=', '!', ']':
+			return i
+		}
+	}
+	return len(p.src)
+}
+
+func (p *parser) finishValuePred(rel *Path, op CmpOp) (Predicate, error) {
+	p.skipSpace()
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if !p.accept("]") {
+		return Predicate{}, p.errf("expected ']'")
+	}
+	return Predicate{Kind: PredValue, Path: rel, Value: lit, ValOp: op}, nil
+}
+
+func (p *parser) parseLiteral() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", p.errf("expected literal")
+	}
+	quote := p.src[p.pos]
+	if quote == '\'' || quote == '"' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return "", p.errf("unterminated literal")
+		}
+		lit := p.src[start:p.pos]
+		p.pos++
+		return lit, nil
+	}
+	// Bare number literal.
+	if n, ok := p.tryNumberString(); ok {
+		return n, nil
+	}
+	return "", p.errf("expected quoted string or number")
+}
+
+func (p *parser) tryNumber() (int, bool) {
+	s, ok := p.tryNumberString()
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (p *parser) tryNumberString() (string, bool) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", false
+	}
+	return p.src[start:p.pos], true
+}
+
+// parseCmp reads a comparison operator for position() predicates.
+func (p *parser) parseCmp() (CmpOp, error) {
+	p.skipSpace()
+	switch {
+	case p.accept("!="):
+		return CmpNe, nil
+	case p.accept("<="):
+		return CmpLe, nil
+	case p.accept(">="):
+		return CmpGe, nil
+	case p.accept("="):
+		return CmpEq, nil
+	case p.accept("<"):
+		return CmpLt, nil
+	case p.accept(">"):
+		return CmpGt, nil
+	default:
+		return 0, p.errf("expected comparison operator")
+	}
+}

@@ -1,0 +1,198 @@
+// Package xpath implements the ordered XPath fragment of the paper: child,
+// descendant-or-self, attribute, parent and the ordered sibling axes, with
+// positional, value and existence predicates. It provides the shared AST,
+// the parser, and a reference evaluator over in-memory trees that the test
+// suite uses as the correctness oracle for the relational translations.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis selects the node set relative to a context node.
+type Axis int
+
+// Supported axes.
+const (
+	Child Axis = iota
+	// DescendantOrSelf is spelled `//` (it abbreviates
+	// /descendant-or-self::node()/child:: as in XPath, folded into one step
+	// here: `//x` selects every descendant x).
+	Descendant
+	Attribute
+	FollowingSibling
+	PrecedingSibling
+	Parent
+	// Ancestor selects all proper ancestors (nearest first on the axis,
+	// document order in results, like every reverse axis).
+	Ancestor
+)
+
+// String returns the XPath spelling.
+func (a Axis) String() string {
+	switch a {
+	case Child:
+		return "child"
+	case Descendant:
+		return "descendant"
+	case Attribute:
+		return "attribute"
+	case FollowingSibling:
+		return "following-sibling"
+	case PrecedingSibling:
+		return "preceding-sibling"
+	case Parent:
+		return "parent"
+	case Ancestor:
+		return "ancestor"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// NodeTest filters nodes on a step.
+type NodeTest struct {
+	// Name matches elements (or attributes) with this tag; empty with Any
+	// or TextTest set.
+	Name string
+	// Any is `*`.
+	Any bool
+	// TextTest is `text()`.
+	TextTest bool
+}
+
+// String returns the XPath spelling.
+func (t NodeTest) String() string {
+	switch {
+	case t.TextTest:
+		return "text()"
+	case t.Any:
+		return "*"
+	default:
+		return t.Name
+	}
+}
+
+// PredKind classifies predicates.
+type PredKind int
+
+// Predicate kinds.
+const (
+	// PredPos is a positional predicate: [k] or [position() op k].
+	PredPos PredKind = iota
+	// PredLast is [last()].
+	PredLast
+	// PredValue compares a relative path's string value: [price = '10'],
+	// [@id = 'x'], [. = 'y']. True when any selected node matches.
+	PredValue
+	// PredExists tests non-emptiness of a relative path: [keyword].
+	PredExists
+)
+
+// CmpOp is a comparison operator in predicates.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String returns the operator spelling.
+func (o CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Predicate is one [...] filter on a step.
+type Predicate struct {
+	Kind PredKind
+	// Op and Pos configure PredPos ([k] is position() = k).
+	Op  CmpOp
+	Pos int
+	// Path is the relative path of PredValue/PredExists; nil means `.`
+	// (the context node itself).
+	Path *Path
+	// Value is the literal of PredValue.
+	Value string
+	// ValOp is the comparison of PredValue (string or numeric equality
+	// rules; this fragment compares string values with CmpEq/CmpNe only).
+	ValOp CmpOp
+}
+
+// String renders the predicate.
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredPos:
+		if p.Op == CmpEq {
+			return fmt.Sprintf("[%d]", p.Pos)
+		}
+		return fmt.Sprintf("[position() %s %d]", p.Op, p.Pos)
+	case PredLast:
+		return "[last()]"
+	case PredValue:
+		lhs := "."
+		if p.Path != nil {
+			lhs = p.Path.String()
+		}
+		return fmt.Sprintf("[%s %s '%s']", lhs, p.ValOp, p.Value)
+	default:
+		return fmt.Sprintf("[%s]", p.Path)
+	}
+}
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Predicate
+}
+
+// String renders the step.
+func (s Step) String() string {
+	var sb strings.Builder
+	switch s.Axis {
+	case Attribute:
+		sb.WriteByte('@')
+	case FollowingSibling:
+		sb.WriteString("following-sibling::")
+	case PrecedingSibling:
+		sb.WriteString("preceding-sibling::")
+	case Parent:
+		sb.WriteString("parent::")
+	case Ancestor:
+		sb.WriteString("ancestor::")
+	}
+	sb.WriteString(s.Test.String())
+	for _, p := range s.Preds {
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+// Path is a parsed path expression.
+type Path struct {
+	// Absolute paths start at the document root.
+	Absolute bool
+	Steps    []Step
+}
+
+// String renders the path.
+func (p *Path) String() string {
+	var sb strings.Builder
+	for i, s := range p.Steps {
+		if s.Axis == Descendant {
+			sb.WriteString("//")
+		} else if i > 0 || p.Absolute {
+			sb.WriteByte('/')
+		}
+		// Descendant is rendered by the leading //.
+		step := s
+		sb.WriteString(step.String())
+	}
+	return sb.String()
+}

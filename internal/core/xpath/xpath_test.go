@@ -1,0 +1,270 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"ordxml/internal/xmltree"
+)
+
+func mustParsePath(t *testing.T, s string) *Path {
+	t.Helper()
+	p, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestParseShapes(t *testing.T) {
+	cases := map[string]string{
+		"/a/b/c":                         "/a/b/c",
+		"//keyword":                      "//keyword",
+		"/a//b":                          "/a//b",
+		"/a/*":                           "/a/*",
+		"/a/text()":                      "/a/text()",
+		"/a/@id":                         "/a/@id",
+		"/a/b[3]":                        "/a/b[3]",
+		"/a/b[position() <= 5]":          "/a/b[position() <= 5]",
+		"/a/b[last()]":                   "/a/b[last()]",
+		"/a/b[@id = 'x']":                "/a/b[@id = 'x']",
+		"/a/b[c = 'y']":                  "/a/b[c = 'y']",
+		"/a/b[c/d = 'y']":                "/a/b[c/d = 'y']",
+		"/a/b[c]":                        "/a/b[c]",
+		"/a/b[. = 'z']":                  "/a/b[. = 'z']",
+		"/a/b[2]/following-sibling::b":   "/a/b[2]/following-sibling::b",
+		"/a/b[2]/preceding-sibling::*":   "/a/b[2]/preceding-sibling::*",
+		"/a/b/parent::a":                 "/a/b/parent::a",
+		"/a/b/..":                        "/a/b/parent::*",
+		"/a/child::b":                    "/a/b",
+		"/a/b[position() = 2]":           "/a/b[2]",
+		`/a/b[@id = "dq"]`:               "/a/b[@id = 'dq']",
+		"/a/b[c != 'y']":                 "/a/b[c != 'y']",
+		"/a/b[price = 10]":               "/a/b[price = '10']",
+		"/regions/namerica/item[5]/name": "/regions/namerica/item[5]/name",
+	}
+	for in, want := range cases {
+		p := mustParsePath(t, in)
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", in, got, want)
+		}
+		if !p.Absolute {
+			t.Errorf("Parse(%q) not absolute", in)
+		}
+	}
+}
+
+func TestParseRelative(t *testing.T) {
+	p := mustParsePath(t, "b/c")
+	if p.Absolute || len(p.Steps) != 2 {
+		t.Fatalf("relative parse = %+v", p)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/",
+		"/a[",
+		"/a[]",
+		"/a[0]",
+		"/a[b = ]",
+		"/a[b = 'x",
+		"/a[. ]",
+		"/a[position() 5]",
+		"/a[position() =]",
+		"/a/b[/abs = 'x']",
+		"//..",
+		"//@id",
+		"/a/b!",
+		"/a b",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+const evalDoc = `<site>
+  <regions>
+    <namerica>
+      <item id="i1"><name>widget</name><price>10</price></item>
+      <item id="i2"><name>gadget</name><price>20</price>
+        <description>nice <keyword>rare</keyword> thing</description>
+      </item>
+      <item id="i3"><name>gizmo</name><price>10</price></item>
+    </namerica>
+    <europe>
+      <item id="e1"><name>widget</name><price>30</price></item>
+    </europe>
+  </regions>
+</site>`
+
+func evalOn(t *testing.T, doc *xmltree.Node, path string) []string {
+	t.Helper()
+	nodes, err := EvalString(doc, path)
+	if err != nil {
+		t.Fatalf("EvalString(%q): %v", path, err)
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = Describe(n)
+	}
+	return out
+}
+
+func wantList(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	doc, err := xmltree.ParseString(evalDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Child chains.
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item"), "<item>", "<item>", "<item>")
+	// Attribute step.
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item/@id"), "@id=i1", "@id=i2", "@id=i3")
+	// Positional.
+	nodes, _ := EvalString(doc, "/site/regions/namerica/item[2]")
+	if len(nodes) != 1 {
+		t.Fatalf("item[2] = %d nodes", len(nodes))
+	}
+	if v, _ := nodes[0].GetAttr("id"); v != "i2" {
+		t.Errorf("item[2] id = %s", v)
+	}
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[position() >= 2]/@id"), "@id=i2", "@id=i3")
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[last()]/@id"), "@id=i3")
+	// Descendant.
+	wantList(t, evalOn(t, doc, "//keyword"), "<keyword>")
+	wantList(t, evalOn(t, doc, "//item/@id"), "@id=i1", "@id=i2", "@id=i3", "@id=e1")
+	// Wildcard and text().
+	wantList(t, evalOn(t, doc, "/site/regions/*"), "<namerica>", "<europe>")
+	got := evalOn(t, doc, "//description/text()")
+	wantList(t, got, "\"nice\"", "\"thing\"")
+}
+
+func TestEvalValuePredicates(t *testing.T) {
+	doc, _ := xmltree.ParseString(evalDoc)
+	wantList(t, evalOn(t, doc, "//item[@id = 'i2']/name"), "<name>")
+	wantList(t, evalOn(t, doc, "//item[price = '10']/@id"), "@id=i1", "@id=i3")
+	wantList(t, evalOn(t, doc, "//item[price = 10]/@id"), "@id=i1", "@id=i3")
+	wantList(t, evalOn(t, doc, "//item[name = 'widget']/@id"), "@id=i1", "@id=e1")
+	wantList(t, evalOn(t, doc, "//item[description]/@id"), "@id=i2")
+	wantList(t, evalOn(t, doc, "//item[description/keyword = 'rare']/@id"), "@id=i2")
+	wantList(t, evalOn(t, doc, "//name[. = 'gizmo']"), "<name>")
+	// != matches when any selected node differs.
+	wantList(t, evalOn(t, doc, "//item[price != '10']/@id"), "@id=i2", "@id=e1")
+}
+
+func TestEvalSiblingAxes(t *testing.T) {
+	doc, _ := xmltree.ParseString(evalDoc)
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[1]/following-sibling::item/@id"),
+		"@id=i2", "@id=i3")
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[3]/preceding-sibling::item/@id"),
+		"@id=i1", "@id=i2")
+	// position() on the preceding axis counts backwards: [1] is nearest.
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[3]/preceding-sibling::item[1]/@id"),
+		"@id=i2")
+	wantList(t, evalOn(t, doc, "/site/regions/namerica/item[1]/following-sibling::item[1]/@id"),
+		"@id=i2")
+	// Results are document-ordered even for the reverse axis.
+	wantList(t, evalOn(t, doc, "//item[name = 'gizmo']/preceding-sibling::*/@id"),
+		"@id=i1", "@id=i2")
+}
+
+func TestEvalAncestorAxis(t *testing.T) {
+	doc, _ := xmltree.ParseString(evalDoc)
+	wantList(t, evalOn(t, doc, "//keyword/ancestor::item/@id"), "@id=i2")
+	wantList(t, evalOn(t, doc, "//keyword/ancestor::*"),
+		"<site>", "<regions>", "<namerica>", "<item>", "<description>")
+	// Reverse-axis position: [1] is the nearest ancestor.
+	wantList(t, evalOn(t, doc, "//keyword/ancestor::*[1]"), "<description>")
+	wantList(t, evalOn(t, doc, "//keyword/ancestor::*[last()]"), "<site>")
+	// Ancestors of multiple contexts dedup in document order.
+	wantList(t, evalOn(t, doc, "//item/ancestor::*"), "<site>", "<regions>", "<namerica>", "<europe>")
+	if p := mustParsePath(t, "/a/b/ancestor::c"); p.String() != "/a/b/ancestor::c" {
+		t.Errorf("ancestor render = %s", p.String())
+	}
+}
+
+func TestEvalParentAxis(t *testing.T) {
+	doc, _ := xmltree.ParseString(evalDoc)
+	wantList(t, evalOn(t, doc, "//keyword/parent::description"), "<description>")
+	wantList(t, evalOn(t, doc, "//keyword/.."), "<description>")
+	// Parent axis deduplicates.
+	wantList(t, evalOn(t, doc, "//item/parent::*"), "<namerica>", "<europe>")
+}
+
+func TestEvalEmptyAndMisses(t *testing.T) {
+	doc, _ := xmltree.ParseString(evalDoc)
+	for _, path := range []string{
+		"/nothere",
+		"/site/item",
+		"//item[99]",
+		"//item[@id = 'zz']",
+		"/site/regions/namerica/item[1]/preceding-sibling::item",
+	} {
+		if got := evalOn(t, doc, path); len(got) != 0 {
+			t.Errorf("%q = %v, want empty", path, got)
+		}
+	}
+}
+
+func TestEvalDocumentOrderAndDedup(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b><c/><c/></b><b><c/></b></a>`)
+	// //c via two different b parents: 3 nodes in document order.
+	nodes, _ := EvalString(doc, "//b/c")
+	if len(nodes) != 3 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	// //b//c and //c same set.
+	n2, _ := EvalString(doc, "//c")
+	if len(n2) != 3 {
+		t.Fatalf("//c = %d", len(n2))
+	}
+	// Dedup through parent axis.
+	n3, _ := EvalString(doc, "//c/parent::b")
+	if len(n3) != 2 {
+		t.Fatalf("parents = %d", len(n3))
+	}
+}
+
+func TestNestedDescendant(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><d><d><x/></d></d></a>`)
+	nodes, _ := EvalString(doc, "//d")
+	if len(nodes) != 2 {
+		t.Fatalf("//d = %d", len(nodes))
+	}
+	nodes, _ = EvalString(doc, "//d//x")
+	if len(nodes) != 1 {
+		t.Fatalf("//d//x = %d (dedup through nesting)", len(nodes))
+	}
+}
+
+func TestRelativeEvalInPredicate(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<r><e><f><g>v</g></f></e><e/></r>`)
+	nodes, _ := EvalString(doc, "/r/e[f/g = 'v']")
+	if len(nodes) != 1 {
+		t.Fatalf("deep value predicate = %d", len(nodes))
+	}
+}
+
+func TestStringValuesHelper(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<a><b>x</b><b>y</b></a>`)
+	nodes, _ := EvalString(doc, "/a/b")
+	got := StringValues(nodes)
+	if strings.Join(got, ",") != "x,y" {
+		t.Errorf("StringValues = %v", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package btree implements an in-memory B+tree mapping byte-string keys to
+// heap record ids. It is the index structure of the relational engine: keys
+// are produced by the order-preserving sqltypes key codec, so lexicographic
+// byte order equals SQL value order and every index scan is a byte-range
+// scan. Keys are unique; the index layer suffixes non-unique entries with the
+// RID to disambiguate.
+package btree
+
+import (
+	"bytes"
+	"errors"
+
+	"ordxml/internal/sqldb/heap"
+)
+
+// maxKeys is the fan-out bound: nodes split when they exceed maxKeys keys.
+const maxKeys = 64
+
+// minKeys is the underflow bound for rebalancing on delete.
+const minKeys = maxKeys / 2
+
+// ErrDuplicate is returned when inserting a key that already exists.
+var ErrDuplicate = errors.New("btree: duplicate key")
+
+// ErrNotFound is returned when deleting or fetching an absent key.
+var ErrNotFound = errors.New("btree: key not found")
+
+type node struct {
+	// keys has len <= maxKeys (transiently maxKeys+1 before a split).
+	keys [][]byte
+	// children is nil for leaves; len(children) == len(keys)+1 otherwise.
+	children []*node
+	// rids is parallel to keys in leaves.
+	rids []heap.RID
+	// next links leaves for range scans.
+	next *node
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// search returns the index of the first key >= k.
+func (n *node) search(k []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Tree is a B+tree. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{}}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the RID stored under key.
+func (t *Tree) Get(key []byte) (heap.RID, bool) {
+	n := t.root
+	for !n.leaf() {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			i++ // interior separator equal to key: key lives in right subtree
+		}
+		n = n.children[i]
+	}
+	i := n.search(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.rids[i], true
+	}
+	return heap.RID{}, false
+}
+
+// Insert adds key -> rid. The key bytes are copied.
+func (t *Tree) Insert(key []byte, rid heap.RID) error {
+	k := make([]byte, len(key))
+	copy(k, key)
+	promoted, right, err := t.insert(t.root, k, rid)
+	if err != nil {
+		return err
+	}
+	if right != nil {
+		t.root = &node{
+			keys:     [][]byte{promoted},
+			children: []*node{t.root, right},
+		}
+	}
+	t.size++
+	return nil
+}
+
+// insert descends to the leaf; on split it returns the promoted separator and
+// the new right sibling.
+func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) {
+	if n.leaf() {
+		i := n.search(key)
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			return nil, nil, ErrDuplicate
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.rids = append(n.rids, heap.RID{})
+		copy(n.rids[i+1:], n.rids[i:])
+		n.rids[i] = rid
+		if len(n.keys) > maxKeys {
+			return t.splitLeaf(n)
+		}
+		return nil, nil, nil
+	}
+	i := n.search(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		i++
+	}
+	promoted, right, err := t.insert(n.children[i], key, rid)
+	if err != nil || right == nil {
+		return nil, nil, err
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+	if len(n.keys) > maxKeys {
+		return t.splitInterior(n)
+	}
+	return nil, nil, nil
+}
+
+func (t *Tree) splitLeaf(n *node) ([]byte, *node, error) {
+	mid := len(n.keys) / 2
+	right := &node{
+		keys: append([][]byte(nil), n.keys[mid:]...),
+		rids: append([]heap.RID(nil), n.rids[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.rids = n.rids[:mid:mid]
+	n.next = right
+	return right.keys[0], right, nil
+}
+
+func (t *Tree) splitInterior(n *node) ([]byte, *node, error) {
+	mid := len(n.keys) / 2
+	promoted := n.keys[mid]
+	right := &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return promoted, right, nil
+}
+
+// Delete removes key.
+func (t *Tree) Delete(key []byte) error {
+	if err := t.delete(t.root, key); err != nil {
+		return err
+	}
+	if !t.root.leaf() && len(t.root.keys) == 0 {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return nil
+}
+
+func (t *Tree) delete(n *node, key []byte) error {
+	if n.leaf() {
+		i := n.search(key)
+		if i >= len(n.keys) || !bytes.Equal(n.keys[i], key) {
+			return ErrNotFound
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.rids = append(n.rids[:i], n.rids[i+1:]...)
+		return nil
+	}
+	i := n.search(key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		i++
+	}
+	if err := t.delete(n.children[i], key); err != nil {
+		return err
+	}
+	if len(n.children[i].keys) < minKeys {
+		t.rebalance(n, i)
+	}
+	return nil
+}
+
+// rebalance fixes an underflowing child i of n by borrowing from or merging
+// with a sibling.
+func (t *Tree) rebalance(n *node, i int) {
+	child := n.children[i]
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].keys) > minKeys {
+		left := n.children[i-1]
+		if child.leaf() {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{left.keys[last]}, child.keys...)
+			child.rids = append([]heap.RID{left.rids[last]}, child.rids...)
+			left.keys = left.keys[:last]
+			left.rids = left.rids[:last]
+			n.keys[i-1] = child.keys[0]
+		} else {
+			last := len(left.keys) - 1
+			child.keys = append([][]byte{n.keys[i-1]}, child.keys...)
+			child.children = append([]*node{left.children[last+1]}, child.children...)
+			n.keys[i-1] = left.keys[last]
+			left.keys = left.keys[:last]
+			left.children = left.children[:last+1]
+		}
+		return
+	}
+	// Borrow from right sibling.
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys {
+		right := n.children[i+1]
+		if child.leaf() {
+			child.keys = append(child.keys, right.keys[0])
+			child.rids = append(child.rids, right.rids[0])
+			right.keys = right.keys[1:]
+			right.rids = right.rids[1:]
+			n.keys[i] = right.keys[0]
+		} else {
+			child.keys = append(child.keys, n.keys[i])
+			child.children = append(child.children, right.children[0])
+			n.keys[i] = right.keys[0]
+			right.keys = right.keys[1:]
+			right.children = right.children[1:]
+		}
+		return
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		i-- // merge children[i] (left) and children[i+1] (the underflowing one)
+	}
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf() {
+		left.keys = append(left.keys, right.keys...)
+		left.rids = append(left.rids, right.rids...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Iterator walks entries in ascending key order.
+type Iterator struct {
+	n   *node
+	i   int
+	end []byte // exclusive upper bound; nil = none
+}
+
+// Seek returns an iterator positioned at the first key >= start. A nil start
+// begins at the smallest key. end, when non-nil, is an exclusive upper bound.
+func (t *Tree) Seek(start, end []byte) *Iterator {
+	n := t.root
+	for !n.leaf() {
+		i := 0
+		if start != nil {
+			i = n.search(start)
+			if i < len(n.keys) && bytes.Equal(n.keys[i], start) {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+	i := 0
+	if start != nil {
+		i = n.search(start)
+	}
+	it := &Iterator{n: n, i: i, end: end}
+	it.skipExhausted()
+	return it
+}
+
+// ScanPrefix returns an iterator over all keys with the given prefix.
+func (t *Tree) ScanPrefix(prefix []byte) *Iterator {
+	return t.Seek(prefix, prefixSuccessor(prefix))
+}
+
+func prefixSuccessor(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+func (it *Iterator) skipExhausted() {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool {
+	if it.n == nil || it.i >= len(it.n.keys) {
+		return false
+	}
+	return it.end == nil || bytes.Compare(it.n.keys[it.i], it.end) < 0
+}
+
+// Key returns the current key. Valid only while Valid() is true. The slice
+// aliases tree memory and must not be mutated.
+func (it *Iterator) Key() []byte { return it.n.keys[it.i] }
+
+// RID returns the current record id.
+func (it *Iterator) RID() heap.RID { return it.n.rids[it.i] }
+
+// Next advances the iterator.
+func (it *Iterator) Next() {
+	it.i++
+	it.skipExhausted()
+}

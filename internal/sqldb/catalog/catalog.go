@@ -1,0 +1,449 @@
+// Package catalog holds the live schema objects of a database: tables with
+// their heap storage, columns, and B+tree indexes. All row mutations go
+// through Table methods so index maintenance and uniqueness enforcement live
+// in one place. The catalog also maintains the work counters that the
+// benchmark harness reads (rows scanned, index probes, rows written), which
+// give a hardware-independent view of query and update cost.
+package catalog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ordxml/internal/sqldb/btree"
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    sqltypes.Type
+	NotNull bool
+}
+
+// Counters accumulates engine work. All fields are updated atomically; the
+// benchmark harness snapshots them around operations to report logical cost
+// independent of hardware.
+type Counters struct {
+	RowsScanned  atomic.Int64 // rows produced by sequential scans
+	IndexProbes  atomic.Int64 // index entries visited by index scans/lookups
+	RowsInserted atomic.Int64
+	RowsDeleted  atomic.Int64
+	RowsUpdated  atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	RowsScanned  int64
+	IndexProbes  int64
+	RowsInserted int64
+	RowsDeleted  int64
+	RowsUpdated  int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		RowsScanned:  c.RowsScanned.Load(),
+		IndexProbes:  c.IndexProbes.Load(),
+		RowsInserted: c.RowsInserted.Load(),
+		RowsDeleted:  c.RowsDeleted.Load(),
+		RowsUpdated:  c.RowsUpdated.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - prev.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		RowsScanned:  s.RowsScanned - prev.RowsScanned,
+		IndexProbes:  s.IndexProbes - prev.IndexProbes,
+		RowsInserted: s.RowsInserted - prev.RowsInserted,
+		RowsDeleted:  s.RowsDeleted - prev.RowsDeleted,
+		RowsUpdated:  s.RowsUpdated - prev.RowsUpdated,
+	}
+}
+
+// Index is a live secondary (or primary) index.
+type Index struct {
+	Name    string
+	Table   *Table
+	Columns []int // positions into Table.Columns
+	Unique  bool
+	Tree    *btree.Tree
+}
+
+// ColumnNames returns the indexed column names in order.
+func (ix *Index) ColumnNames() []string {
+	out := make([]string, len(ix.Columns))
+	for i, c := range ix.Columns {
+		out[i] = ix.Table.Columns[c].Name
+	}
+	return out
+}
+
+// keyFor builds the B+tree key for row at rid: the order-preserving encoding
+// of the indexed columns, suffixed with the RID for non-unique indexes so
+// duplicate column values remain distinct tree keys.
+func (ix *Index) keyFor(row sqltypes.Row, rid heap.RID) []byte {
+	key := make([]byte, 0, 32)
+	for _, c := range ix.Columns {
+		key = sqltypes.EncodeKey(key, row[c])
+	}
+	if !ix.Unique {
+		key = AppendRID(key, rid)
+	}
+	return key
+}
+
+// prefixFor builds the column-value part of the key only (for lookups).
+func (ix *Index) prefixFor(vals []sqltypes.Value) []byte {
+	key := make([]byte, 0, 32)
+	for _, v := range vals {
+		key = sqltypes.EncodeKey(key, v)
+	}
+	return key
+}
+
+// AppendRID appends the fixed-width big-endian encoding of rid to key.
+func AppendRID(key []byte, rid heap.RID) []byte {
+	var buf [6]byte
+	binary.BigEndian.PutUint32(buf[0:4], rid.Page)
+	binary.BigEndian.PutUint16(buf[4:6], rid.Slot)
+	return append(key, buf[:]...)
+}
+
+// DecodeRIDSuffix reads the RID from the last 6 bytes of a non-unique key.
+func DecodeRIDSuffix(key []byte) heap.RID {
+	n := len(key)
+	return heap.RID{
+		Page: binary.BigEndian.Uint32(key[n-6 : n-2]),
+		Slot: binary.BigEndian.Uint16(key[n-2:]),
+	}
+}
+
+// Table is a live table: schema plus heap storage plus indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	Heap    *heap.Heap
+	Indexes []*Index
+
+	counters *Counters
+	colIdx   map[string]int
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// ColumnTypes returns the column types in declaration order.
+func (t *Table) ColumnTypes() []sqltypes.Type {
+	out := make([]sqltypes.Type, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Type
+	}
+	return out
+}
+
+// RowCount returns the number of live rows.
+func (t *Table) RowCount() int { return t.Heap.Stats().Rows }
+
+// checkRow validates arity, coerces values to column types and enforces
+// NOT NULL.
+func (t *Table) checkRow(row sqltypes.Row) (sqltypes.Row, error) {
+	if len(row) != len(t.Columns) {
+		return nil, fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(row), len(t.Columns))
+	}
+	out := make(sqltypes.Row, len(row))
+	for i, v := range row {
+		cv, err := sqltypes.Coerce(v, t.Columns[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("table %s column %s: %w", t.Name, t.Columns[i].Name, err)
+		}
+		if cv.IsNull() && t.Columns[i].NotNull {
+			return nil, fmt.Errorf("table %s column %s: NULL violates NOT NULL", t.Name, t.Columns[i].Name)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert validates and stores row, maintaining every index.
+func (t *Table) Insert(row sqltypes.Row) (heap.RID, error) {
+	row, err := t.checkRow(row)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	// Check unique constraints before touching storage.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		key := ix.keyFor(row, heap.RID{})
+		if _, exists := ix.Tree.Get(key); exists {
+			return heap.RID{}, fmt.Errorf("unique index %s: duplicate key %s", ix.Name, describeKey(ix, row))
+		}
+	}
+	rid, err := t.Heap.Insert(sqltypes.EncodeRow(nil, row))
+	if err != nil {
+		return heap.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.keyFor(row, rid), rid); err != nil {
+			// Unique violation was pre-checked; any error here is corruption.
+			panic(fmt.Sprintf("catalog: index %s insert: %v", ix.Name, err))
+		}
+	}
+	t.counters.RowsInserted.Add(1)
+	return rid, nil
+}
+
+func describeKey(ix *Index, row sqltypes.Row) string {
+	s := "("
+	for i, c := range ix.Columns {
+		if i > 0 {
+			s += ", "
+		}
+		s += row[c].String()
+	}
+	return s + ")"
+}
+
+// Fetch returns the decoded row at rid.
+func (t *Table) Fetch(rid heap.RID) (sqltypes.Row, error) {
+	data, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	return sqltypes.DecodeRow(data)
+}
+
+// Delete removes the row at rid and its index entries.
+func (t *Table) Delete(rid heap.RID) error {
+	row, err := t.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Delete(ix.keyFor(row, rid)); err != nil {
+			panic(fmt.Sprintf("catalog: index %s delete: %v", ix.Name, err))
+		}
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	t.counters.RowsDeleted.Add(1)
+	return nil
+}
+
+// Update replaces the row at rid with newRow, returning the row's (possibly
+// new) RID.
+func (t *Table) Update(rid heap.RID, newRow sqltypes.Row) (heap.RID, error) {
+	newRow, err := t.checkRow(newRow)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	oldRow, err := t.Fetch(rid)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	// Unique pre-check, ignoring our own entry.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		newKey := ix.keyFor(newRow, heap.RID{})
+		if got, exists := ix.Tree.Get(newKey); exists && got != rid {
+			return heap.RID{}, fmt.Errorf("unique index %s: duplicate key %s", ix.Name, describeKey(ix, newRow))
+		}
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Delete(ix.keyFor(oldRow, rid)); err != nil {
+			panic(fmt.Sprintf("catalog: index %s delete during update: %v", ix.Name, err))
+		}
+	}
+	newRID, err := t.Heap.Update(rid, sqltypes.EncodeRow(nil, newRow))
+	if err != nil {
+		// Restore old entries to keep the table consistent.
+		for _, ix := range t.Indexes {
+			_ = ix.Tree.Insert(ix.keyFor(oldRow, rid), rid)
+		}
+		return heap.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.keyFor(newRow, newRID), newRID); err != nil {
+			panic(fmt.Sprintf("catalog: index %s insert during update: %v", ix.Name, err))
+		}
+	}
+	t.counters.RowsUpdated.Add(1)
+	return newRID, nil
+}
+
+// Scan iterates all rows, bumping the scan counter.
+func (t *Table) Scan(fn func(rid heap.RID, row sqltypes.Row) bool) error {
+	var derr error
+	t.Heap.Scan(func(rid heap.RID, data []byte) bool {
+		row, err := sqltypes.DecodeRow(data)
+		if err != nil {
+			derr = err
+			return false
+		}
+		t.counters.RowsScanned.Add(1)
+		return fn(rid, row)
+	})
+	return derr
+}
+
+// IndexScan iterates index entries with the given column-value prefix and
+// optional residual range on the next column: entries where the column after
+// the equality prefix lies in [low, high] (nil bounds are open). fn receives
+// the RID; loading the row is the caller's choice.
+func (t *Table) IndexScan(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool, fn func(rid heap.RID) bool) {
+	prefix := ix.prefixFor(eq)
+	start := prefix
+	var end []byte
+	if low != nil {
+		start = sqltypes.EncodeKey(append([]byte{}, prefix...), *low)
+		if lowExcl {
+			// Skip all entries equal to low: successor of the encoded value
+			// within this column (works because keys are self-delimiting).
+			start = sqltypes.PrefixSuccessor(start)
+		}
+	}
+	if high != nil {
+		hk := sqltypes.EncodeKey(append([]byte{}, prefix...), *high)
+		if highExcl {
+			end = hk
+		} else {
+			end = sqltypes.PrefixSuccessor(hk)
+		}
+	} else {
+		end = sqltypes.PrefixSuccessor(prefix)
+	}
+	it := ix.Tree.Seek(start, end)
+	for ; it.Valid(); it.Next() {
+		t.counters.IndexProbes.Add(1)
+		if !fn(it.RID()) {
+			return
+		}
+	}
+}
+
+// Catalog is the set of tables and indexes of one database.
+type Catalog struct {
+	tables   map[string]*Table
+	Counters Counters
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// CreateTable defines a new table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("table %s already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %s: no columns", name)
+	}
+	t := &Table{
+		Name:     name,
+		Columns:  cols,
+		Heap:     heap.New(),
+		counters: &c.Counters,
+		colIdx:   map[string]int{},
+	}
+	for i, col := range cols {
+		if _, dup := t.colIdx[col.Name]; dup {
+			return nil, fmt.Errorf("table %s: duplicate column %s", name, col.Name)
+		}
+		t.colIdx[col.Name] = i
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("table %s does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// TableNames returns all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex builds an index over the named columns, populating it from
+// existing rows.
+func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique bool) (*Index, error) {
+	t := c.Table(tableName)
+	if t == nil {
+		return nil, fmt.Errorf("table %s does not exist", tableName)
+	}
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("index %s already exists", name)
+		}
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		pos := t.ColumnIndex(cn)
+		if pos < 0 {
+			return nil, fmt.Errorf("index %s: no column %s in table %s", name, cn, tableName)
+		}
+		cols[i] = pos
+	}
+	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: btree.New()}
+	var buildErr error
+	t.Heap.Scan(func(rid heap.RID, data []byte) bool {
+		row, err := sqltypes.DecodeRow(data)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		if err := ix.Tree.Insert(ix.keyFor(row, rid), rid); err != nil {
+			buildErr = fmt.Errorf("index %s: %w (existing data violates uniqueness?)", name, err)
+			return false
+		}
+		return true
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// DropIndex removes the named index from whichever table holds it.
+func (c *Catalog) DropIndex(name string) error {
+	for _, t := range c.tables {
+		for i, ix := range t.Indexes {
+			if ix.Name == name {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("index %s does not exist", name)
+}

@@ -1,0 +1,303 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+func newTestTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New()
+	tbl, err := c.CreateTable("users", []Column{
+		{Name: "id", Type: sqltypes.Int, NotNull: true},
+		{Name: "name", Type: sqltypes.Text},
+		{Name: "age", Type: sqltypes.Int},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func row(id int64, name string, age int64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(id), sqltypes.NewText(name), sqltypes.NewInt(age)}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable("t", nil); err == nil {
+		t.Error("empty table created")
+	}
+	c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.Int}})
+	if _, err := c.CreateTable("t", []Column{{Name: "a", Type: sqltypes.Int}}); err == nil {
+		t.Error("duplicate table created")
+	}
+	if _, err := c.CreateTable("u", []Column{
+		{Name: "a", Type: sqltypes.Int}, {Name: "a", Type: sqltypes.Int},
+	}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+}
+
+func TestInsertFetch(t *testing.T) {
+	_, tbl := newTestTable(t)
+	rid, err := tbl.Insert(row(1, "ann", 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Fetch(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].Text() != "ann" || got[2].Int() != 30 {
+		t.Fatalf("Fetch = %v", got)
+	}
+}
+
+func TestInsertCoercionAndNotNull(t *testing.T) {
+	_, tbl := newTestTable(t)
+	// Text "42" coerces into INT column.
+	rid, err := tbl.Insert(sqltypes.Row{sqltypes.NewText("42"), sqltypes.NewText("b"), sqltypes.NullValue()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tbl.Fetch(rid)
+	if got[0].Int() != 42 || !got[2].IsNull() {
+		t.Fatalf("coerced row = %v", got)
+	}
+	// NULL into NOT NULL column.
+	if _, err := tbl.Insert(sqltypes.Row{sqltypes.NullValue(), sqltypes.NewText("x"), sqltypes.NewInt(1)}); err == nil {
+		t.Error("NOT NULL violation accepted")
+	}
+	// Arity mismatch.
+	if _, err := tbl.Insert(sqltypes.Row{sqltypes.NewInt(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+	// Bad coercion.
+	if _, err := tbl.Insert(sqltypes.Row{sqltypes.NewText("nope"), sqltypes.NewText("x"), sqltypes.NewInt(1)}); err == nil {
+		t.Error("uncoercible value accepted")
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	c, tbl := newTestTable(t)
+	if _, err := c.CreateIndex("users_pk", "users", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(row(1, "ann", 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(row(1, "bob", 40)); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if tbl.RowCount() != 1 {
+		t.Errorf("RowCount = %d after rejected insert", tbl.RowCount())
+	}
+	// Update to a conflicting key must fail, non-conflicting must pass.
+	rid2, _ := tbl.Insert(row(2, "bob", 40))
+	if _, err := tbl.Update(rid2, row(1, "bob", 40)); err == nil {
+		t.Error("update to duplicate key accepted")
+	}
+	if _, err := tbl.Update(rid2, row(2, "bob", 41)); err != nil {
+		t.Errorf("self-conflicting update rejected: %v", err)
+	}
+}
+
+func TestDeleteMaintainsIndexes(t *testing.T) {
+	c, tbl := newTestTable(t)
+	ix, _ := c.CreateIndex("by_age", "users", []string{"age"}, false)
+	var rids []heap.RID
+	for i := 0; i < 10; i++ {
+		rid, _ := tbl.Insert(row(int64(i), fmt.Sprintf("u%d", i), int64(i%3)))
+		rids = append(rids, rid)
+	}
+	if err := tbl.Delete(rids[4]); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tbl.IndexScan(ix, nil, nil, nil, false, false, func(heap.RID) bool { count++; return true })
+	if count != 9 {
+		t.Errorf("index has %d entries after delete, want 9", count)
+	}
+	if _, err := tbl.Fetch(rids[4]); err == nil {
+		t.Error("deleted row still fetchable")
+	}
+}
+
+func TestUpdateMovesIndexEntries(t *testing.T) {
+	c, tbl := newTestTable(t)
+	ix, _ := c.CreateIndex("by_age", "users", []string{"age"}, false)
+	rid, _ := tbl.Insert(row(1, "ann", 30))
+	nrid, err := tbl.Update(rid, row(1, "ann", 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old key gone, new key present.
+	for _, probe := range []struct {
+		age  int64
+		want int
+	}{{30, 0}, {35, 1}} {
+		count := 0
+		v := sqltypes.NewInt(probe.age)
+		tbl.IndexScan(ix, []sqltypes.Value{v}, nil, nil, false, false,
+			func(got heap.RID) bool {
+				if got != nrid {
+					t.Errorf("index points at %v, row is at %v", got, nrid)
+				}
+				count++
+				return true
+			})
+		if count != probe.want {
+			t.Errorf("age=%d has %d entries, want %d", probe.age, count, probe.want)
+		}
+	}
+}
+
+func TestIndexScanRanges(t *testing.T) {
+	c, tbl := newTestTable(t)
+	ix, _ := c.CreateIndex("by_age", "users", []string{"age"}, false)
+	for i := 0; i < 20; i++ {
+		tbl.Insert(row(int64(i), "x", int64(i)))
+	}
+	collect := func(low, high *sqltypes.Value, lx, hx bool) []int64 {
+		var ages []int64
+		tbl.IndexScan(ix, nil, low, high, lx, hx, func(rid heap.RID) bool {
+			r, _ := tbl.Fetch(rid)
+			ages = append(ages, r[2].Int())
+			return true
+		})
+		return ages
+	}
+	iv := func(i int64) *sqltypes.Value { v := sqltypes.NewInt(i); return &v }
+	check := func(got []int64, from, to int64) {
+		t.Helper()
+		want := []int64{}
+		for i := from; i <= to; i++ {
+			want = append(want, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+	}
+	check(collect(iv(5), iv(10), false, false), 5, 10)
+	check(collect(iv(5), iv(10), true, false), 6, 10)
+	check(collect(iv(5), iv(10), false, true), 5, 9)
+	check(collect(iv(5), iv(10), true, true), 6, 9)
+	check(collect(iv(15), nil, false, false), 15, 19)
+	check(collect(nil, iv(3), false, false), 0, 3)
+	check(collect(nil, nil, false, false), 0, 19)
+}
+
+func TestIndexScanEqualityPrefix(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable("t", []Column{
+		{Name: "a", Type: sqltypes.Int},
+		{Name: "b", Type: sqltypes.Int},
+	})
+	ix, _ := c.CreateIndex("ab", "t", []string{"a", "b"}, false)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 5; b++ {
+			tbl.Insert(sqltypes.Row{sqltypes.NewInt(int64(a)), sqltypes.NewInt(int64(b))})
+		}
+	}
+	// a=1 AND b in [2,3]
+	lo, hi := sqltypes.NewInt(2), sqltypes.NewInt(3)
+	var got [][2]int64
+	tbl.IndexScan(ix, []sqltypes.Value{sqltypes.NewInt(1)}, &lo, &hi, false, false, func(rid heap.RID) bool {
+		r, _ := tbl.Fetch(rid)
+		got = append(got, [2]int64{r[0].Int(), r[1].Int()})
+		return true
+	})
+	if len(got) != 2 || got[0] != [2]int64{1, 2} || got[1] != [2]int64{1, 3} {
+		t.Fatalf("composite range scan = %v", got)
+	}
+}
+
+func TestCreateIndexOnExistingData(t *testing.T) {
+	c, tbl := newTestTable(t)
+	for i := 0; i < 10; i++ {
+		tbl.Insert(row(int64(i), "x", int64(i)))
+	}
+	ix, err := c.CreateIndex("late", "users", []string{"id"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Tree.Len() != 10 {
+		t.Errorf("backfilled index has %d entries", ix.Tree.Len())
+	}
+	// Backfill must detect uniqueness violations.
+	tbl2, _ := c.CreateTable("dups", []Column{{Name: "v", Type: sqltypes.Int}})
+	tbl2.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	tbl2.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	if _, err := c.CreateIndex("dup_ix", "dups", []string{"v"}, true); err == nil {
+		t.Error("unique index built over duplicate data")
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	c, _ := newTestTable(t)
+	if _, err := c.CreateIndex("i", "missing", []string{"id"}, false); err == nil {
+		t.Error("index on missing table created")
+	}
+	if _, err := c.CreateIndex("i", "users", []string{"bogus"}, false); err == nil {
+		t.Error("index on missing column created")
+	}
+	c.CreateIndex("i", "users", []string{"id"}, false)
+	if _, err := c.CreateIndex("i", "users", []string{"age"}, false); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+}
+
+func TestDropTableAndIndex(t *testing.T) {
+	c, _ := newTestTable(t)
+	c.CreateIndex("i", "users", []string{"id"}, false)
+	if err := c.DropIndex("i"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("i"); err == nil {
+		t.Error("double drop index succeeded")
+	}
+	if err := c.DropTable("users"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("users") != nil {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("users"); err == nil {
+		t.Error("double drop table succeeded")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c, tbl := newTestTable(t)
+	ix, _ := c.CreateIndex("by_age", "users", []string{"age"}, false)
+	before := c.Counters.Snapshot()
+	rid, _ := tbl.Insert(row(1, "a", 10))
+	tbl.Insert(row(2, "b", 20))
+	tbl.Update(rid, row(1, "a", 11))
+	tbl.Scan(func(heap.RID, sqltypes.Row) bool { return true })
+	tbl.IndexScan(ix, nil, nil, nil, false, false, func(heap.RID) bool { return true })
+	d := c.Counters.Snapshot().Sub(before)
+	if d.RowsInserted != 2 || d.RowsUpdated != 1 || d.RowsScanned != 2 || d.IndexProbes != 2 {
+		t.Errorf("counter delta = %+v", d)
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	c := New()
+	c.CreateTable("zeta", []Column{{Name: "a", Type: sqltypes.Int}})
+	c.CreateTable("alpha", []Column{{Name: "a", Type: sqltypes.Int}})
+	got := strings.Join(c.TableNames(), ",")
+	if got != "alpha,zeta" {
+		t.Errorf("TableNames = %s", got)
+	}
+}

@@ -1,0 +1,89 @@
+package catalog
+
+import (
+	"ordxml/internal/sqldb/btree"
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// RowIter is a pull iterator over all live rows of a table. It snapshots the
+// RID list at creation, so callers that mutate the table while iterating see
+// a stable view.
+type RowIter struct {
+	t    *Table
+	rids []heap.RID
+	pos  int
+}
+
+// RowIter returns an iterator over the table's rows in RID order.
+func (t *Table) RowIter() *RowIter {
+	it := &RowIter{t: t, rids: make([]heap.RID, 0, t.RowCount())}
+	t.Heap.Scan(func(rid heap.RID, _ []byte) bool {
+		it.rids = append(it.rids, rid)
+		return true
+	})
+	return it
+}
+
+// Next returns the next row, or ok=false at the end. Rows deleted since the
+// snapshot are skipped.
+func (it *RowIter) Next() (heap.RID, sqltypes.Row, bool, error) {
+	for it.pos < len(it.rids) {
+		rid := it.rids[it.pos]
+		it.pos++
+		data, err := it.t.Heap.Get(rid)
+		if err != nil {
+			continue // deleted since snapshot
+		}
+		row, err := sqltypes.DecodeRow(data)
+		if err != nil {
+			return heap.RID{}, nil, false, err
+		}
+		it.t.counters.RowsScanned.Add(1)
+		return rid, row, true, nil
+	}
+	return heap.RID{}, nil, false, nil
+}
+
+// IndexIter is a pull iterator over an index range.
+type IndexIter struct {
+	t  *Table
+	it *btree.Iterator
+}
+
+// IndexIter returns a pull iterator with the same range semantics as
+// IndexScan: an equality prefix over the leading index columns, then an
+// optional range on the next column.
+func (t *Table) IndexIter(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool) *IndexIter {
+	prefix := ix.prefixFor(eq)
+	start := prefix
+	var end []byte
+	if low != nil {
+		start = sqltypes.EncodeKey(append([]byte{}, prefix...), *low)
+		if lowExcl {
+			start = sqltypes.PrefixSuccessor(start)
+		}
+	}
+	if high != nil {
+		hk := sqltypes.EncodeKey(append([]byte{}, prefix...), *high)
+		if highExcl {
+			end = hk
+		} else {
+			end = sqltypes.PrefixSuccessor(hk)
+		}
+	} else {
+		end = sqltypes.PrefixSuccessor(prefix)
+	}
+	return &IndexIter{t: t, it: ix.Tree.Seek(start, end)}
+}
+
+// Next returns the next matching RID, or ok=false at the end.
+func (it *IndexIter) Next() (heap.RID, bool) {
+	if !it.it.Valid() {
+		return heap.RID{}, false
+	}
+	rid := it.it.RID()
+	it.t.counters.IndexProbes.Add(1)
+	it.it.Next()
+	return rid, true
+}

@@ -1,0 +1,93 @@
+package catalog
+
+import (
+	"testing"
+
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+func TestRowIterSnapshot(t *testing.T) {
+	_, tbl := newTestTable(t)
+	var rids []heap.RID
+	for i := 0; i < 10; i++ {
+		rid, _ := tbl.Insert(row(int64(i), "u", int64(i)))
+		rids = append(rids, rid)
+	}
+	it := tbl.RowIter()
+	// Delete a row after the snapshot: the iterator must skip it, not fail.
+	if err := tbl.Delete(rids[5]); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		_, r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r[0].Int() == 5 {
+			t.Error("iterator returned the deleted row")
+		}
+		seen++
+	}
+	if seen != 9 {
+		t.Errorf("iterator saw %d rows, want 9", seen)
+	}
+	// Rows inserted after the snapshot are not seen.
+	it2 := tbl.RowIter()
+	tbl.Insert(row(100, "new", 1))
+	count := 0
+	for {
+		_, _, ok, err := it2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 9 {
+		t.Errorf("post-insert snapshot saw %d rows, want 9", count)
+	}
+}
+
+func TestIndexIterRanges(t *testing.T) {
+	c, tbl := newTestTable(t)
+	ix, _ := c.CreateIndex("by_age", "users", []string{"age"}, false)
+	for i := 0; i < 10; i++ {
+		tbl.Insert(row(int64(i), "u", int64(i*2)))
+	}
+	collect := func(low, high *sqltypes.Value, lx, hx bool) []int64 {
+		var out []int64
+		it := tbl.IndexIter(ix, nil, low, high, lx, hx)
+		for {
+			rid, ok := it.Next()
+			if !ok {
+				break
+			}
+			r, _ := tbl.Fetch(rid)
+			out = append(out, r[2].Int())
+		}
+		return out
+	}
+	iv := func(v int64) *sqltypes.Value { x := sqltypes.NewInt(v); return &x }
+	got := collect(iv(4), iv(10), false, true)
+	if len(got) != 3 || got[0] != 4 || got[2] != 8 {
+		t.Errorf("range [4,10) = %v", got)
+	}
+	if got := collect(nil, nil, false, false); len(got) != 10 {
+		t.Errorf("full scan = %v", got)
+	}
+	// Exclusive low skips duplicates of the bound value.
+	tbl.Insert(row(100, "dup", 4))
+	got = collect(iv(4), nil, true, false)
+	for _, v := range got {
+		if v == 4 {
+			t.Errorf("exclusive low returned bound value: %v", got)
+		}
+	}
+}

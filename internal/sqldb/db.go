@@ -1,0 +1,225 @@
+// Package sqldb is the embedded relational engine's public face: a DB value
+// that parses, plans and executes SQL statements over in-memory slotted-page
+// storage with B+tree indexes. The engine exists as the substrate the paper
+// assumes ("a relational database system"); the ordered-XML layer issues all
+// of its SQL through this package.
+//
+// Concurrency: a DB is safe for concurrent use; statements take a
+// reader/writer lock (queries share, DML/DDL are exclusive). There is no
+// transaction log or MVCC — the paper's experiments are single-user — but
+// every statement is applied atomically with respect to other statements.
+package sqldb
+
+import (
+	"fmt"
+	"sync"
+
+	"ordxml/internal/sqldb/catalog"
+	"ordxml/internal/sqldb/exec"
+	"ordxml/internal/sqldb/plan"
+	"ordxml/internal/sqldb/sqlparse"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// DB is one embedded database instance.
+type DB struct {
+	mu  sync.RWMutex
+	cat *catalog.Catalog
+}
+
+// Result is re-exported for callers of Query.
+type Result = exec.Result
+
+// Open creates an empty database.
+func Open() *DB {
+	return &DB{cat: catalog.New()}
+}
+
+// Catalog exposes the live catalog (used by tests and the stats reporting in
+// the benchmark harness). Callers must not mutate tables concurrently with
+// statements.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Counters returns a snapshot of the engine work counters.
+func (db *DB) Counters() catalog.Snapshot { return db.cat.Counters.Snapshot() }
+
+// Exec runs a statement that returns no rows (DDL or DML) and reports the
+// number of rows affected (0 for DDL).
+func (db *DB) Exec(sql string, params ...sqltypes.Value) (int, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.execStmt(stmt, params)
+}
+
+func (db *DB) execStmt(stmt sqlparse.Statement, params []sqltypes.Value) (int, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.CreateTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return 0, db.createTable(s)
+	case *sqlparse.CreateIndex:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		_, err := db.cat.CreateIndex(s.Name, s.Table, s.Columns, s.Unique)
+		return 0, err
+	case *sqlparse.DropTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return 0, db.cat.DropTable(s.Name)
+	case *sqlparse.DropIndex:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return 0, db.cat.DropIndex(s.Name)
+	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		p, err := plan.Plan(db.cat, stmt)
+		if err != nil {
+			return 0, err
+		}
+		return runDML(p, params)
+	case *sqlparse.Select:
+		return 0, fmt.Errorf("use Query for SELECT statements")
+	default:
+		return 0, fmt.Errorf("cannot execute %T", stmt)
+	}
+}
+
+func runDML(p any, params []sqltypes.Value) (int, error) {
+	switch pl := p.(type) {
+	case *plan.InsertPlan:
+		return exec.RunInsert(pl, params)
+	case *plan.UpdatePlan:
+		return exec.RunUpdate(pl, params)
+	case *plan.DeletePlan:
+		return exec.RunDelete(pl, params)
+	default:
+		return 0, fmt.Errorf("unexpected plan %T", p)
+	}
+}
+
+func (db *DB) createTable(s *sqlparse.CreateTable) error {
+	cols := make([]catalog.Column, len(s.Columns))
+	var pk []string
+	for i, c := range s.Columns {
+		cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+		if c.PrimaryKey {
+			pk = append(pk, c.Name)
+		}
+	}
+	if _, err := db.cat.CreateTable(s.Name, cols); err != nil {
+		return err
+	}
+	if len(pk) > 0 {
+		if _, err := db.cat.CreateIndex(s.Name+"_pkey", s.Name, pk, true); err != nil {
+			db.cat.DropTable(s.Name)
+			return err
+		}
+	}
+	return nil
+}
+
+// Query runs a SELECT and materializes the result.
+func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("Query requires a SELECT statement")
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	node, err := plan.PlanSelect(db.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(node, params)
+}
+
+// Explain returns the physical plan of a statement as text.
+func (db *DB) Explain(sql string, params ...sqltypes.Value) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if e, ok := stmt.(*sqlparse.Explain); ok {
+		stmt = e.Stmt
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, err := plan.Plan(db.cat, stmt)
+	if err != nil {
+		return "", err
+	}
+	switch pl := p.(type) {
+	case plan.Node:
+		return plan.Explain(pl), nil
+	case *plan.InsertPlan:
+		return fmt.Sprintf("Insert %s (%d rows)\n", pl.Table.Name, len(pl.Rows)), nil
+	case *plan.UpdatePlan:
+		return "Update " + pl.Table.Name + "\n" + plan.Explain(pl.Scan), nil
+	case *plan.DeletePlan:
+		return "Delete " + pl.Table.Name + "\n" + plan.Explain(pl.Scan), nil
+	default:
+		return "", fmt.Errorf("cannot explain %T", p)
+	}
+}
+
+// Stmt is a prepared statement: parsed once, planned per Run against the
+// current catalog. Preparing skips reparsing in hot loops (the shredder and
+// update manager run millions of parameterized statements).
+type Stmt struct {
+	db   *DB
+	stmt sqlparse.Statement
+}
+
+// Prepare parses a statement for repeated execution.
+func (db *DB) Prepare(sql string) (*Stmt, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, stmt: stmt}, nil
+}
+
+// Exec runs a prepared DML statement.
+func (s *Stmt) Exec(params ...sqltypes.Value) (int, error) {
+	return s.db.execStmt(s.stmt, params)
+}
+
+// Query runs a prepared SELECT.
+func (s *Stmt) Query(params ...sqltypes.Value) (*Result, error) {
+	sel, ok := s.stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("Query requires a SELECT statement")
+	}
+	s.db.mu.RLock()
+	defer s.db.mu.RUnlock()
+	node, err := plan.PlanSelect(s.db.cat, sel)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Run(node, params)
+}
+
+// Convenience constructors so engine callers do not import sqltypes
+// everywhere.
+
+// I returns an INT parameter value.
+func I(v int64) sqltypes.Value { return sqltypes.NewInt(v) }
+
+// S returns a TEXT parameter value.
+func S(v string) sqltypes.Value { return sqltypes.NewText(v) }
+
+// B returns a BLOB parameter value.
+func B(v []byte) sqltypes.Value { return sqltypes.NewBlob(v) }
+
+// F returns a REAL parameter value.
+func F(v float64) sqltypes.Value { return sqltypes.NewReal(v) }
+
+// Null returns the NULL parameter value.
+func Null() sqltypes.Value { return sqltypes.NullValue() }

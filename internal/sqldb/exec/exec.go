@@ -1,0 +1,243 @@
+// Package exec interprets physical plans with Volcano-style iterators and
+// runs DML statements. It is deliberately simple: every operator implements
+// Open/Next/Close over sqltypes.Row values.
+package exec
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/plan"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// Operator is one executable plan node.
+type Operator interface {
+	Open() error
+	// Next returns the next row; ok=false signals the end of the stream.
+	// The returned row must not be retained across calls unless cloned.
+	Next() (row sqltypes.Row, ok bool, err error)
+	Close()
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    []sqltypes.Row
+}
+
+// EncodeRIDInt packs a heap RID into an int64 for the hidden _rid column.
+func EncodeRIDInt(rid heap.RID) int64 {
+	return int64(rid.Page)<<16 | int64(rid.Slot)
+}
+
+// DecodeRIDInt unpacks a hidden _rid value.
+func DecodeRIDInt(v int64) heap.RID {
+	return heap.RID{Page: uint32(v >> 16), Slot: uint16(v & 0xFFFF)}
+}
+
+// Build compiles a plan node into an operator tree.
+func Build(n plan.Node, params []sqltypes.Value) (Operator, error) {
+	switch x := n.(type) {
+	case *plan.SeqScan:
+		return newSeqScan(x, params), nil
+	case *plan.IndexScan:
+		return newIndexScan(x, params), nil
+	case *plan.Filter:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{input: in, pred: x.Pred, env: &expr.Env{Params: params}}, nil
+	case *plan.Project:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{input: in, exprs: x.Exprs, env: &expr.Env{Params: params}}, nil
+	case *plan.Trim:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &trimOp{input: in, keep: x.Keep}, nil
+	case *plan.Sort:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{input: in, keys: x.Keys, env: &expr.Env{Params: params}}, nil
+	case *plan.Limit:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{input: in, node: x, env: &expr.Env{Params: params}}, nil
+	case *plan.Distinct:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{input: in}, nil
+	case *plan.HashJoin:
+		l, err := Build(x.Left, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(x.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
+			rightWidth: len(x.Right.Schema())}, nil
+	case *plan.IndexNLJoin:
+		l, err := Build(x.Left, params)
+		if err != nil {
+			return nil, err
+		}
+		return newIndexNLJoin(x, l, params), nil
+	case *plan.NLJoin:
+		l, err := Build(x.Left, params)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(x.Right, params)
+		if err != nil {
+			return nil, err
+		}
+		return &nlJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
+			rightWidth: len(x.Right.Schema())}, nil
+	case *plan.HashAggregate:
+		in, err := Build(x.Input, params)
+		if err != nil {
+			return nil, err
+		}
+		return &hashAggOp{node: x, input: in, env: &expr.Env{Params: params}}, nil
+	default:
+		return nil, fmt.Errorf("exec: no operator for %T", n)
+	}
+}
+
+// Run executes a SELECT plan to completion.
+func Run(n plan.Node, params []sqltypes.Value) (*Result, error) {
+	op, err := Build(n, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	schema := n.Schema()
+	res := &Result{Columns: make([]string, len(schema))}
+	for i, c := range schema {
+		res.Columns[i] = c.Column
+	}
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, row.Clone())
+	}
+}
+
+// RunInsert executes an insert plan, returning the number of rows inserted.
+func RunInsert(p *plan.InsertPlan, params []sqltypes.Value) (int, error) {
+	env := &expr.Env{Params: params}
+	count := 0
+	for _, exprRow := range p.Rows {
+		row := make(sqltypes.Row, len(p.Table.Columns))
+		for i := range row {
+			row[i] = sqltypes.NullValue()
+		}
+		for vi, e := range exprRow {
+			v, err := expr.Eval(e, env)
+			if err != nil {
+				return count, err
+			}
+			row[p.Columns[vi]] = v
+		}
+		if _, err := p.Table.Insert(row); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// RunUpdate executes an update plan, returning the number of rows updated.
+// Matching rows are materialized before any mutation so the scan never
+// observes its own writes.
+func RunUpdate(p *plan.UpdatePlan, params []sqltypes.Value) (int, error) {
+	matches, err := collectDML(p.Scan, params)
+	if err != nil {
+		return 0, err
+	}
+	env := &expr.Env{Params: params}
+	count := 0
+	for _, m := range matches {
+		env.Row = m.row
+		newRow := m.row[:len(p.Table.Columns)].Clone()
+		for si, col := range p.SetCols {
+			v, err := expr.Eval(p.SetExprs[si], env)
+			if err != nil {
+				return count, err
+			}
+			newRow[col] = v
+		}
+		if _, err := p.Table.Update(m.rid, newRow); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// RunDelete executes a delete plan, returning the number of rows deleted.
+func RunDelete(p *plan.DeletePlan, params []sqltypes.Value) (int, error) {
+	matches, err := collectDML(p.Scan, params)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, m := range matches {
+		if err := p.Table.Delete(m.rid); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+type dmlMatch struct {
+	rid heap.RID
+	row sqltypes.Row
+}
+
+func collectDML(scan plan.Node, params []sqltypes.Value) ([]dmlMatch, error) {
+	op, err := Build(scan, params)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []dmlMatch
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		ridVal := row[len(row)-1]
+		out = append(out, dmlMatch{rid: DecodeRIDInt(ridVal.Int()), row: row.Clone()})
+	}
+}

@@ -1,0 +1,170 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/exec"
+	"ordxml/internal/sqldb/heap"
+)
+
+// Property: the hidden-column RID codec round-trips.
+func TestRIDCodecProperty(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		rid := heap.RID{Page: page & 0xFFFFFF, Slot: slot}
+		return exec.DecodeRIDInt(exec.EncodeRIDInt(rid)) == rid
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func setup(t *testing.T) *sqldb.DB {
+	t.Helper()
+	db := sqldb.Open()
+	mustExec(t, db, "CREATE TABLE t (k INT PRIMARY KEY, grp TEXT, v INT)")
+	mustExec(t, db, `INSERT INTO t VALUES
+		(1, 'a', 10), (2, 'a', 20), (3, 'b', 30), (4, 'b', NULL), (5, 'c', 50)`)
+	return db
+}
+
+func mustExec(t *testing.T, db *sqldb.DB, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+}
+
+func TestLimitEdges(t *testing.T) {
+	db := setup(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT k FROM t ORDER BY k LIMIT 0", 0},
+		{"SELECT k FROM t ORDER BY k LIMIT 100", 5},
+		{"SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 4", 1},
+		{"SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 99", 0},
+		{"SELECT k FROM t ORDER BY k LIMIT NULL", 5}, // NULL limit = unlimited
+	}
+	for _, c := range cases {
+		res, err := db.Query(c.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: %d rows, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	db := setup(t)
+	// Equal keys keep input order (stable sort): grp 'a' rows keep k order.
+	res, err := db.Query("SELECT k FROM t ORDER BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 2 {
+		t.Errorf("unstable sort: %v", res.Rows)
+	}
+}
+
+func TestSortNullsFirst(t *testing.T) {
+	db := setup(t)
+	res, err := db.Query("SELECT k FROM t ORDER BY v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 4 { // NULL v sorts first
+		t.Errorf("NULL ordering: %v", res.Rows)
+	}
+	res, _ = db.Query("SELECT k FROM t ORDER BY v DESC")
+	if res.Rows[len(res.Rows)-1][0].Int() != 4 {
+		t.Errorf("NULL DESC ordering: %v", res.Rows)
+	}
+}
+
+func TestRuntimeErrorsPropagate(t *testing.T) {
+	db := setup(t)
+	if _, err := db.Query("SELECT 1 / (k - k) FROM t"); err == nil ||
+		!strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("division by zero not surfaced: %v", err)
+	}
+	if _, err := db.Query("SELECT k + grp FROM t"); err == nil {
+		t.Error("type error not surfaced")
+	}
+}
+
+func TestGroupByNullGroups(t *testing.T) {
+	db := setup(t)
+	// NULL forms its own group.
+	res, err := db.Query("SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 || !res.Rows[0][0].IsNull() {
+		t.Errorf("groups = %v", res.Rows)
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	db := setup(t)
+	mustExec(t, db, "CREATE TABLE u (v INT, lbl TEXT)")
+	mustExec(t, db, "INSERT INTO u VALUES (NULL, 'nil'), (10, 'ten')")
+	res, err := db.Query("SELECT t.k, u.lbl FROM t JOIN u ON t.v = u.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Text() != "ten" {
+		t.Errorf("NULL join keys matched: %v", res.Rows)
+	}
+}
+
+func TestLeftJoinNonEquiViaNL(t *testing.T) {
+	db := setup(t)
+	mustExec(t, db, "CREATE TABLE bounds (lo INT, hi INT, name TEXT)")
+	mustExec(t, db, "INSERT INTO bounds VALUES (0, 25, 'low'), (25, 100, 'high'), (200, 300, 'none')")
+	res, err := db.Query(`SELECT b.name, COUNT(t.k) FROM bounds b
+		LEFT JOIN t ON t.v >= b.lo AND t.v < b.hi
+		GROUP BY b.name ORDER BY b.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// low: v=10,20 -> 2; high: 30,50 -> 2; none: 0 (COUNT of NULL-extended = 0).
+	got := map[string]int64{}
+	for _, r := range res.Rows {
+		got[r[0].Text()] = r[1].Int()
+	}
+	if got["low"] != 2 || got["high"] != 2 || got["none"] != 0 {
+		t.Errorf("left join counts = %v", got)
+	}
+}
+
+func TestUpdateSelfReferencingSet(t *testing.T) {
+	db := setup(t)
+	// SET v = v + k must read pre-update values for each row.
+	if _, err := db.Exec("UPDATE t SET v = v + k WHERE v IS NOT NULL"); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query("SELECT v FROM t WHERE k = 2")
+	if res.Rows[0][0].Int() != 22 {
+		t.Errorf("v = %v", res.Rows[0][0])
+	}
+}
+
+func TestDeleteDuringIndexScanSnapshot(t *testing.T) {
+	db := setup(t)
+	// DELETE with an index-driven predicate removes exactly the matching
+	// rows even though deletion mutates the structures being scanned.
+	n, err := db.Exec("DELETE FROM t WHERE k >= 2 AND k <= 4")
+	if err != nil || n != 3 {
+		t.Fatalf("deleted %d, %v", n, err)
+	}
+	res, _ := db.Query("SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("remaining = %v", res.Rows[0][0])
+	}
+}

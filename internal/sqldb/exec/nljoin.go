@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb/catalog"
+	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/plan"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// indexNLJoinOp probes the inner table's index once per left row, with
+// bounds computed from that row.
+type indexNLJoinOp struct {
+	node *plan.IndexNLJoin
+	left Operator
+	env  *expr.Env
+
+	leftRow sqltypes.Row
+	inner   *catalog.IndexIter
+	buf     sqltypes.Row
+	width   int // right width
+}
+
+func newIndexNLJoin(n *plan.IndexNLJoin, left Operator, params []sqltypes.Value) *indexNLJoinOp {
+	return &indexNLJoinOp{node: n, left: left, env: &expr.Env{Params: params},
+		width: len(n.Table.Columns)}
+}
+
+func (j *indexNLJoinOp) Open() error {
+	j.buf = make(sqltypes.Row, len(j.node.Left.Schema())+j.width)
+	j.inner = nil
+	return j.left.Open()
+}
+
+// bound evaluates a bound expression against the current left row, coercing
+// to the index column type. nil result means "no rows can match".
+func (j *indexNLJoinOp) bound(e expr.Expr, col int) (*sqltypes.Value, error) {
+	j.env.Row = j.leftRow
+	v, err := expr.Eval(e, j.env)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, nil
+	}
+	t := j.node.Table.Columns[j.node.Index.Columns[col]].Type
+	cv, err := sqltypes.Coerce(v, t)
+	if err != nil {
+		return nil, fmt.Errorf("index %s column %d: %w", j.node.Index.Name, col, err)
+	}
+	return &cv, nil
+}
+
+// openInner starts the index scan for the current left row; ok=false means
+// the row cannot match (NULL bound).
+func (j *indexNLJoinOp) openInner() (bool, error) {
+	eq := make([]sqltypes.Value, len(j.node.Eq))
+	for i, e := range j.node.Eq {
+		v, err := j.bound(e, i)
+		if err != nil {
+			return false, err
+		}
+		if v == nil {
+			return false, nil
+		}
+		eq[i] = *v
+	}
+	var low, high *sqltypes.Value
+	if j.node.Low != nil {
+		v, err := j.bound(j.node.Low, len(eq))
+		if err != nil {
+			return false, err
+		}
+		if v == nil {
+			return false, nil
+		}
+		low = v
+	}
+	if j.node.High != nil {
+		v, err := j.bound(j.node.High, len(eq))
+		if err != nil {
+			return false, err
+		}
+		if v == nil {
+			// An open upper bound from PREFIX_SUCC of an all-0xFF prefix:
+			// scan to the end of the equality prefix.
+			high = nil
+		} else {
+			high = v
+		}
+	}
+	j.inner = j.node.Table.IndexIter(j.node.Index, eq, low, high, j.node.LowExcl, j.node.HighExcl)
+	return true, nil
+}
+
+func (j *indexNLJoinOp) Next() (sqltypes.Row, bool, error) {
+	for {
+		if j.inner == nil {
+			leftRow, ok, err := j.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.leftRow = leftRow.Clone()
+			ok, err = j.openInner()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		rid, ok := j.inner.Next()
+		if !ok {
+			j.inner = nil
+			continue
+		}
+		row, err := j.node.Table.Fetch(rid)
+		if err != nil {
+			return nil, false, fmt.Errorf("index %s points at missing row: %w", j.node.Index.Name, err)
+		}
+		copy(j.buf, j.leftRow)
+		copy(j.buf[len(j.leftRow):], row)
+		j.env.Row = j.buf
+		pass, err := passesAll(j.node.Filters, j.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return j.buf, true, nil
+		}
+	}
+}
+
+func (j *indexNLJoinOp) Close() { j.left.Close() }

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"sort"
+
+	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/plan"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// filterOp drops rows failing the predicate.
+type filterOp struct {
+	input Operator
+	pred  expr.Expr
+	env   *expr.Env
+}
+
+func (f *filterOp) Open() error { return f.input.Open() }
+
+func (f *filterOp) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := f.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.env.Row = row
+		pass, err := expr.EvalBool(f.pred, f.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *filterOp) Close() { f.input.Close() }
+
+// projectOp evaluates the output expressions.
+type projectOp struct {
+	input Operator
+	exprs []expr.Expr
+	env   *expr.Env
+	buf   sqltypes.Row
+}
+
+func (p *projectOp) Open() error {
+	p.buf = make(sqltypes.Row, len(p.exprs))
+	return p.input.Open()
+}
+
+func (p *projectOp) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := p.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	p.env.Row = row
+	for i, e := range p.exprs {
+		v, err := expr.Eval(e, p.env)
+		if err != nil {
+			return nil, false, err
+		}
+		p.buf[i] = v
+	}
+	return p.buf, true, nil
+}
+
+func (p *projectOp) Close() { p.input.Close() }
+
+// trimOp drops hidden trailing columns.
+type trimOp struct {
+	input Operator
+	keep  int
+}
+
+func (t *trimOp) Open() error { return t.input.Open() }
+
+func (t *trimOp) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := t.input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return row[:t.keep], true, nil
+}
+
+func (t *trimOp) Close() { t.input.Close() }
+
+// sortOp materializes and sorts its input.
+type sortOp struct {
+	input Operator
+	keys  []plan.SortKey
+	env   *expr.Env
+	rows  []sqltypes.Row
+	pos   int
+}
+
+func (s *sortOp) Open() error {
+	if err := s.input.Open(); err != nil {
+		return err
+	}
+	type keyed struct {
+		row  sqltypes.Row
+		keys sqltypes.Row
+	}
+	var items []keyed
+	for {
+		row, ok, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := keyed{row: row.Clone(), keys: make(sqltypes.Row, len(s.keys))}
+		s.env.Row = k.row
+		for i, sk := range s.keys {
+			v, err := expr.Eval(sk.Expr, s.env)
+			if err != nil {
+				return err
+			}
+			k.keys[i] = v
+		}
+		items = append(items, k)
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for i, sk := range s.keys {
+			c := sqltypes.Compare(items[a].keys[i], items[b].keys[i])
+			if c == 0 {
+				continue
+			}
+			if sk.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]sqltypes.Row, len(items))
+	for i, it := range items {
+		s.rows[i] = it.row
+	}
+	return nil
+}
+
+func (s *sortOp) Next() (sqltypes.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, true, nil
+}
+
+func (s *sortOp) Close() { s.input.Close() }
+
+// limitOp applies LIMIT/OFFSET.
+type limitOp struct {
+	input   Operator
+	node    *plan.Limit
+	env     *expr.Env
+	skip    int64
+	remain  int64
+	bounded bool
+}
+
+func (l *limitOp) Open() error {
+	l.skip, l.remain, l.bounded = 0, 0, false
+	if l.node.Offset != nil {
+		v, err := expr.Eval(l.node.Offset, l.env)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() {
+			cv, err := sqltypes.Coerce(v, sqltypes.Int)
+			if err != nil {
+				return err
+			}
+			l.skip = cv.Int()
+		}
+	}
+	if l.node.Limit != nil {
+		v, err := expr.Eval(l.node.Limit, l.env)
+		if err != nil {
+			return err
+		}
+		if !v.IsNull() {
+			cv, err := sqltypes.Coerce(v, sqltypes.Int)
+			if err != nil {
+				return err
+			}
+			l.remain = cv.Int()
+			l.bounded = true
+		}
+	}
+	return l.input.Open()
+}
+
+func (l *limitOp) Next() (sqltypes.Row, bool, error) {
+	for l.skip > 0 {
+		_, ok, err := l.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		l.skip--
+	}
+	if l.bounded {
+		if l.remain <= 0 {
+			return nil, false, nil
+		}
+		l.remain--
+	}
+	return l.input.Next()
+}
+
+func (l *limitOp) Close() { l.input.Close() }
+
+// distinctOp suppresses duplicate rows.
+type distinctOp struct {
+	input Operator
+	seen  map[string]struct{}
+}
+
+func (d *distinctOp) Open() error {
+	d.seen = map[string]struct{}{}
+	return d.input.Open()
+}
+
+func (d *distinctOp) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := d.input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := string(sqltypes.EncodeKey(nil, row...))
+		if _, dup := d.seen[key]; dup {
+			continue
+		}
+		d.seen[key] = struct{}{}
+		return row, true, nil
+	}
+}
+
+func (d *distinctOp) Close() { d.input.Close() }

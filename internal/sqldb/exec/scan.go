@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb/catalog"
+	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/plan"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// seqScanOp streams every table row through the residual filters.
+type seqScanOp struct {
+	node *plan.SeqScan
+	env  *expr.Env
+	iter *catalog.RowIter
+	buf  sqltypes.Row
+}
+
+func newSeqScan(n *plan.SeqScan, params []sqltypes.Value) *seqScanOp {
+	return &seqScanOp{node: n, env: &expr.Env{Params: params}}
+}
+
+func (s *seqScanOp) Open() error {
+	s.iter = s.node.Table.RowIter()
+	width := len(s.node.Table.Columns)
+	if s.node.EmitRID {
+		width++
+	}
+	s.buf = make(sqltypes.Row, width)
+	return nil
+}
+
+func (s *seqScanOp) Next() (sqltypes.Row, bool, error) {
+	for {
+		rid, row, ok, err := s.iter.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		copy(s.buf, row)
+		if s.node.EmitRID {
+			s.buf[len(s.buf)-1] = sqltypes.NewInt(EncodeRIDInt(rid))
+		}
+		s.env.Row = s.buf
+		pass, err := passesAll(s.node.Filters, s.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return s.buf, true, nil
+		}
+	}
+}
+
+func (s *seqScanOp) Close() {}
+
+func passesAll(filters []expr.Expr, env *expr.Env) (bool, error) {
+	for _, f := range filters {
+		ok, err := expr.EvalBool(f, env)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// indexScanOp streams rows matching an index range.
+type indexScanOp struct {
+	node  *plan.IndexScan
+	env   *expr.Env
+	iter  *catalog.IndexIter
+	empty bool
+	buf   sqltypes.Row
+}
+
+func newIndexScan(n *plan.IndexScan, params []sqltypes.Value) *indexScanOp {
+	return &indexScanOp{node: n, env: &expr.Env{Params: params}}
+}
+
+// bound evaluates a row-independent bound expression and coerces it to the
+// index column's type so key encoding matches stored keys. A NULL bound makes
+// the scan empty (SQL comparisons with NULL never hold).
+func (s *indexScanOp) bound(e expr.Expr, col int) (*sqltypes.Value, error) {
+	v, err := expr.Eval(e, s.env)
+	if err != nil {
+		return nil, err
+	}
+	if v.IsNull() {
+		return nil, nil
+	}
+	t := s.node.Table.Columns[s.node.Index.Columns[col]].Type
+	cv, err := sqltypes.Coerce(v, t)
+	if err != nil {
+		return nil, fmt.Errorf("index %s column %d: %w", s.node.Index.Name, col, err)
+	}
+	return &cv, nil
+}
+
+func (s *indexScanOp) Open() error {
+	eq := make([]sqltypes.Value, len(s.node.Eq))
+	for i, e := range s.node.Eq {
+		v, err := s.bound(e, i)
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			s.empty = true
+			return nil
+		}
+		eq[i] = *v
+	}
+	var low, high *sqltypes.Value
+	if s.node.Low != nil {
+		v, err := s.bound(s.node.Low, len(eq))
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			s.empty = true
+			return nil
+		}
+		low = v
+	}
+	if s.node.High != nil {
+		v, err := s.bound(s.node.High, len(eq))
+		if err != nil {
+			return err
+		}
+		if v == nil {
+			s.empty = true
+			return nil
+		}
+		high = v
+	}
+	s.iter = s.node.Table.IndexIter(s.node.Index, eq, low, high, s.node.LowExcl, s.node.HighExcl)
+	width := len(s.node.Table.Columns)
+	if s.node.EmitRID {
+		width++
+	}
+	s.buf = make(sqltypes.Row, width)
+	return nil
+}
+
+func (s *indexScanOp) Next() (sqltypes.Row, bool, error) {
+	if s.empty {
+		return nil, false, nil
+	}
+	for {
+		rid, ok := s.iter.Next()
+		if !ok {
+			return nil, false, nil
+		}
+		row, err := s.node.Table.Fetch(rid)
+		if err != nil {
+			return nil, false, fmt.Errorf("index %s points at missing row: %w", s.node.Index.Name, err)
+		}
+		copy(s.buf, row)
+		if s.node.EmitRID {
+			s.buf[len(s.buf)-1] = sqltypes.NewInt(EncodeRIDInt(rid))
+		}
+		s.env.Row = s.buf
+		pass, err := passesAll(s.node.Filters, s.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return s.buf, true, nil
+		}
+	}
+}
+
+func (s *indexScanOp) Close() {}

@@ -1,0 +1,50 @@
+package expr
+
+import "fmt"
+
+// Clone returns a deep copy of e. The planner rewrites cloned trees (e.g.
+// replacing aggregate calls with output references) without disturbing the
+// parsed statement.
+func Clone(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		c := *x
+		return &c
+	case *Param:
+		c := *x
+		return &c
+	case *ColRef:
+		c := *x
+		return &c
+	case *Unary:
+		return &Unary{Op: x.Op, X: Clone(x.X)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: Clone(x.L), R: Clone(x.R)}
+	case *Between:
+		return &Between{X: Clone(x.X), Lo: Clone(x.Lo), Hi: Clone(x.Hi), Not: x.Not}
+	case *In:
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = Clone(it)
+		}
+		return &In{X: Clone(x.X), List: list, Not: x.Not}
+	case *IsNull:
+		return &IsNull{X: Clone(x.X), Not: x.Not}
+	case *Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Clone(a)
+		}
+		return &Call{Name: x.Name, Args: args}
+	case *Aggregate:
+		c := *x
+		if x.Arg != nil {
+			c.Arg = Clone(x.Arg)
+		}
+		return &c
+	default:
+		panic(fmt.Sprintf("expr: cannot clone %T", e))
+	}
+}

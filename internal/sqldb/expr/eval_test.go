@@ -1,0 +1,385 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+func lit(v sqltypes.Value) Expr { return &Literal{Val: v} }
+func i(n int64) Expr            { return lit(sqltypes.NewInt(n)) }
+func s(v string) Expr           { return lit(sqltypes.NewText(v)) }
+func b(v bool) Expr             { return lit(sqltypes.NewBool(v)) }
+func null() Expr                { return lit(sqltypes.NullValue()) }
+
+func evalOK(t *testing.T, e Expr) sqltypes.Value {
+	t.Helper()
+	v, err := Eval(e, &Env{})
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&Binary{OpEq, i(1), i(1)}, true},
+		{&Binary{OpNe, i(1), i(2)}, true},
+		{&Binary{OpLt, i(1), i(2)}, true},
+		{&Binary{OpLe, i(2), i(2)}, true},
+		{&Binary{OpGt, i(3), i(2)}, true},
+		{&Binary{OpGe, i(1), i(2)}, false},
+		{&Binary{OpEq, s("a"), s("a")}, true},
+		{&Binary{OpLt, s("a"), s("b")}, true},
+		{&Binary{OpEq, i(2), lit(sqltypes.NewReal(2.0))}, true},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.e); got.Bool() != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	// Incomparable types error out.
+	if _, err := Eval(&Binary{OpEq, i(1), s("a")}, &Env{}); err == nil {
+		t.Error("INT = TEXT evaluated")
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	exprs := []Expr{
+		&Binary{OpEq, null(), i(1)},
+		&Binary{OpAdd, null(), i(1)},
+		&Unary{OpNeg, null()},
+		&Unary{OpNot, null()},
+		&Between{X: null(), Lo: i(1), Hi: i(2)},
+	}
+	for _, e := range exprs {
+		if got := evalOK(t, e); !got.IsNull() {
+			t.Errorf("%s = %v, want NULL", e, got)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	T, F, N := b(true), b(false), null()
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Binary{OpAnd, T, T}, "TRUE"},
+		{&Binary{OpAnd, T, F}, "FALSE"},
+		{&Binary{OpAnd, F, N}, "FALSE"}, // short-circuit
+		{&Binary{OpAnd, N, F}, "FALSE"},
+		{&Binary{OpAnd, T, N}, "NULL"},
+		{&Binary{OpAnd, N, N}, "NULL"},
+		{&Binary{OpOr, F, F}, "FALSE"},
+		{&Binary{OpOr, T, N}, "TRUE"},
+		{&Binary{OpOr, N, T}, "TRUE"},
+		{&Binary{OpOr, F, N}, "NULL"},
+		{&Binary{OpOr, N, N}, "NULL"},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e)
+		if got.String() != c.want {
+			t.Errorf("%s = %v, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want sqltypes.Value
+	}{
+		{&Binary{OpAdd, i(2), i(3)}, sqltypes.NewInt(5)},
+		{&Binary{OpSub, i(2), i(3)}, sqltypes.NewInt(-1)},
+		{&Binary{OpMul, i(4), i(3)}, sqltypes.NewInt(12)},
+		{&Binary{OpDiv, i(7), i(2)}, sqltypes.NewInt(3)},
+		{&Binary{OpMod, i(7), i(2)}, sqltypes.NewInt(1)},
+		{&Binary{OpAdd, i(1), lit(sqltypes.NewReal(0.5))}, sqltypes.NewReal(1.5)},
+		{&Unary{OpNeg, i(5)}, sqltypes.NewInt(-5)},
+		{&Binary{OpConcat, s("a"), s("b")}, sqltypes.NewText("ab")},
+		{&Binary{OpConcat, s("n"), i(1)}, sqltypes.NewText("n1")},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e)
+		if !sqltypes.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	for _, e := range []Expr{
+		&Binary{OpDiv, i(1), i(0)},
+		&Binary{OpMod, i(1), i(0)},
+		&Binary{OpAdd, s("a"), i(1)},
+	} {
+		if _, err := Eval(e, &Env{}); err == nil {
+			t.Errorf("%s evaluated without error", e)
+		}
+	}
+}
+
+func TestBetweenInIsNull(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Between{X: i(5), Lo: i(1), Hi: i(10)}, "TRUE"},
+		{&Between{X: i(0), Lo: i(1), Hi: i(10)}, "FALSE"},
+		{&Between{X: i(5), Lo: i(1), Hi: i(10), Not: true}, "FALSE"},
+		{&In{X: i(2), List: []Expr{i(1), i(2)}}, "TRUE"},
+		{&In{X: i(3), List: []Expr{i(1), i(2)}}, "FALSE"},
+		{&In{X: i(3), List: []Expr{i(1), i(2)}, Not: true}, "TRUE"},
+		{&In{X: i(3), List: []Expr{i(1), null()}}, "NULL"},
+		{&In{X: i(1), List: []Expr{null(), i(1)}}, "TRUE"},
+		{&IsNull{X: null()}, "TRUE"},
+		{&IsNull{X: i(1)}, "FALSE"},
+		{&IsNull{X: null(), Not: true}, "FALSE"},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e)
+		if got.String() != c.want {
+			t.Errorf("%s = %v, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestColRefAndParams(t *testing.T) {
+	env := &Env{
+		Row:    sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewText("x")},
+		Params: []sqltypes.Value{sqltypes.NewInt(99)},
+	}
+	c := &ColRef{Column: "a", Idx: 0}
+	v, err := Eval(c, env)
+	if err != nil || v.Int() != 10 {
+		t.Fatalf("ColRef = %v, %v", v, err)
+	}
+	p, err := Eval(&Param{Index: 0}, env)
+	if err != nil || p.Int() != 99 {
+		t.Fatalf("Param = %v, %v", p, err)
+	}
+	if _, err := Eval(&Param{Index: 5}, env); err == nil {
+		t.Error("unbound param evaluated")
+	}
+	if _, err := Eval(&ColRef{Column: "z", Idx: 9}, env); err == nil {
+		t.Error("out-of-range colref evaluated")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want sqltypes.Value
+	}{
+		{&Call{Name: "LENGTH", Args: []Expr{s("abc")}}, sqltypes.NewInt(3)},
+		{&Call{Name: "UPPER", Args: []Expr{s("ab")}}, sqltypes.NewText("AB")},
+		{&Call{Name: "LOWER", Args: []Expr{s("AB")}}, sqltypes.NewText("ab")},
+		{&Call{Name: "ABS", Args: []Expr{i(-4)}}, sqltypes.NewInt(4)},
+		{&Call{Name: "SUBSTR", Args: []Expr{s("hello"), i(2)}}, sqltypes.NewText("ello")},
+		{&Call{Name: "SUBSTR", Args: []Expr{s("hello"), i(2), i(3)}}, sqltypes.NewText("ell")},
+		{&Call{Name: "SUBSTR", Args: []Expr{s("hi"), i(9)}}, sqltypes.NewText("")},
+		{&Call{Name: "COALESCE", Args: []Expr{null(), i(2), i(3)}}, sqltypes.NewInt(2)},
+		{&Call{Name: "LENGTH", Args: []Expr{null()}}, sqltypes.NullValue()},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e)
+		if !sqltypes.Equal(got, c.want) || got.IsNull() != c.want.IsNull() {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := Eval(&Call{Name: "NOPE", Args: nil}, &Env{}); err == nil {
+		t.Error("unknown function evaluated")
+	}
+	if !IsScalarFunc("LENGTH") || IsScalarFunc("NOPE") {
+		t.Error("IsScalarFunc misreports")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_", false},
+		{"abc", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "ab", false},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "m%iss%pi", true},
+		{"1.2.3", "1.2.%", true},
+		{"1.22.3", "1.2.%", false},
+	}
+	for _, c := range cases {
+		e := &Binary{OpLike, s(c.s), s(c.p)}
+		if got := evalOK(t, e); got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	cases := []struct {
+		p      string
+		prefix string
+		exact  bool
+	}{
+		{"abc%", "abc", true},
+		{"abc", "abc", false},
+		{"a%c", "a", false},
+		{"a_", "a", false},
+		{"%", "", true},
+	}
+	for _, c := range cases {
+		prefix, exact := LikePrefix(c.p)
+		if prefix != c.prefix || exact != c.exact {
+			t.Errorf("LikePrefix(%q) = %q,%v want %q,%v", c.p, prefix, exact, c.prefix, c.exact)
+		}
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	for _, c := range []struct {
+		e    Expr
+		want bool
+	}{
+		{b(true), true},
+		{b(false), false},
+		{null(), false},
+	} {
+		got, err := EvalBool(c.e, &Env{})
+		if err != nil || got != c.want {
+			t.Errorf("EvalBool(%s) = %v, %v", c.e, got, err)
+		}
+	}
+	if _, err := EvalBool(i(1), &Env{}); err == nil {
+		t.Error("EvalBool of INT succeeded")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	schema := Schema{
+		{Table: "t", Column: "a", Type: sqltypes.Int},
+		{Table: "t", Column: "b", Type: sqltypes.Text},
+		{Table: "u", Column: "a", Type: sqltypes.Int},
+	}
+	e := &Binary{OpEq, &ColRef{Table: "t", Column: "a"}, &ColRef{Table: "u", Column: "A"}}
+	if err := Resolve(e, schema); err != nil {
+		t.Fatal(err)
+	}
+	if e.L.(*ColRef).Idx != 0 || e.R.(*ColRef).Idx != 2 {
+		t.Errorf("resolved idx = %d, %d", e.L.(*ColRef).Idx, e.R.(*ColRef).Idx)
+	}
+	// Unqualified ambiguous reference.
+	if err := Resolve(&ColRef{Column: "a"}, schema); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous resolve: %v", err)
+	}
+	// Unqualified unique reference.
+	c := &ColRef{Column: "b"}
+	if err := Resolve(c, schema); err != nil || c.Idx != 1 {
+		t.Errorf("resolve b: %v idx=%d", err, c.Idx)
+	}
+	if err := Resolve(&ColRef{Column: "zz"}, schema); err == nil {
+		t.Error("missing column resolved")
+	}
+}
+
+func TestAggState(t *testing.T) {
+	add := func(st *AggState, vals ...sqltypes.Value) {
+		t.Helper()
+		for _, v := range vals {
+			if err := st.Add(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	vi := sqltypes.NewInt
+	count, _ := NewAggState("COUNT", false)
+	add(count, vi(1), sqltypes.NullValue(), vi(2))
+	if got := count.Result(); got.Int() != 2 {
+		t.Errorf("COUNT = %v", got)
+	}
+	sum, _ := NewAggState("SUM", false)
+	add(sum, vi(1), vi(2), vi(3))
+	if got := sum.Result(); got.Int() != 6 {
+		t.Errorf("SUM = %v", got)
+	}
+	sumEmpty, _ := NewAggState("SUM", false)
+	if got := sumEmpty.Result(); !got.IsNull() {
+		t.Errorf("SUM of nothing = %v", got)
+	}
+	avg, _ := NewAggState("AVG", false)
+	add(avg, vi(1), vi(2))
+	if got := avg.Result(); got.Real() != 1.5 {
+		t.Errorf("AVG = %v", got)
+	}
+	min, _ := NewAggState("MIN", false)
+	add(min, vi(5), vi(2), vi(9))
+	if got := min.Result(); got.Int() != 2 {
+		t.Errorf("MIN = %v", got)
+	}
+	max, _ := NewAggState("MAX", false)
+	add(max, vi(5), vi(9), vi(2))
+	if got := max.Result(); got.Int() != 9 {
+		t.Errorf("MAX = %v", got)
+	}
+	dist, _ := NewAggState("COUNT", true)
+	add(dist, vi(1), vi(1), vi(2))
+	if got := dist.Result(); got.Int() != 2 {
+		t.Errorf("COUNT DISTINCT = %v", got)
+	}
+	star, _ := NewAggState("COUNT", false)
+	star.AddStar()
+	star.AddStar()
+	if got := star.Result(); got.Int() != 2 {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	if _, err := NewAggState("WAT", false); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	bad, _ := NewAggState("SUM", false)
+	if err := bad.Add(sqltypes.NewText("x")); err == nil {
+		t.Error("SUM of TEXT accepted")
+	}
+}
+
+func TestWalkAndHasAggregate(t *testing.T) {
+	agg := &Aggregate{Name: "COUNT", Star: true}
+	e := &Binary{OpAnd,
+		&Binary{OpGt, agg, i(1)},
+		&In{X: &ColRef{Column: "c"}, List: []Expr{i(1), i(2)}},
+	}
+	if !HasAggregate(e) {
+		t.Error("HasAggregate missed COUNT(*)")
+	}
+	if HasAggregate(&Binary{OpEq, i(1), i(1)}) {
+		t.Error("HasAggregate false positive")
+	}
+	n := 0
+	Walk(e, func(Expr) bool { n++; return true })
+	if n != 8 {
+		t.Errorf("Walk visited %d nodes, want 8", n)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	e := &Binary{OpAnd,
+		&Between{X: &ColRef{Table: "t", Column: "a"}, Lo: i(1), Hi: i(2), Not: true},
+		&IsNull{X: &Param{}},
+	}
+	want := "((t.a NOT BETWEEN 1 AND 2) AND (? IS NULL))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %s, want %s", got, want)
+	}
+	a := &Aggregate{Name: "SUM", Arg: &ColRef{Column: "x"}, Distinct: true}
+	if a.String() != "SUM(DISTINCT x)" {
+		t.Errorf("agg String = %s", a.String())
+	}
+}

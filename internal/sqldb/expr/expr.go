@@ -1,0 +1,235 @@
+// Package expr defines the expression AST shared by the SQL parser, planner
+// and executor, plus the evaluator with SQL three-valued NULL semantics.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// Op enumerates unary and binary operators.
+type Op uint8
+
+// Operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+	OpConcat
+	OpLike
+)
+
+var opNames = map[Op]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpAnd: "AND", OpOr: "OR", OpNot: "NOT", OpNeg: "-", OpConcat: "||", OpLike: "LIKE",
+}
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string { return opNames[o] }
+
+// Expr is a node of the expression tree.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Literal is a constant value.
+type Literal struct{ Val sqltypes.Value }
+
+// Param is a positional `?` parameter (0-based).
+type Param struct{ Index int }
+
+// ColRef is a (possibly qualified) column reference. Idx is filled in by
+// Resolve and indexes into the runtime row.
+type ColRef struct {
+	Table  string // alias or table name; may be empty
+	Column string
+	Idx    int
+}
+
+// Unary applies OpNot or OpNeg.
+type Unary struct {
+	Op Op
+	X  Expr
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   Op
+	L, R Expr
+}
+
+// Between is X [NOT] BETWEEN Lo AND Hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// In is X [NOT] IN (list...).
+type In struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNull is X IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+// Call is a scalar function call.
+type Call struct {
+	Name string // upper-case
+	Args []Expr
+}
+
+// Aggregate is an aggregate function reference (COUNT/SUM/AVG/MIN/MAX).
+// During GROUP BY execution the aggregator computes its value; Idx is the
+// position assigned by the planner in the aggregate output row.
+type Aggregate struct {
+	Name     string // upper-case
+	Arg      Expr   // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+	Idx      int
+}
+
+func (*Literal) isExpr()   {}
+func (*Param) isExpr()     {}
+func (*ColRef) isExpr()    {}
+func (*Unary) isExpr()     {}
+func (*Binary) isExpr()    {}
+func (*Between) isExpr()   {}
+func (*In) isExpr()        {}
+func (*IsNull) isExpr()    {}
+func (*Call) isExpr()      {}
+func (*Aggregate) isExpr() {}
+
+func (e *Literal) String() string { return e.Val.SQLLiteral() }
+func (e *Param) String() string   { return "?" }
+func (e *ColRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Column
+	}
+	return e.Column
+}
+func (e *Unary) String() string {
+	if e.Op == OpNot {
+		return "NOT " + e.X.String()
+	}
+	return "-" + e.X.String()
+}
+func (e *Binary) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+func (e *Between) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return "(" + e.X.String() + " " + not + "BETWEEN " + e.Lo.String() + " AND " + e.Hi.String() + ")"
+}
+func (e *In) String() string {
+	parts := make([]string, len(e.List))
+	for i, x := range e.List {
+		parts[i] = x.String()
+	}
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return "(" + e.X.String() + " " + not + "IN (" + strings.Join(parts, ", ") + "))"
+}
+func (e *IsNull) String() string {
+	if e.Not {
+		return "(" + e.X.String() + " IS NOT NULL)"
+	}
+	return "(" + e.X.String() + " IS NULL)"
+}
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, x := range e.Args {
+		parts[i] = x.String()
+	}
+	return e.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+func (e *Aggregate) String() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return e.Name + "(" + d + e.Arg.String() + ")"
+}
+
+// Walk visits e and all children in depth-first order. It stops early when
+// fn returns false.
+func Walk(e Expr, fn func(Expr) bool) bool {
+	if e == nil {
+		return true
+	}
+	if !fn(e) {
+		return false
+	}
+	switch x := e.(type) {
+	case *Unary:
+		return Walk(x.X, fn)
+	case *Binary:
+		return Walk(x.L, fn) && Walk(x.R, fn)
+	case *Between:
+		return Walk(x.X, fn) && Walk(x.Lo, fn) && Walk(x.Hi, fn)
+	case *In:
+		if !Walk(x.X, fn) {
+			return false
+		}
+		for _, it := range x.List {
+			if !Walk(it, fn) {
+				return false
+			}
+		}
+	case *IsNull:
+		return Walk(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			if !Walk(a, fn) {
+				return false
+			}
+		}
+	case *Aggregate:
+		if x.Arg != nil {
+			return Walk(x.Arg, fn)
+		}
+	}
+	return true
+}
+
+// HasAggregate reports whether e contains an aggregate call.
+func HasAggregate(e Expr) bool {
+	found := false
+	Walk(e, func(n Expr) bool {
+		if _, ok := n.(*Aggregate); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,163 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// SchemaColumn describes one column of a runtime row for name resolution.
+type SchemaColumn struct {
+	Table  string // alias under which the column is visible (may be empty)
+	Column string
+	Type   sqltypes.Type
+}
+
+// Schema is the ordered column layout of rows flowing through an operator.
+type Schema []SchemaColumn
+
+// Find returns the index of the column matching the reference, or an error
+// if it is absent or ambiguous. Matching is case-insensitive.
+func (s Schema) Find(table, column string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Column, column) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("ambiguous column reference %s", refName(table, column))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("no such column %s", refName(table, column))
+	}
+	return found, nil
+}
+
+func refName(table, column string) string {
+	if table != "" {
+		return table + "." + column
+	}
+	return column
+}
+
+// Resolve fills in ColRef.Idx for every column reference in e against the
+// schema. Aggregates' arguments are resolved too.
+func Resolve(e Expr, s Schema) error {
+	var rerr error
+	Walk(e, func(n Expr) bool {
+		if c, ok := n.(*ColRef); ok {
+			idx, err := s.Find(c.Table, c.Column)
+			if err != nil {
+				rerr = err
+				return false
+			}
+			c.Idx = idx
+		}
+		return true
+	})
+	return rerr
+}
+
+// AggState accumulates one aggregate over a group of rows.
+type AggState struct {
+	name     string
+	distinct bool
+	seen     map[string]struct{}
+	count    int64
+	sumI     int64
+	sumF     float64
+	isReal   bool
+	minMax   sqltypes.Value
+	hasVal   bool
+}
+
+// NewAggState returns an accumulator for the named aggregate
+// (COUNT/SUM/AVG/MIN/MAX, upper-case).
+func NewAggState(name string, distinct bool) (*AggState, error) {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+	default:
+		return nil, fmt.Errorf("unknown aggregate %s", name)
+	}
+	st := &AggState{name: name, distinct: distinct}
+	if distinct {
+		st.seen = map[string]struct{}{}
+	}
+	return st, nil
+}
+
+// AddStar counts a row for COUNT(*).
+func (a *AggState) AddStar() { a.count++ }
+
+// Add folds one argument value into the aggregate. NULLs are ignored per SQL.
+func (a *AggState) Add(v sqltypes.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if a.distinct {
+		key := string(sqltypes.EncodeKey(nil, v))
+		if _, dup := a.seen[key]; dup {
+			return nil
+		}
+		a.seen[key] = struct{}{}
+	}
+	a.count++
+	switch a.name {
+	case "COUNT":
+	case "SUM", "AVG":
+		switch v.Type() {
+		case sqltypes.Int:
+			a.sumI += v.Int()
+			a.sumF += float64(v.Int())
+		case sqltypes.Real:
+			a.isReal = true
+			a.sumF += v.Real()
+		default:
+			return fmt.Errorf("%s of %s", a.name, v.Type())
+		}
+	case "MIN":
+		if !a.hasVal || sqltypes.Compare(v, a.minMax) < 0 {
+			a.minMax = v
+		}
+		a.hasVal = true
+	case "MAX":
+		if !a.hasVal || sqltypes.Compare(v, a.minMax) > 0 {
+			a.minMax = v
+		}
+		a.hasVal = true
+	}
+	return nil
+}
+
+// Result produces the aggregate value; SUM/AVG/MIN/MAX of no rows is NULL,
+// COUNT is 0.
+func (a *AggState) Result() sqltypes.Value {
+	switch a.name {
+	case "COUNT":
+		return sqltypes.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return sqltypes.NullValue()
+		}
+		if a.isReal {
+			return sqltypes.NewReal(a.sumF)
+		}
+		return sqltypes.NewInt(a.sumI)
+	case "AVG":
+		if a.count == 0 {
+			return sqltypes.NullValue()
+		}
+		return sqltypes.NewReal(a.sumF / float64(a.count))
+	default: // MIN, MAX
+		if !a.hasVal {
+			return sqltypes.NullValue()
+		}
+		return a.minMax
+	}
+}

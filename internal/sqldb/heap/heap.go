@@ -1,0 +1,307 @@
+// Package heap implements slotted-page heap storage for table rows. Rows are
+// stored as opaque byte strings (the engine encodes them with the sqltypes
+// row codec) addressed by record ids (RIDs). Pages follow the classic slotted
+// layout: a slot directory growing forward from the header and row payloads
+// growing backward from the end of the page.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a heap page in bytes.
+const PageSize = 8192
+
+const (
+	headerSize = 6 // numSlots(2) freeStart(2) freeEnd(2)
+	slotSize   = 4 // offset(2) length(2)
+)
+
+// MaxRowSize is the largest payload a single page can hold.
+const MaxRowSize = PageSize - headerSize - slotSize
+
+// RID addresses a record: page number and slot within the page.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the RID for debugging.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Less orders RIDs by page, then slot.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// ErrRowTooLarge is returned when a payload exceeds MaxRowSize.
+var ErrRowTooLarge = errors.New("heap: row larger than page")
+
+// ErrNotFound is returned for RIDs that do not address a live record.
+var ErrNotFound = errors.New("heap: record not found")
+
+type page struct {
+	buf []byte
+}
+
+func newPage() *page {
+	p := &page{buf: make([]byte, PageSize)}
+	p.setNumSlots(0)
+	p.setFreeStart(headerSize)
+	p.setFreeEnd(PageSize)
+	return p
+}
+
+func (p *page) numSlots() int       { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+func (p *page) setNumSlots(n int)   { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *page) freeStart() int      { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
+func (p *page) setFreeStart(n int)  { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(n)) }
+func (p *page) freeEnd() int        { return int(binary.LittleEndian.Uint16(p.buf[4:6])) }
+func (p *page) setFreeEnd(n int)    { binary.LittleEndian.PutUint16(p.buf[4:6], uint16(n)) }
+func (p *page) contiguousFree() int { return p.freeEnd() - p.freeStart() }
+
+func (p *page) slot(i int) (off, length int) {
+	base := headerSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+}
+
+func (p *page) setSlot(i, off, length int) {
+	base := headerSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+}
+
+// insert places data in the page, reusing a dead slot when one exists.
+// It reports the slot used and whether the insert fit.
+func (p *page) insert(data []byte) (int, bool) {
+	slot := -1
+	for i := 0; i < p.numSlots(); i++ {
+		if _, l := p.slot(i); l == 0 {
+			slot = i
+			break
+		}
+	}
+	need := len(data)
+	if slot == -1 {
+		need += slotSize
+	}
+	if p.contiguousFree() < need {
+		if p.deadBytes() > 0 && p.compacted().contiguousFree() >= need {
+			p.compact()
+		} else {
+			return 0, false
+		}
+	}
+	if slot == -1 {
+		slot = p.numSlots()
+		p.setNumSlots(slot + 1)
+		p.setFreeStart(p.freeStart() + slotSize)
+	}
+	off := p.freeEnd() - len(data)
+	copy(p.buf[off:], data)
+	p.setFreeEnd(off)
+	p.setSlot(slot, off, len(data))
+	return slot, true
+}
+
+// deadBytes returns payload bytes no longer referenced by a live slot.
+func (p *page) deadBytes() int {
+	live := 0
+	for i := 0; i < p.numSlots(); i++ {
+		_, l := p.slot(i)
+		live += l
+	}
+	return (PageSize - p.freeEnd()) - live
+}
+
+// compacted returns a logical view of free space after compaction without
+// mutating the page.
+func (p *page) compacted() *page {
+	live := 0
+	for i := 0; i < p.numSlots(); i++ {
+		_, l := p.slot(i)
+		live += l
+	}
+	c := &page{buf: make([]byte, headerSize)}
+	c.buf = append(c.buf, make([]byte, PageSize-headerSize)...)
+	c.setNumSlots(p.numSlots())
+	c.setFreeStart(p.freeStart())
+	c.setFreeEnd(PageSize - live)
+	return c
+}
+
+// compact rewrites live payloads to the end of the page, reclaiming dead
+// space. Slot numbers (and therefore RIDs) are preserved.
+func (p *page) compact() {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var recs []rec
+	for i := 0; i < p.numSlots(); i++ {
+		off, l := p.slot(i)
+		if l == 0 {
+			continue
+		}
+		d := make([]byte, l)
+		copy(d, p.buf[off:off+l])
+		recs = append(recs, rec{i, d})
+	}
+	end := PageSize
+	for _, r := range recs {
+		end -= len(r.data)
+		copy(p.buf[end:], r.data)
+		p.setSlot(r.slot, end, len(r.data))
+	}
+	p.setFreeEnd(end)
+}
+
+// Heap is an append-friendly collection of slotted pages.
+type Heap struct {
+	pages    []*page
+	rowCount int
+	// insertHint is the page most recently found to have space; inserts try
+	// it first so bulk loads stay O(1) per row.
+	insertHint int
+}
+
+// New returns an empty heap.
+func New() *Heap { return &Heap{} }
+
+// Insert stores data and returns its RID.
+func (h *Heap) Insert(data []byte) (RID, error) {
+	if len(data) > MaxRowSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
+	}
+	if h.insertHint < len(h.pages) {
+		if slot, ok := h.pages[h.insertHint].insert(data); ok {
+			h.rowCount++
+			return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
+		}
+	}
+	// Try the last page, then allocate.
+	if n := len(h.pages); n > 0 && n-1 != h.insertHint {
+		if slot, ok := h.pages[n-1].insert(data); ok {
+			h.insertHint = n - 1
+			h.rowCount++
+			return RID{Page: uint32(n - 1), Slot: uint16(slot)}, nil
+		}
+	}
+	p := newPage()
+	h.pages = append(h.pages, p)
+	h.insertHint = len(h.pages) - 1
+	slot, ok := p.insert(data)
+	if !ok {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
+	}
+	h.rowCount++
+	return RID{Page: uint32(len(h.pages) - 1), Slot: uint16(slot)}, nil
+}
+
+// Get returns the payload stored at rid. The returned slice aliases page
+// memory and is only valid until the next mutation; callers that retain it
+// must copy.
+func (h *Heap) Get(rid RID) ([]byte, error) {
+	p, off, l, err := h.locate(rid)
+	if err != nil {
+		return nil, err
+	}
+	return p.buf[off : off+l], nil
+}
+
+// Delete removes the record at rid.
+func (h *Heap) Delete(rid RID) error {
+	p, _, _, err := h.locate(rid)
+	if err != nil {
+		return err
+	}
+	p.setSlot(int(rid.Slot), 0, 0)
+	h.rowCount--
+	if int(rid.Page) < h.insertHint {
+		h.insertHint = int(rid.Page)
+	}
+	return nil
+}
+
+// Update replaces the payload at rid. When the new payload fits the page it
+// stays in place and the same RID remains valid; otherwise the record moves
+// and the new RID is returned. Callers must use the returned RID.
+func (h *Heap) Update(rid RID, data []byte) (RID, error) {
+	if len(data) > MaxRowSize {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
+	}
+	p, off, l, err := h.locate(rid)
+	if err != nil {
+		return RID{}, err
+	}
+	if len(data) <= l {
+		copy(p.buf[off:], data)
+		p.setSlot(int(rid.Slot), off, len(data))
+		return rid, nil
+	}
+	// Try to keep it on the same page (slot reuse preserves the RID only if
+	// insert happens to pick this slot; simplest correct behaviour: delete
+	// then insert, possibly on the same page).
+	p.setSlot(int(rid.Slot), 0, 0)
+	if slot, ok := p.insert(data); ok {
+		return RID{Page: rid.Page, Slot: uint16(slot)}, nil
+	}
+	h.rowCount--
+	return h.Insert(data)
+}
+
+func (h *Heap) locate(rid RID) (*page, int, int, error) {
+	if int(rid.Page) >= len(h.pages) {
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	p := h.pages[rid.Page]
+	if int(rid.Slot) >= p.numSlots() {
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	off, l := p.slot(int(rid.Slot))
+	if l == 0 {
+		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	return p, off, l, nil
+}
+
+// Scan calls fn for every live record in RID order. The payload slice aliases
+// page memory; fn must not retain it. Scanning stops when fn returns false.
+func (h *Heap) Scan(fn func(rid RID, data []byte) bool) {
+	for pi, p := range h.pages {
+		for si := 0; si < p.numSlots(); si++ {
+			off, l := p.slot(si)
+			if l == 0 {
+				continue
+			}
+			if !fn(RID{Page: uint32(pi), Slot: uint16(si)}, p.buf[off:off+l]) {
+				return
+			}
+		}
+	}
+}
+
+// Stats describes heap occupancy.
+type Stats struct {
+	Pages     int
+	Rows      int
+	LiveBytes int
+}
+
+// Stats returns occupancy counters.
+func (h *Heap) Stats() Stats {
+	s := Stats{Pages: len(h.pages), Rows: h.rowCount}
+	for _, p := range h.pages {
+		for i := 0; i < p.numSlots(); i++ {
+			_, l := p.slot(i)
+			s.LiveBytes += l
+		}
+	}
+	return s
+}

@@ -1,0 +1,281 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestInsertGet(t *testing.T) {
+	h := New()
+	rid, err := h.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+}
+
+func TestInsertEmptyPayload(t *testing.T) {
+	h := New()
+	// Zero-length payloads are indistinguishable from dead slots in the
+	// slotted layout; the engine never stores them (rows always encode a
+	// header byte), but the heap must not corrupt itself.
+	rid, err := h.Insert([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowTooLarge(t *testing.T) {
+	h := New()
+	if _, err := h.Insert(make([]byte, MaxRowSize+1)); err == nil {
+		t.Fatal("oversize insert succeeded")
+	}
+	if _, err := h.Insert(make([]byte, MaxRowSize)); err != nil {
+		t.Fatalf("max-size insert failed: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	h := New()
+	rid, _ := h.Insert([]byte("abc"))
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if err := h.Delete(rid); err == nil {
+		t.Fatal("double Delete succeeded")
+	}
+	if s := h.Stats(); s.Rows != 0 {
+		t.Fatalf("Rows = %d after delete", s.Rows)
+	}
+}
+
+func TestGetBadRID(t *testing.T) {
+	h := New()
+	if _, err := h.Get(RID{Page: 5, Slot: 0}); err == nil {
+		t.Fatal("Get on missing page succeeded")
+	}
+	h.Insert([]byte("x"))
+	if _, err := h.Get(RID{Page: 0, Slot: 99}); err == nil {
+		t.Fatal("Get on missing slot succeeded")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := New()
+	rid, _ := h.Insert([]byte("abcdef"))
+	nrid, err := h.Update(rid, []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrid != rid {
+		t.Fatalf("shrinking update moved the row: %v -> %v", rid, nrid)
+	}
+	got, _ := h.Get(nrid)
+	if string(got) != "xyz" {
+		t.Fatalf("Get = %q", got)
+	}
+}
+
+func TestUpdateGrow(t *testing.T) {
+	h := New()
+	rid, _ := h.Insert([]byte("ab"))
+	big := bytes.Repeat([]byte("z"), 100)
+	nrid, err := h.Update(rid, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := h.Get(nrid)
+	if !bytes.Equal(got, big) {
+		t.Fatal("grown update lost data")
+	}
+	if s := h.Stats(); s.Rows != 1 {
+		t.Fatalf("Rows = %d after grow", s.Rows)
+	}
+}
+
+func TestMultiPageAndScan(t *testing.T) {
+	h := New()
+	const n = 5000
+	want := map[RID][]byte{}
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("row-%06d-%s", i, bytes.Repeat([]byte("p"), i%50)))
+		rid, err := h.Insert(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[rid] = data
+	}
+	if s := h.Stats(); s.Pages < 2 || s.Rows != n {
+		t.Fatalf("Stats = %+v", s)
+	}
+	seen := 0
+	var prev RID
+	first := true
+	h.Scan(func(rid RID, data []byte) bool {
+		if !first && !prev.Less(rid) {
+			t.Fatalf("scan out of RID order: %v then %v", prev, rid)
+		}
+		prev, first = rid, false
+		if !bytes.Equal(want[rid], data) {
+			t.Fatalf("scan mismatch at %v", rid)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Fatalf("scan saw %d rows, want %d", seen, n)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	h := New()
+	for i := 0; i < 10; i++ {
+		h.Insert([]byte{byte(i)})
+	}
+	count := 0
+	h.Scan(func(RID, []byte) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("scan visited %d, want 3", count)
+	}
+}
+
+func TestSlotReuseAfterDelete(t *testing.T) {
+	h := New()
+	rid1, _ := h.Insert([]byte("one"))
+	h.Insert([]byte("two"))
+	h.Delete(rid1)
+	rid3, _ := h.Insert([]byte("three"))
+	if rid3 != rid1 {
+		t.Fatalf("dead slot not reused: got %v want %v", rid3, rid1)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	h := New()
+	// Fill a page with ~40 records, delete every other one, then insert a
+	// record that only fits after compaction.
+	payload := bytes.Repeat([]byte("x"), 190)
+	var rids []RID
+	for {
+		rid, err := h.Insert(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rid.Page > 0 {
+			break
+		}
+		rids = append(rids, rid)
+	}
+	for i := 0; i < len(rids); i += 2 {
+		h.Delete(rids[i])
+	}
+	big := bytes.Repeat([]byte("y"), 2000)
+	rid, err := h.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rid.Page != 0 {
+		t.Fatalf("insert after deletes went to page %d, compaction failed", rid.Page)
+	}
+	// Survivors must be intact.
+	for i := 1; i < len(rids); i += 2 {
+		got, err := h.Get(rids[i])
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("record %v corrupted after compaction: %v", rids[i], err)
+		}
+	}
+	got, _ := h.Get(rid)
+	if !bytes.Equal(got, big) {
+		t.Fatal("big record corrupted")
+	}
+}
+
+// Torture test: random inserts/updates/deletes checked against a map.
+func TestRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := New()
+	ref := map[RID][]byte{}
+	var live []RID
+	for op := 0; op < 20000; op++ {
+		switch {
+		case len(live) == 0 || r.Intn(10) < 5:
+			data := make([]byte, r.Intn(300)+1)
+			r.Read(data)
+			rid, err := h.Insert(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := ref[rid]; dup {
+				t.Fatalf("op %d: RID %v handed out twice", op, rid)
+			}
+			ref[rid] = data
+			live = append(live, rid)
+		case r.Intn(10) < 5:
+			i := r.Intn(len(live))
+			rid := live[i]
+			data := make([]byte, r.Intn(300)+1)
+			r.Read(data)
+			nrid, err := h.Update(rid, data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nrid != rid {
+				if _, dup := ref[nrid]; dup {
+					t.Fatalf("op %d: moved to live RID %v", op, nrid)
+				}
+				delete(ref, rid)
+				live[i] = nrid
+			}
+			ref[nrid] = data
+		default:
+			i := r.Intn(len(live))
+			rid := live[i]
+			if err := h.Delete(rid); err != nil {
+				t.Fatal(err)
+			}
+			delete(ref, rid)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if op%2000 == 0 {
+			verify(t, h, ref)
+		}
+	}
+	verify(t, h, ref)
+}
+
+func verify(t *testing.T, h *Heap, ref map[RID][]byte) {
+	t.Helper()
+	seen := 0
+	h.Scan(func(rid RID, data []byte) bool {
+		want, ok := ref[rid]
+		if !ok {
+			t.Fatalf("scan found unexpected RID %v", rid)
+		}
+		if !bytes.Equal(want, data) {
+			t.Fatalf("data mismatch at %v", rid)
+		}
+		seen++
+		return true
+	})
+	if seen != len(ref) {
+		t.Fatalf("scan saw %d rows, want %d", seen, len(ref))
+	}
+	if s := h.Stats(); s.Rows != len(ref) {
+		t.Fatalf("Stats.Rows = %d, want %d", s.Rows, len(ref))
+	}
+}

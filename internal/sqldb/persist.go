@@ -1,0 +1,226 @@
+package sqldb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ordxml/internal/sqldb/catalog"
+	"ordxml/internal/sqldb/heap"
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// Snapshot persistence: Dump streams the whole database — schemas, rows
+// and index definitions — in a compact binary format; Load reads it back,
+// rebuilding indexes. The format is a snapshot, not a log: it captures a
+// point-in-time state (the engine has no WAL; see the package comment).
+//
+// Layout: magic, version, table count, then per table: name, columns,
+// row count, row payloads (sqltypes row codec), then per table its index
+// definitions. All strings and blobs are uvarint-length-prefixed.
+
+const (
+	persistMagic   = "ordxmlDB"
+	persistVersion = 1
+)
+
+// WriteTo serializes the database. It takes the engine's read lock, so the
+// snapshot is consistent with respect to concurrent statements.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	out := &perr{w: bw}
+
+	out.bytes([]byte(persistMagic))
+	out.uvarint(persistVersion)
+	names := db.cat.TableNames()
+	out.uvarint(uint64(len(names)))
+	for _, name := range names {
+		t := db.cat.Table(name)
+		out.str(name)
+		out.uvarint(uint64(len(t.Columns)))
+		for _, c := range t.Columns {
+			out.str(c.Name)
+			out.uvarint(uint64(c.Type))
+			out.bool(c.NotNull)
+		}
+		out.uvarint(uint64(t.RowCount()))
+		t.Heap.Scan(func(_ heap.RID, data []byte) bool {
+			out.blob(data)
+			return out.err == nil
+		})
+		out.uvarint(uint64(len(t.Indexes)))
+		for _, ix := range t.Indexes {
+			out.str(ix.Name)
+			cols := ix.ColumnNames()
+			out.uvarint(uint64(len(cols)))
+			for _, c := range cols {
+				out.str(c)
+			}
+			out.bool(ix.Unique)
+		}
+	}
+	if out.err != nil {
+		return out.err
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot produced by Dump into a fresh database.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	in := &pread{r: br}
+
+	magic := in.bytes(len(persistMagic))
+	if in.err == nil && string(magic) != persistMagic {
+		return nil, fmt.Errorf("not an ordxml database snapshot")
+	}
+	if v := in.uvarint(); in.err == nil && v != persistVersion {
+		return nil, fmt.Errorf("unsupported snapshot version %d", v)
+	}
+	db := Open()
+	nTables := in.uvarint()
+	type pendingIndex struct {
+		name, table string
+		cols        []string
+		unique      bool
+	}
+	var indexes []pendingIndex
+	for ti := uint64(0); ti < nTables && in.err == nil; ti++ {
+		name := in.str()
+		nCols := in.uvarint()
+		cols := make([]catalog.Column, nCols)
+		for ci := range cols {
+			cols[ci] = catalog.Column{
+				Name:    in.str(),
+				Type:    sqltypes.Type(in.uvarint()),
+				NotNull: in.bool(),
+			}
+		}
+		if in.err != nil {
+			break
+		}
+		t, err := db.cat.CreateTable(name, cols)
+		if err != nil {
+			return nil, err
+		}
+		nRows := in.uvarint()
+		for ri := uint64(0); ri < nRows && in.err == nil; ri++ {
+			data := in.blobCopy()
+			if in.err != nil {
+				break
+			}
+			row, err := sqltypes.DecodeRow(data)
+			if err != nil {
+				return nil, fmt.Errorf("table %s row %d: %w", name, ri, err)
+			}
+			if _, err := t.Insert(row); err != nil {
+				return nil, fmt.Errorf("table %s row %d: %w", name, ri, err)
+			}
+		}
+		nIdx := in.uvarint()
+		for ii := uint64(0); ii < nIdx && in.err == nil; ii++ {
+			pi := pendingIndex{name: in.str(), table: name}
+			nc := in.uvarint()
+			for c := uint64(0); c < nc; c++ {
+				pi.cols = append(pi.cols, in.str())
+			}
+			pi.unique = in.bool()
+			indexes = append(indexes, pi)
+		}
+	}
+	if in.err != nil {
+		return nil, fmt.Errorf("snapshot read: %w", in.err)
+	}
+	for _, pi := range indexes {
+		if _, err := db.cat.CreateIndex(pi.name, pi.table, pi.cols, pi.unique); err != nil {
+			return nil, fmt.Errorf("rebuild index %s: %w", pi.name, err)
+		}
+	}
+	return db, nil
+}
+
+// perr is a sticky-error binary writer.
+type perr struct {
+	w   *bufio.Writer
+	err error
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (p *perr) bytes(b []byte) {
+	if p.err == nil {
+		_, p.err = p.w.Write(b)
+	}
+}
+
+func (p *perr) uvarint(v uint64) {
+	n := binary.PutUvarint(p.buf[:], v)
+	p.bytes(p.buf[:n])
+}
+
+func (p *perr) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	p.bytes([]byte{b})
+}
+
+func (p *perr) blob(b []byte) {
+	p.uvarint(uint64(len(b)))
+	p.bytes(b)
+}
+
+func (p *perr) str(s string) { p.blob([]byte(s)) }
+
+// pread is the matching sticky-error reader.
+type pread struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (p *pread) bytes(n int) []byte {
+	if p.err != nil {
+		return nil
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(p.r, out); err != nil {
+		p.err = err
+		return nil
+	}
+	return out
+}
+
+func (p *pread) uvarint() uint64 {
+	if p.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		p.err = err
+		return 0
+	}
+	return v
+}
+
+func (p *pread) bool() bool {
+	b := p.bytes(1)
+	return p.err == nil && b[0] != 0
+}
+
+func (p *pread) blobCopy() []byte {
+	n := p.uvarint()
+	if p.err != nil {
+		return nil
+	}
+	const maxBlob = 1 << 24
+	if n > maxBlob {
+		p.err = fmt.Errorf("corrupt snapshot: %d-byte record", n)
+		return nil
+	}
+	return p.bytes(int(n))
+}
+
+func (p *pread) str() string { return string(p.blobCopy()) }

@@ -1,0 +1,81 @@
+package sqldb
+
+import (
+	"bytes"
+	"testing"
+
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (
+		i INT PRIMARY KEY, r REAL, s TEXT NOT NULL, b BLOB, f BOOL)`)
+	mustExec(t, db, `CREATE INDEX t_s ON t (s, i)`)
+	mustExec(t, db, `CREATE TABLE empty (x INT)`)
+	ins, _ := db.Prepare("INSERT INTO t VALUES (?, ?, ?, ?, ?)")
+	for i := int64(0); i < 500; i++ {
+		var blob sqltypes.Value = B([]byte{byte(i), 0x00, 0xFF})
+		if i%7 == 0 {
+			blob = Null()
+		}
+		if _, err := ins.Exec(I(i), F(float64(i)/3), S("row"), blob, sqltypes.NewBool(i%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row data and types survive.
+	res := mustQuery(t, back, "SELECT i, r, s, b, f FROM t WHERE i = 3")
+	r := res.Rows[0]
+	if r[0].Int() != 3 || r[1].Real() != 1.0 || r[2].Text() != "row" ||
+		!bytes.Equal(r[3].Blob(), []byte{3, 0, 0xFF}) || r[4].Bool() {
+		t.Fatalf("row 3 = %v", r)
+	}
+	res = mustQuery(t, back, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0].Int() != 500 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	// Indexes were rebuilt: plans use them and uniqueness is enforced.
+	p, err := back.Explain("SELECT s FROM t WHERE i = 9")
+	if err != nil || !contains(p, "IndexScan t using t_pkey") {
+		t.Errorf("restored plan:\n%s (%v)", p, err)
+	}
+	if _, err := back.Exec("INSERT INTO t VALUES (3, 0, 'dup', NULL, FALSE)"); err == nil {
+		t.Error("unique constraint lost after restore")
+	}
+	// NOT NULL constraint survives.
+	if _, err := back.Exec("INSERT INTO t VALUES (1000, 0, NULL, NULL, FALSE)"); err == nil {
+		t.Error("NOT NULL lost after restore")
+	}
+	// Empty table exists.
+	res = mustQuery(t, back, "SELECT COUNT(*) FROM empty")
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("empty table corrupted")
+	}
+}
+
+func contains(s, sub string) bool {
+	return bytes.Contains([]byte(s), []byte(sub))
+}
+
+func TestPersistBadInput(t *testing.T) {
+	for _, data := range []string{"", "short", "ordxmlDB\xff\xff\xff\xff\xff"} {
+		if _, err := Load(bytes.NewReader([]byte(data))); err == nil {
+			t.Errorf("Load(%q) succeeded", data)
+		}
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	buf.WriteString("ordxmlDB")
+	buf.WriteByte(99) // uvarint version 99
+	if _, err := Load(&buf); err == nil {
+		t.Error("future version accepted")
+	}
+}

@@ -1,0 +1,412 @@
+package plan
+
+import (
+	"fmt"
+
+	"ordxml/internal/sqldb/catalog"
+	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/sqlparse"
+)
+
+// Plan compiles a parsed statement into an executable plan. The result is a
+// Node for SELECT and one of InsertPlan/UpdatePlan/DeletePlan for DML; DDL
+// statements are handled directly by the engine facade and rejected here.
+func Plan(cat *catalog.Catalog, stmt sqlparse.Statement) (any, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		return PlanSelect(cat, s)
+	case *sqlparse.Insert:
+		return planInsert(cat, s)
+	case *sqlparse.Update:
+		return planUpdate(cat, s)
+	case *sqlparse.Delete:
+		return planDelete(cat, s)
+	default:
+		return nil, fmt.Errorf("cannot plan %T", stmt)
+	}
+}
+
+// tableEntry is one FROM-clause table with its resolved catalog object.
+type tableEntry struct {
+	ref   sqlparse.TableRef
+	table *catalog.Table
+	// leftOuter marks the table as the nullable side of a LEFT JOIN: WHERE
+	// predicates on it cannot be pushed below the join.
+	leftOuter bool
+	join      *sqlparse.Join // nil for the first table
+	offset    int            // column offset in the combined schema
+}
+
+// PlanSelect compiles a SELECT statement.
+func PlanSelect(cat *catalog.Catalog, s *sqlparse.Select) (Node, error) {
+	entries, err := resolveTables(cat, s)
+	if err != nil {
+		return nil, err
+	}
+	combined := combinedSchema(entries)
+
+	// Gather conjuncts: WHERE plus the ON conditions of inner joins (for an
+	// inner join, ON and WHERE are interchangeable). LEFT JOIN ONs stay
+	// attached to their join.
+	var conjuncts []expr.Expr
+	if s.Where != nil {
+		conjuncts = append(conjuncts, splitConjuncts(expr.Clone(s.Where))...)
+	}
+	for _, e := range entries {
+		if e.join != nil && e.join.Kind == sqlparse.JoinInner && e.join.On != nil {
+			conjuncts = append(conjuncts, splitConjuncts(expr.Clone(e.join.On))...)
+		}
+	}
+	// Resolve every conjunct against the combined schema so it can be
+	// classified by the tables it touches.
+	for _, c := range conjuncts {
+		if err := expr.Resolve(c, combined); err != nil {
+			return nil, err
+		}
+	}
+	used := make([]bool, len(conjuncts))
+
+	// Classify single-table conjuncts per table (not yet consumed; the join
+	// builder decides where each lands).
+	perTable := make([][]int, len(entries))
+	for ci, c := range conjuncts {
+		refs := referencedTables(c, combined)
+		if len(refs) != 1 {
+			continue
+		}
+		for ti, e := range entries {
+			if refs[e.ref.Name()] && !e.leftOuter {
+				perTable[ti] = append(perTable[ti], ci)
+			}
+		}
+	}
+
+	// Build the left-deep join tree in FROM order.
+	var root Node
+	leftTables := map[string]bool{}
+	singleTable := len(entries) == 1
+	for ti := range entries {
+		e := &entries[ti]
+		if ti == 0 {
+			var orderHint []sqlparse.OrderItem
+			if singleTable && len(s.GroupBy) == 0 && !s.Distinct {
+				orderHint = s.OrderBy
+			}
+			local := localConjuncts(conjuncts, perTable[0], e.offset, used)
+			access, satisfiesOrder, err := buildAccess(*e, local, orderHint)
+			if err != nil {
+				return nil, err
+			}
+			if satisfiesOrder {
+				s = shallowCopyWithoutOrder(s)
+			}
+			root = access
+		} else {
+			root, err = buildJoin(root, leftTables, e, perTable[ti], conjuncts, used, combined)
+			if err != nil {
+				return nil, err
+			}
+		}
+		leftTables[e.ref.Name()] = true
+	}
+
+	// Any conjunct not consumed becomes a post-join filter.
+	var residual []expr.Expr
+	for ci, c := range conjuncts {
+		if !used[ci] {
+			residual = append(residual, c)
+		}
+	}
+	if len(residual) > 0 {
+		root = &Filter{Input: root, Pred: andAll(residual)}
+	}
+
+	return planProjection(s, root, combined)
+}
+
+// localConjuncts clones the given conjuncts rebased to a table-local layout
+// and marks them used.
+func localConjuncts(conjuncts []expr.Expr, idxs []int, offset int, used []bool) []expr.Expr {
+	var out []expr.Expr
+	for _, ci := range idxs {
+		if used[ci] {
+			continue
+		}
+		out = append(out, shiftToLocal([]expr.Expr{conjuncts[ci]}, offset)[0])
+		used[ci] = true
+	}
+	return out
+}
+
+// shallowCopyWithoutOrder returns s minus its ORDER BY (the access path
+// already delivers that order).
+func shallowCopyWithoutOrder(s *sqlparse.Select) *sqlparse.Select {
+	c := *s
+	c.OrderBy = nil
+	return &c
+}
+
+func resolveTables(cat *catalog.Catalog, s *sqlparse.Select) ([]tableEntry, error) {
+	var entries []tableEntry
+	seen := map[string]bool{}
+	offset := 0
+	add := func(ref sqlparse.TableRef, j *sqlparse.Join) error {
+		t := cat.Table(ref.Table)
+		if t == nil {
+			return fmt.Errorf("no such table %s", ref.Table)
+		}
+		name := ref.Name()
+		if seen[name] {
+			return fmt.Errorf("duplicate table name %s in FROM (use an alias)", name)
+		}
+		seen[name] = true
+		entries = append(entries, tableEntry{
+			ref: ref, table: t, join: j,
+			leftOuter: j != nil && j.Kind == sqlparse.JoinLeft,
+			offset:    offset,
+		})
+		offset += len(t.Columns)
+		return nil
+	}
+	if err := add(s.From, nil); err != nil {
+		return nil, err
+	}
+	for i := range s.Joins {
+		if err := add(s.Joins[i].Table, &s.Joins[i]); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+func combinedSchema(entries []tableEntry) expr.Schema {
+	var s expr.Schema
+	for _, e := range entries {
+		s = append(s, tableSchema(e.table, e.ref.Name(), false)...)
+	}
+	return s
+}
+
+// splitConjuncts flattens a conjunction into its AND-ed parts.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.Binary); ok && b.Op == expr.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+func andAll(conjuncts []expr.Expr) expr.Expr {
+	out := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		out = &expr.Binary{Op: expr.OpAnd, L: out, R: c}
+	}
+	return out
+}
+
+// referencedTables returns the set of table aliases a resolved expression
+// touches.
+func referencedTables(e expr.Expr, schema expr.Schema) map[string]bool {
+	out := map[string]bool{}
+	expr.Walk(e, func(n expr.Expr) bool {
+		if c, ok := n.(*expr.ColRef); ok {
+			out[schema[c.Idx].Table] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isConstExpr reports whether e is row-independent (no columns, no
+// aggregates). Parameters are allowed: they are bound before execution.
+func isConstExpr(e expr.Expr) bool {
+	ok := true
+	expr.Walk(e, func(n expr.Expr) bool {
+		switch n.(type) {
+		case *expr.ColRef, *expr.Aggregate:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// refsOnly reports whether every column in e belongs to the allowed tables.
+func refsOnly(e expr.Expr, schema expr.Schema, allowed map[string]bool) bool {
+	ok := true
+	expr.Walk(e, func(n expr.Expr) bool {
+		if c, isCol := n.(*expr.ColRef); isCol {
+			if !allowed[schema[c.Idx].Table] {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// buildJoin attaches the next table to the accumulated left side. It tries,
+// in order: an index nested-loop join (correlated index lookup on the new
+// table — the workhorse for parent/child and sibling-range joins), a hash
+// join on equality keys, and finally a nested-loop join.
+func buildJoin(left Node, leftTables map[string]bool, e *tableEntry, perTable []int,
+	conjuncts []expr.Expr, used []bool, combined expr.Schema) (Node, error) {
+
+	rightName := e.ref.Name()
+	leftWidth := len(left.Schema())
+
+	// For LEFT JOIN the ON predicate is the join condition; WHERE conjuncts
+	// stay above and per-table pushdown was disabled.
+	if e.leftOuter {
+		right := accessForJoin(e, nil)
+		on := expr.Clone(e.join.On)
+		if err := expr.Resolve(on, combined); err != nil {
+			return nil, err
+		}
+		if lk, rk, residual, ok := equiKeys(splitConjuncts(on), leftTables, rightName, combined, nil); ok {
+			return &HashJoin{Left: left, Right: right,
+				LeftKeys: shiftToLocal(lk, 0), RightKeys: shiftToLocal(rk, leftWidth),
+				Residual: residual, Outer: true}, nil
+		}
+		return &NLJoin{Left: left, Right: right, On: on, Outer: true}, nil
+	}
+
+	// Cross conjuncts connecting the new table to the left side (or constants
+	// over the new table alone are in perTable).
+	var cross []int
+	for ci, c := range conjuncts {
+		if used[ci] {
+			continue
+		}
+		refs := referencedTables(c, combined)
+		if !refs[rightName] {
+			continue
+		}
+		ok := true
+		for r := range refs {
+			if r != rightName && !leftTables[r] {
+				ok = false
+			}
+		}
+		if ok && len(refs) > 1 {
+			cross = append(cross, ci)
+		}
+	}
+
+	// 1. Correlated index nested-loop join.
+	if n := tryIndexNLJoin(left, e, perTable, cross, conjuncts, used, combined); n != nil {
+		return n, nil
+	}
+
+	// 2. Hash join on equality keys.
+	local := localConjuncts(conjuncts, perTable, e.offset, used)
+	right := accessForJoin(e, local)
+	var candidates []expr.Expr
+	var candidateIdx []int
+	for _, ci := range cross {
+		if !used[ci] {
+			candidates = append(candidates, conjuncts[ci])
+			candidateIdx = append(candidateIdx, ci)
+		}
+	}
+	if lk, rk, residual, ok := equiKeys(candidates, leftTables, rightName, combined,
+		func(i int) { used[candidateIdx[i]] = true }); ok {
+		return &HashJoin{Left: left, Right: right,
+			LeftKeys: shiftToLocal(lk, 0), RightKeys: shiftToLocal(rk, leftWidth),
+			Residual: residual, Outer: false}, nil
+	}
+
+	// 3. Nested loops with whatever predicates exist.
+	var on expr.Expr
+	if len(candidates) > 0 {
+		on = andAll(candidates)
+		for _, ci := range candidateIdx {
+			used[ci] = true
+		}
+	}
+	return &NLJoin{Left: left, Right: right, On: on, Outer: false}, nil
+}
+
+// accessForJoin builds the inner access path for hash/NL joins.
+func accessForJoin(e *tableEntry, local []expr.Expr) Node {
+	access, _, err := buildAccess(*e, local, nil)
+	if err != nil {
+		// buildAccess only errors on order hints, which are nil here.
+		panic(fmt.Sprintf("plan: accessForJoin: %v", err))
+	}
+	return access
+}
+
+// equiKeys extracts equality key pairs (leftExpr = rightExpr) from conjuncts.
+// Non-key conjuncts become the residual. markUsed, when non-nil, is called
+// with the index of every consumed conjunct (keys and residual alike).
+func equiKeys(conjuncts []expr.Expr, leftTables map[string]bool, rightName string,
+	combined expr.Schema, markUsed func(int)) (lk, rk []expr.Expr, residual expr.Expr, ok bool) {
+
+	rightOnly := map[string]bool{rightName: true}
+	var rest []expr.Expr
+	var restIdx []int
+	for i, c := range conjuncts {
+		if b, isBin := c.(*expr.Binary); isBin && b.Op == expr.OpEq {
+			lrefs := referencedTables(b.L, combined)
+			rrefs := referencedTables(b.R, combined)
+			switch {
+			case len(lrefs) > 0 && len(rrefs) > 0 && onlyIn(lrefs, leftTables) && onlyIn(rrefs, rightOnly):
+				lk = append(lk, b.L)
+				rk = append(rk, b.R)
+				if markUsed != nil {
+					markUsed(i)
+				}
+				continue
+			case len(lrefs) > 0 && len(rrefs) > 0 && onlyIn(rrefs, leftTables) && onlyIn(lrefs, rightOnly):
+				lk = append(lk, b.R)
+				rk = append(rk, b.L)
+				if markUsed != nil {
+					markUsed(i)
+				}
+				continue
+			}
+		}
+		rest = append(rest, c)
+		restIdx = append(restIdx, i)
+	}
+	if len(lk) == 0 {
+		return nil, nil, nil, false
+	}
+	if len(rest) > 0 {
+		residual = andAll(rest)
+		if markUsed != nil {
+			for _, i := range restIdx {
+				markUsed(i)
+			}
+		}
+	}
+	return lk, rk, residual, true
+}
+
+func onlyIn(refs map[string]bool, allowed map[string]bool) bool {
+	for r := range refs {
+		if !allowed[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// shiftToLocal clones key expressions and rebases their column indexes from
+// the combined layout to a node-local layout starting at base.
+func shiftToLocal(keys []expr.Expr, base int) []expr.Expr {
+	out := make([]expr.Expr, len(keys))
+	for i, k := range keys {
+		c := expr.Clone(k)
+		expr.Walk(c, func(n expr.Expr) bool {
+			if cr, ok := n.(*expr.ColRef); ok {
+				cr.Idx -= base
+			}
+			return true
+		})
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+// Package sqlparse implements the SQL front end of the engine: a lexer and a
+// recursive-descent parser producing statement ASTs over the expr package's
+// expression nodes.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam // ?
+	tokOp    // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; idents original
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"OFFSET": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"UNIQUE": true, "DROP": true, "NOT": true, "NULL": true, "AND": true,
+	"OR": true, "IN": true, "IS": true, "BETWEEN": true, "LIKE": true,
+	"AS": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
+	"DISTINCT": true, "PRIMARY": true, "KEY": true, "TRUE": true, "FALSE": true,
+	"EXPLAIN": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return fmt.Errorf("SQL syntax error at byte %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.scanString()
+	case c >= '0' && c <= '9':
+		return l.scanNumber()
+	case c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		return l.scanNumber()
+	case isIdentStart(rune(c)):
+		return l.scanIdent()
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	case c == '"':
+		return l.scanQuotedIdent()
+	}
+	// Operators, longest first.
+	twoCharOps := []string{"<>", "!=", "<=", ">=", "||"}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += 2
+			if op == "!=" {
+				op = "<>"
+			}
+			return token{kind: tokOp, text: op, pos: start}, nil
+		}
+	}
+	oneChar := "(),*=<>+-/%."
+	if strings.IndexByte(oneChar, c) >= 0 {
+		l.pos++
+		return token{kind: tokOp, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) scanIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		return token{kind: tokKeyword, text: upper, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: text, pos: start}, nil
+}
+
+// scanQuotedIdent handles "identifier" quoting.
+func (l *lexer) scanQuotedIdent() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return token{kind: tokIdent, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated quoted identifier")
+}
+
+func (l *lexer) scanString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	kind := tokInt
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' &&
+		l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		kind = tokFloat
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			kind = tokFloat
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}

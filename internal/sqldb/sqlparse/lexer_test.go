@@ -1,0 +1,108 @@
+package sqlparse
+
+import "testing"
+
+func scanAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := lexer{src: src}
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks := scanAll(t, `SELECT a1, "quo ted", 'str''ing', 42, 4.5, 1e3, ?, <>, !=, <=, >= || -- c`)
+	type want struct {
+		kind tokenKind
+		text string
+	}
+	wants := []want{
+		{tokKeyword, "SELECT"},
+		{tokIdent, "a1"}, {tokOp, ","},
+		{tokIdent, "quo ted"}, {tokOp, ","},
+		{tokString, "str'ing"}, {tokOp, ","},
+		{tokInt, "42"}, {tokOp, ","},
+		{tokFloat, "4.5"}, {tokOp, ","},
+		{tokFloat, "1e3"}, {tokOp, ","},
+		{tokParam, "?"}, {tokOp, ","},
+		{tokOp, "<>"}, {tokOp, ","},
+		{tokOp, "<>"}, {tokOp, ","}, // != normalizes
+		{tokOp, "<="}, {tokOp, ","},
+		{tokOp, ">="}, {tokOp, "||"},
+	}
+	if len(toks) != len(wants) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(wants), toks)
+	}
+	for i, w := range wants {
+		if toks[i].kind != w.kind || toks[i].text != w.text {
+			t.Errorf("token %d = (%d, %q), want (%d, %q)", i, toks[i].kind, toks[i].text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	cases := map[string]struct {
+		kind tokenKind
+		text string
+	}{
+		"7":    {tokInt, "7"},
+		"7.25": {tokFloat, "7.25"},
+		"2e10": {tokFloat, "2e10"},
+		"2E-3": {tokFloat, "2E-3"},
+		"2e+3": {tokFloat, "2e+3"},
+		".5":   {tokFloat, ".5"},
+		"3.":   {tokInt, "3"}, // trailing dot is a separate op
+	}
+	for src, w := range cases {
+		toks := scanAll(t, src)
+		if toks[0].kind != w.kind || toks[0].text != w.text {
+			t.Errorf("%q -> (%d, %q), want (%d, %q)", src, toks[0].kind, toks[0].text, w.kind, w.text)
+		}
+	}
+	// 2e without digits: the e binds as an identifier start, not an exponent.
+	toks := scanAll(t, "2e ")
+	if toks[0].text != "2" || toks[1].text != "e" {
+		t.Errorf("2e -> %v", toks)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "@"} {
+		l := lexer{src: src}
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = l.next()
+			if err == nil && tok.kind == tokEOF {
+				t.Fatalf("lex %q reached EOF without error", src)
+			}
+		}
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks := scanAll(t, "a -- everything here\n-- and here\nb")
+	if len(toks) != 2 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Errorf("comment handling: %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (token{kind: tokEOF}).String() != "end of input" {
+		t.Error("EOF render")
+	}
+	if (token{kind: tokString, text: "x"}).String() != "'x'" {
+		t.Error("string render")
+	}
+	if (token{kind: tokIdent, text: "id"}).String() != "id" {
+		t.Error("ident render")
+	}
+}

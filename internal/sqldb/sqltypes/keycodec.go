@@ -1,0 +1,203 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the order-preserving byte encoding for index keys.
+// EncodeKey(a) < EncodeKey(b) lexicographically iff Row a < Row b under
+// column-wise Compare. The encoding is also self-delimiting, so composite
+// keys are simple concatenations and prefix scans over a key prefix work.
+//
+// Layout per value: a one-byte type tag (chosen so NULL < numbers < text <
+// blob < bool matches Compare's cross-type order for same-type columns;
+// within an index all entries of a column have one type, so only the
+// NULL-vs-non-NULL distinction matters in practice), followed by a payload:
+//
+//	NULL:  tag only
+//	Int:   8 bytes big-endian with the sign bit flipped
+//	Real:  8 bytes big-endian IEEE, sign-adjusted so byte order = numeric order
+//	Text:  escaped bytes terminated by 0x00 0x01 (0x00 in data -> 0x00 0xFF)
+//	Blob:  same escaping as Text
+//	Bool:  one byte 0/1
+
+const (
+	tagNull byte = 0x05
+	tagNum  byte = 0x10 // Int, Real and Bool share a tag so they compare numerically
+	tagText byte = 0x20
+	tagBlob byte = 0x30
+)
+
+// EncodeKey appends the order-preserving encoding of vals to dst and returns
+// the extended slice.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		dst = encodeKeyValue(dst, v)
+	}
+	return dst
+}
+
+func encodeKeyValue(dst []byte, v Value) []byte {
+	switch v.typ {
+	case Null:
+		return append(dst, tagNull)
+	case Int, Bool:
+		dst = append(dst, tagNum)
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(v.i)^(1<<63))
+		return append(dst, buf[:]...)
+	case Real:
+		dst = append(dst, tagNum)
+		bits := math.Float64bits(v.f)
+		if bits&(1<<63) != 0 {
+			bits = ^bits // negative: flip all bits
+		} else {
+			bits |= 1 << 63 // positive: set sign bit
+		}
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], bits)
+		return append(dst, buf[:]...)
+	case Text:
+		dst = append(dst, tagText)
+		return appendEscaped(dst, []byte(v.s))
+	case Blob:
+		dst = append(dst, tagBlob)
+		return appendEscaped(dst, v.b)
+	default:
+		panic(fmt.Sprintf("sqltypes: cannot key-encode %s", v.typ))
+	}
+}
+
+// appendEscaped writes data with 0x00 escaped as 0x00 0xFF and a 0x00 0x01
+// terminator. Lexicographic order of escaped forms equals order of raw forms,
+// and a key that is a prefix of another sorts first.
+func appendEscaped(dst, data []byte) []byte {
+	for _, b := range data {
+		if b == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, b)
+		}
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// DecodeKey decodes n values from key, returning the values and the number of
+// bytes consumed. It is the inverse of EncodeKey.
+func DecodeKey(key []byte, n int) ([]Value, int, error) {
+	vals := make([]Value, 0, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		if pos >= len(key) {
+			return nil, 0, fmt.Errorf("key too short: want %d values, got %d", n, i)
+		}
+		tag := key[pos]
+		pos++
+		switch tag {
+		case tagNull:
+			vals = append(vals, NullValue())
+		case tagNum:
+			if pos+8 > len(key) {
+				return nil, 0, fmt.Errorf("truncated numeric key")
+			}
+			u := binary.BigEndian.Uint64(key[pos : pos+8])
+			pos += 8
+			// Int and Real share a tag; keys round-trip as Int when the
+			// stored column was Int. We cannot distinguish here, so numeric
+			// keys decode as raw bits and callers that need exact values
+			// decode through the column type with DecodeKeyTyped.
+			vals = append(vals, NewInt(int64(u^(1<<63))))
+		case tagText:
+			raw, used, err := decodeEscaped(key[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			vals = append(vals, NewText(string(raw)))
+		case tagBlob:
+			raw, used, err := decodeEscaped(key[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += used
+			vals = append(vals, NewBlob(raw))
+		default:
+			return nil, 0, fmt.Errorf("bad key tag 0x%02x", tag)
+		}
+	}
+	return vals, pos, nil
+}
+
+// DecodeKeyTyped decodes values of the given column types from key.
+func DecodeKeyTyped(key []byte, types []Type) ([]Value, int, error) {
+	vals, pos, err := DecodeKey(key, len(types))
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, t := range types {
+		if vals[i].IsNull() {
+			continue
+		}
+		switch t {
+		case Real:
+			if vals[i].typ == Int {
+				stored := uint64(vals[i].i) ^ (1 << 63) // raw stored bytes
+				var bits uint64
+				if stored&(1<<63) != 0 {
+					bits = stored ^ (1 << 63) // was positive: sign bit had been set
+				} else {
+					bits = ^stored // was negative: all bits had been flipped
+				}
+				vals[i] = NewReal(math.Float64frombits(bits))
+			}
+		case Bool:
+			if vals[i].typ == Int {
+				vals[i] = NewBool(vals[i].i != 0)
+			}
+		}
+	}
+	return vals, pos, nil
+}
+
+func decodeEscaped(data []byte) (raw []byte, used int, err error) {
+	out := make([]byte, 0, len(data))
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		if b != 0x00 {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+1 >= len(data) {
+			return nil, 0, fmt.Errorf("truncated escaped key")
+		}
+		switch data[i+1] {
+		case 0x01:
+			return out, i + 2, nil
+		case 0xFF:
+			out = append(out, 0x00)
+			i += 2
+		default:
+			return nil, 0, fmt.Errorf("bad escape 0x00 0x%02x", data[i+1])
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated escaped key")
+}
+
+// PrefixSuccessor returns the smallest byte string greater than every string
+// having prefix p, or nil when no such string exists (p is all 0xFF). It is
+// used to turn prefix scans into [p, successor) range scans.
+func PrefixSuccessor(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}

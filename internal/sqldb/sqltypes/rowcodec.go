@@ -1,0 +1,116 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the storage encoding for heap rows: compact,
+// length-prefixed, not order-preserving. Each value is a type byte followed
+// by a payload; integers use varints.
+
+const (
+	rowNull byte = 0
+	rowInt  byte = 1
+	rowReal byte = 2
+	rowText byte = 3
+	rowBlob byte = 4
+	rowBool byte = 5
+)
+
+// EncodeRow appends the storage encoding of r to dst.
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		switch v.typ {
+		case Null:
+			dst = append(dst, rowNull)
+		case Int:
+			dst = append(dst, rowInt)
+			dst = binary.AppendVarint(dst, v.i)
+		case Real:
+			dst = append(dst, rowReal)
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.f))
+			dst = append(dst, buf[:]...)
+		case Text:
+			dst = append(dst, rowText)
+			dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+			dst = append(dst, v.s...)
+		case Blob:
+			dst = append(dst, rowBlob)
+			dst = binary.AppendUvarint(dst, uint64(len(v.b)))
+			dst = append(dst, v.b...)
+		case Bool:
+			dst = append(dst, rowBool)
+			dst = append(dst, byte(v.i))
+		default:
+			panic(fmt.Sprintf("sqltypes: cannot row-encode %s", v.typ))
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes a row previously produced by EncodeRow. Text and Blob
+// payloads are copied out of data, so the result does not alias the input.
+func DecodeRow(data []byte) (Row, error) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 {
+		return nil, fmt.Errorf("bad row header")
+	}
+	pos := used
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("truncated row: value %d of %d", i, n)
+		}
+		tag := data[pos]
+		pos++
+		switch tag {
+		case rowNull:
+			row = append(row, NullValue())
+		case rowInt:
+			v, used := binary.Varint(data[pos:])
+			if used <= 0 {
+				return nil, fmt.Errorf("bad int at value %d", i)
+			}
+			pos += used
+			row = append(row, NewInt(v))
+		case rowReal:
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("truncated real at value %d", i)
+			}
+			bits := binary.LittleEndian.Uint64(data[pos : pos+8])
+			pos += 8
+			row = append(row, NewReal(math.Float64frombits(bits)))
+		case rowText:
+			l, used := binary.Uvarint(data[pos:])
+			if used <= 0 || pos+used+int(l) > len(data) {
+				return nil, fmt.Errorf("bad text at value %d", i)
+			}
+			pos += used
+			row = append(row, NewText(string(data[pos:pos+int(l)])))
+			pos += int(l)
+		case rowBlob:
+			l, used := binary.Uvarint(data[pos:])
+			if used <= 0 || pos+used+int(l) > len(data) {
+				return nil, fmt.Errorf("bad blob at value %d", i)
+			}
+			pos += used
+			b := make([]byte, l)
+			copy(b, data[pos:pos+int(l)])
+			pos += int(l)
+			row = append(row, NewBlob(b))
+		case rowBool:
+			if pos >= len(data) {
+				return nil, fmt.Errorf("truncated bool at value %d", i)
+			}
+			row = append(row, NewBool(data[pos] != 0))
+			pos++
+		default:
+			return nil, fmt.Errorf("bad row tag 0x%02x at value %d", tag, i)
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,210 @@
+// Package xmlgen generates synthetic XML documents with controlled shape
+// (size, fan-out, depth), standing in for the paper's document corpus. Two
+// families mirror the workloads the paper's evaluation dimensions need:
+//
+//   - Catalog: an XMark-flavoured auction/catalog document (`site` root with
+//     regional item lists) whose ordered item sequences drive the positional
+//     and sibling-axis queries.
+//   - Play: a Shakespeare-flavoured play (acts, scenes, speeches) whose deep
+//     ordered structure drives reconstruction and update experiments.
+//
+// All generation is deterministic for a given seed.
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ordxml/internal/xmltree"
+)
+
+var words = []string{
+	"quick", "brown", "fox", "lazy", "dog", "lorem", "ipsum", "dolor",
+	"amber", "bridge", "copper", "delta", "ember", "forest", "granite",
+	"harbor", "island", "jasper", "kernel", "lantern", "marble", "north",
+	"onyx", "prairie", "quartz", "river", "summit", "timber", "umbra",
+	"violet", "willow", "zephyr",
+}
+
+var keywords = []string{
+	"rare", "vintage", "premium", "refurbished", "limited", "classic",
+	"portable", "wireless", "organic", "handmade",
+}
+
+// CatalogConfig controls the catalog generator.
+type CatalogConfig struct {
+	// Regions is the number of region elements under <regions>.
+	Regions int
+	// ItemsPerRegion is the ordered item count per region — the main size
+	// and fan-out knob.
+	ItemsPerRegion int
+	// KeywordsPerItem controls how many <keyword> elements appear inside
+	// each item description (exercises the descendant axis).
+	KeywordsPerItem int
+	// DescriptionWords sets the length of each description's text payload.
+	DescriptionWords int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultCatalog is a small, fast default used by examples and tests.
+func DefaultCatalog() CatalogConfig {
+	return CatalogConfig{Regions: 3, ItemsPerRegion: 50, KeywordsPerItem: 2, DescriptionWords: 12, Seed: 1}
+}
+
+var regionNames = []string{"namerica", "europe", "asia", "africa", "samerica", "australia"}
+
+// Catalog generates the auction/catalog document.
+func Catalog(cfg CatalogConfig) *xmltree.Node {
+	if cfg.Regions <= 0 {
+		cfg.Regions = 1
+	}
+	if cfg.Regions > len(regionNames) {
+		cfg.Regions = len(regionNames)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	site := xmltree.NewElement("site")
+	regions := site.AddChild(xmltree.NewElement("regions"))
+	itemID := 0
+	for ri := 0; ri < cfg.Regions; ri++ {
+		region := regions.AddChild(xmltree.NewElement(regionNames[ri]))
+		for ii := 0; ii < cfg.ItemsPerRegion; ii++ {
+			region.AddChild(item(r, itemID, cfg))
+			itemID++
+		}
+	}
+	people := site.AddChild(xmltree.NewElement("people"))
+	for pi := 0; pi < cfg.Regions*2; pi++ {
+		p := people.AddChild(xmltree.NewElement("person"))
+		p.AddAttr("id", fmt.Sprintf("p%d", pi))
+		name := p.AddChild(xmltree.NewElement("name"))
+		name.AddChild(xmltree.NewText(pick(r, words) + " " + pick(r, words)))
+	}
+	return site
+}
+
+func item(r *rand.Rand, id int, cfg CatalogConfig) *xmltree.Node {
+	it := xmltree.NewElement("item")
+	it.AddAttr("id", fmt.Sprintf("item%d", id))
+	name := it.AddChild(xmltree.NewElement("name"))
+	name.AddChild(xmltree.NewText(pick(r, words) + " " + pick(r, words)))
+	price := it.AddChild(xmltree.NewElement("price"))
+	price.AddChild(xmltree.NewText(fmt.Sprintf("%d.%02d", r.Intn(500)+1, r.Intn(100))))
+	qty := it.AddChild(xmltree.NewElement("quantity"))
+	qty.AddChild(xmltree.NewText(fmt.Sprintf("%d", r.Intn(10)+1)))
+	desc := it.AddChild(xmltree.NewElement("description"))
+	var sb strings.Builder
+	for w := 0; w < cfg.DescriptionWords; w++ {
+		if w > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(pick(r, words))
+	}
+	desc.AddChild(xmltree.NewText(sb.String()))
+	for k := 0; k < cfg.KeywordsPerItem; k++ {
+		kw := desc.AddChild(xmltree.NewElement("keyword"))
+		kw.AddChild(xmltree.NewText(pick(r, keywords)))
+	}
+	return it
+}
+
+// PlayConfig controls the play generator.
+type PlayConfig struct {
+	Acts             int
+	ScenesPerAct     int
+	SpeechesPerScene int
+	LinesPerSpeech   int
+	Seed             int64
+}
+
+// DefaultPlay is a small, fast default.
+func DefaultPlay() PlayConfig {
+	return PlayConfig{Acts: 3, ScenesPerAct: 4, SpeechesPerScene: 10, LinesPerSpeech: 3, Seed: 1}
+}
+
+var speakers = []string{
+	"HAMLET", "OPHELIA", "HORATIO", "GERTRUDE", "CLAUDIUS", "POLONIUS", "LAERTES",
+}
+
+// Play generates the play document.
+func Play(cfg PlayConfig) *xmltree.Node {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	play := xmltree.NewElement("PLAY")
+	title := play.AddChild(xmltree.NewElement("TITLE"))
+	word := pick(r, words)
+	title.AddChild(xmltree.NewText("The Tragedy of " + strings.ToUpper(word[:1]) + word[1:]))
+	for a := 1; a <= cfg.Acts; a++ {
+		act := play.AddChild(xmltree.NewElement("ACT"))
+		at := act.AddChild(xmltree.NewElement("TITLE"))
+		at.AddChild(xmltree.NewText(fmt.Sprintf("ACT %d", a)))
+		for sc := 1; sc <= cfg.ScenesPerAct; sc++ {
+			scene := act.AddChild(xmltree.NewElement("SCENE"))
+			st := scene.AddChild(xmltree.NewElement("TITLE"))
+			st.AddChild(xmltree.NewText(fmt.Sprintf("SCENE %d", sc)))
+			for sp := 0; sp < cfg.SpeechesPerScene; sp++ {
+				speech := scene.AddChild(xmltree.NewElement("SPEECH"))
+				speaker := speech.AddChild(xmltree.NewElement("SPEAKER"))
+				speaker.AddChild(xmltree.NewText(pick(r, speakers)))
+				for l := 0; l < cfg.LinesPerSpeech; l++ {
+					line := speech.AddChild(xmltree.NewElement("LINE"))
+					line.AddChild(xmltree.NewText(sentence(r, 6)))
+				}
+			}
+		}
+	}
+	return play
+}
+
+// RandomConfig controls the arbitrary-shape generator used by property
+// tests: any tag can nest under any other, attributes and mixed content
+// appear randomly.
+type RandomConfig struct {
+	MaxDepth  int
+	MaxFanout int
+	Tags      []string
+	Seed      int64
+}
+
+// DefaultRandom is a compact default for property tests.
+func DefaultRandom(seed int64) RandomConfig {
+	return RandomConfig{MaxDepth: 5, MaxFanout: 4,
+		Tags: []string{"a", "b", "c", "d"}, Seed: seed}
+}
+
+// Random generates an arbitrary tree.
+func Random(cfg RandomConfig) *xmltree.Node {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	return randomNode(r, cfg, cfg.MaxDepth)
+}
+
+func randomNode(r *rand.Rand, cfg RandomConfig, depth int) *xmltree.Node {
+	n := xmltree.NewElement(cfg.Tags[r.Intn(len(cfg.Tags))])
+	for i := r.Intn(3); i > 0; i-- {
+		n.SetAttr(pick(r, words), sentence(r, 2))
+	}
+	if depth <= 0 {
+		return n
+	}
+	fan := r.Intn(cfg.MaxFanout + 1)
+	for i := 0; i < fan; i++ {
+		if r.Intn(4) == 0 {
+			if len(n.Children) == 0 || n.Children[len(n.Children)-1].Kind != xmltree.Text {
+				n.AddChild(xmltree.NewText(sentence(r, 3)))
+			}
+		} else {
+			n.AddChild(randomNode(r, cfg, depth-1))
+		}
+	}
+	return n
+}
+
+func pick(r *rand.Rand, list []string) string { return list[r.Intn(len(list))] }
+
+func sentence(r *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = pick(r, words)
+	}
+	return strings.Join(parts, " ")
+}

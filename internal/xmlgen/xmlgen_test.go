@@ -1,0 +1,140 @@
+package xmlgen
+
+import (
+	"testing"
+
+	"ordxml/internal/xmltree"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cfg := CatalogConfig{Regions: 2, ItemsPerRegion: 10, KeywordsPerItem: 3, DescriptionWords: 5, Seed: 7}
+	doc := Catalog(cfg)
+	if doc.Tag != "site" {
+		t.Fatalf("root = %s", doc.Tag)
+	}
+	regions := doc.Children[0]
+	if regions.Tag != "regions" || len(regions.Children) != 2 {
+		t.Fatalf("regions = %d", len(regions.Children))
+	}
+	for _, region := range regions.Children {
+		if len(region.Children) != 10 {
+			t.Fatalf("region %s has %d items", region.Tag, len(region.Children))
+		}
+		for _, item := range region.Children {
+			if item.Tag != "item" {
+				t.Fatalf("unexpected child %s", item.Tag)
+			}
+			if _, ok := item.GetAttr("id"); !ok {
+				t.Fatal("item lacks id")
+			}
+			// name, price, quantity, description in order.
+			wantTags := []string{"name", "price", "quantity", "description"}
+			for i, w := range wantTags {
+				if item.Children[i].Tag != w {
+					t.Fatalf("item child %d = %s, want %s", i, item.Children[i].Tag, w)
+				}
+			}
+			desc := item.Children[3]
+			kw := 0
+			for _, c := range desc.Children {
+				if c.Tag == "keyword" {
+					kw++
+				}
+			}
+			if kw != 3 {
+				t.Fatalf("item has %d keywords", kw)
+			}
+		}
+	}
+}
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := Catalog(DefaultCatalog())
+	b := Catalog(DefaultCatalog())
+	if !xmltree.Equal(a, b) {
+		t.Fatal("same seed produced different documents")
+	}
+	c := Catalog(CatalogConfig{Regions: 3, ItemsPerRegion: 50, KeywordsPerItem: 2, DescriptionWords: 12, Seed: 2})
+	if xmltree.Equal(a, c) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestCatalogScaling(t *testing.T) {
+	small := xmltree.ComputeStats(Catalog(CatalogConfig{Regions: 1, ItemsPerRegion: 10, KeywordsPerItem: 1, DescriptionWords: 3, Seed: 1}))
+	big := xmltree.ComputeStats(Catalog(CatalogConfig{Regions: 1, ItemsPerRegion: 100, KeywordsPerItem: 1, DescriptionWords: 3, Seed: 1}))
+	if big.Nodes < small.Nodes*8 {
+		t.Fatalf("scaling broken: %d vs %d nodes", small.Nodes, big.Nodes)
+	}
+}
+
+func TestCatalogClamping(t *testing.T) {
+	doc := Catalog(CatalogConfig{Regions: 100, ItemsPerRegion: 1, Seed: 1})
+	if got := len(doc.Children[0].Children); got != len(regionNames) {
+		t.Fatalf("regions = %d", got)
+	}
+	doc = Catalog(CatalogConfig{Regions: 0, ItemsPerRegion: 1, Seed: 1})
+	if got := len(doc.Children[0].Children); got != 1 {
+		t.Fatalf("regions = %d", got)
+	}
+}
+
+func TestPlayShape(t *testing.T) {
+	cfg := PlayConfig{Acts: 2, ScenesPerAct: 3, SpeechesPerScene: 4, LinesPerSpeech: 2, Seed: 5}
+	doc := Play(cfg)
+	if doc.Tag != "PLAY" {
+		t.Fatalf("root = %s", doc.Tag)
+	}
+	acts := 0
+	for _, c := range doc.Children {
+		if c.Tag == "ACT" {
+			acts++
+			scenes := 0
+			for _, s := range c.Children {
+				if s.Tag == "SCENE" {
+					scenes++
+					speeches := 0
+					for _, sp := range s.Children {
+						if sp.Tag == "SPEECH" {
+							speeches++
+							if sp.Children[0].Tag != "SPEAKER" {
+								t.Fatal("speech lacks speaker first")
+							}
+							if len(sp.Children) != 1+cfg.LinesPerSpeech {
+								t.Fatalf("speech children = %d", len(sp.Children))
+							}
+						}
+					}
+					if speeches != cfg.SpeechesPerScene {
+						t.Fatalf("speeches = %d", speeches)
+					}
+				}
+			}
+			if scenes != cfg.ScenesPerAct {
+				t.Fatalf("scenes = %d", scenes)
+			}
+		}
+	}
+	if acts != cfg.Acts {
+		t.Fatalf("acts = %d", acts)
+	}
+}
+
+func TestRandomDeterministicAndParsable(t *testing.T) {
+	a := Random(DefaultRandom(3))
+	b := Random(DefaultRandom(3))
+	if !xmltree.Equal(a, b) {
+		t.Fatal("same seed differs")
+	}
+	// Every generated tree must survive a serialize/parse round trip.
+	for seed := int64(0); seed < 30; seed++ {
+		tree := Random(DefaultRandom(seed))
+		back, err := xmltree.ParseString(tree.String())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !xmltree.Equal(tree, back) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package xmltree provides the ordered XML document model used on both sides
+// of the relational mapping: the shredder consumes trees, the publisher
+// reconstructs them. It is a deliberately small DOM: elements, attributes and
+// text, with document order preserved everywhere.
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a node.
+type Kind uint8
+
+// Node kinds. Attributes are modelled as nodes so the relational mapping can
+// treat them as rows, matching the paper's shredding.
+const (
+	Element Kind = iota
+	Attr
+	Text
+)
+
+// String returns the kind name used in the relational `kind` column.
+func (k Kind) String() string {
+	switch k {
+	case Element:
+		return "elem"
+	case Attr:
+		return "attr"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind is the inverse of Kind.String.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "elem":
+		return Element, nil
+	case "attr":
+		return Attr, nil
+	case "text":
+		return Text, nil
+	default:
+		return 0, fmt.Errorf("unknown node kind %q", s)
+	}
+}
+
+// Node is one node of an ordered XML tree.
+type Node struct {
+	Kind Kind
+	// Tag is the element tag or attribute name; empty for text nodes.
+	Tag string
+	// Value is the attribute value or text content; empty for elements.
+	Value string
+	// Attrs are attribute nodes in source order (elements only).
+	Attrs []*Node
+	// Children are element and text children in document order.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+}
+
+// NewElement returns an element node.
+func NewElement(tag string) *Node { return &Node{Kind: Element, Tag: tag} }
+
+// NewText returns a text node.
+func NewText(value string) *Node { return &Node{Kind: Text, Value: value} }
+
+// NewAttr returns an attribute node.
+func NewAttr(name, value string) *Node { return &Node{Kind: Attr, Tag: name, Value: value} }
+
+// AddChild appends c to n's children and sets its parent.
+func (n *Node) AddChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AddAttr appends an attribute to n.
+func (n *Node) AddAttr(name, value string) *Node {
+	a := NewAttr(name, value)
+	a.Parent = n
+	n.Attrs = append(n.Attrs, a)
+	return a
+}
+
+// SetAttr adds or replaces an attribute value.
+func (n *Node) SetAttr(name, value string) {
+	for _, a := range n.Attrs {
+		if a.Tag == name {
+			a.Value = value
+			return
+		}
+	}
+	n.AddAttr(name, value)
+}
+
+// GetAttr returns the value of the named attribute.
+func (n *Node) GetAttr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Tag == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Size returns the number of nodes in the subtree, counting n, attributes
+// and text nodes — the row count the subtree shreds into.
+func (n *Node) Size() int {
+	count := 1 + len(n.Attrs)
+	for _, c := range n.Children {
+		count += c.Size()
+	}
+	return count
+}
+
+// TextContent concatenates all descendant text, XPath string-value style.
+func (n *Node) TextContent() string {
+	switch n.Kind {
+	case Text, Attr:
+		return n.Value
+	}
+	var sb strings.Builder
+	var walk func(*Node)
+	walk = func(m *Node) {
+		if m.Kind == Text {
+			sb.WriteString(m.Value)
+			return
+		}
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return sb.String()
+}
+
+// ChildIndex returns n's position among its parent's children (0-based), or
+// -1 for roots and attributes.
+func (n *Node) ChildIndex() int {
+	if n.Parent == nil || n.Kind == Attr {
+		return -1
+	}
+	for i, c := range n.Parent.Children {
+		if c == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// Walk visits the subtree in document order: node, attributes, then
+// children. It stops early when fn returns false.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if !fn(n) {
+		return false
+	}
+	for _, a := range n.Attrs {
+		if !fn(a) {
+			return false
+		}
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal compares two trees structurally: kind, tag, value, attributes (in
+// order) and children (in order).
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Tag != b.Tag || a.Value != b.Value {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i].Tag != b.Attrs[i].Tag || a.Attrs[i].Value != b.Attrs[i].Value {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone deep-copies the subtree. The clone's parent is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Tag: n.Tag, Value: n.Value}
+	for _, a := range n.Attrs {
+		c.AddAttr(a.Tag, a.Value)
+	}
+	for _, ch := range n.Children {
+		c.AddChild(ch.Clone())
+	}
+	return c
+}
+
+// ParseOptions control parsing.
+type ParseOptions struct {
+	// KeepWhitespaceText retains text nodes that are entirely whitespace.
+	// The default (false) drops them, matching how the paper's documents
+	// were loaded (ignorable whitespace is not data).
+	KeepWhitespaceText bool
+}
+
+// Parse reads one XML document and returns its root element.
+func Parse(r io.Reader) (*Node, error) {
+	return ParseWith(r, ParseOptions{})
+}
+
+// ParseString parses a document held in a string.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseWith reads one XML document with explicit options.
+func ParseWith(r io.Reader, opts ParseOptions) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var root *Node
+	var cur *Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xml parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue // namespace declarations are not data
+				}
+				n.AddAttr(a.Name.Local, a.Value)
+			}
+			if cur == nil {
+				if root != nil {
+					return nil, fmt.Errorf("xml parse: multiple root elements")
+				}
+				root = n
+			} else {
+				cur.AddChild(n)
+			}
+			cur = n
+		case xml.EndElement:
+			if cur == nil {
+				return nil, fmt.Errorf("xml parse: unbalanced end element %s", t.Name.Local)
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			if cur == nil {
+				continue // whitespace outside the root
+			}
+			s := string(t)
+			if !opts.KeepWhitespaceText && strings.TrimSpace(s) == "" {
+				continue
+			}
+			cur.AddChild(NewText(s))
+		case xml.Comment, xml.ProcInst, xml.Directive:
+			// Not part of the data model.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xml parse: no root element")
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("xml parse: unclosed element %s", cur.Tag)
+	}
+	return root, nil
+}
+
+// WriteXML serializes the subtree. Output is deterministic; attributes keep
+// their stored order.
+func (n *Node) WriteXML(w io.Writer) error {
+	sw := &stickyWriter{w: w}
+	n.write(sw)
+	return sw.err
+}
+
+// String renders the subtree as XML.
+func (n *Node) String() string {
+	var sb strings.Builder
+	n.WriteXML(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) WriteString(str string) {
+	if s.err == nil {
+		_, s.err = io.WriteString(s.w, str)
+	}
+}
+
+func (n *Node) write(w *stickyWriter) {
+	switch n.Kind {
+	case Text:
+		w.WriteString(escapeText(n.Value))
+	case Attr:
+		w.WriteString(n.Tag)
+		w.WriteString(`="`)
+		w.WriteString(escapeAttr(n.Value))
+		w.WriteString(`"`)
+	case Element:
+		w.WriteString("<")
+		w.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			w.WriteString(" ")
+			a.write(w)
+		}
+		if len(n.Children) == 0 {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteString(">")
+		for _, c := range n.Children {
+			c.write(w)
+		}
+		w.WriteString("</")
+		w.WriteString(n.Tag)
+		w.WriteString(">")
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }
+
+// Stats summarizes a tree's shape, used by the experiment harness to report
+// workload parameters.
+type Stats struct {
+	Nodes     int // total nodes (elements + attributes + text)
+	Elements  int
+	Attrs     int
+	Texts     int
+	MaxDepth  int
+	MaxFanout int
+	Tags      []string // distinct element tags, sorted
+}
+
+// ComputeStats walks the tree once.
+func ComputeStats(root *Node) Stats {
+	s := Stats{}
+	tags := map[string]bool{}
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		s.Nodes++
+		if depth > s.MaxDepth {
+			s.MaxDepth = depth
+		}
+		switch n.Kind {
+		case Element:
+			s.Elements++
+			tags[n.Tag] = true
+			fan := len(n.Children)
+			if fan > s.MaxFanout {
+				s.MaxFanout = fan
+			}
+			s.Nodes += len(n.Attrs)
+			s.Attrs += len(n.Attrs)
+			for _, c := range n.Children {
+				walk(c, depth+1)
+			}
+		case Text:
+			s.Texts++
+		}
+	}
+	walk(root, 1)
+	s.Tags = make([]string, 0, len(tags))
+	for t := range tags {
+		s.Tags = append(s.Tags, t)
+	}
+	sort.Strings(s.Tags)
+	return s
+}

@@ -1,0 +1,482 @@
+// Package ordxml stores and queries ordered XML in an embedded relational
+// database, reproducing Tatarinov et al., "Storing and Querying Ordered XML
+// Using a Relational Database System" (SIGMOD 2002).
+//
+// A Store shreds XML documents into relations under one of three order
+// encodings — Global, Local or Dewey — translates an ordered XPath fragment
+// into SQL over those relations, applies order-preserving updates, and
+// reconstructs documents or subtrees. The encodings differ only in how
+// document order is represented as data, which drives the paper's
+// query/update trade-offs; the API is identical across them.
+//
+// Quick start:
+//
+//	store, _ := ordxml.Open(ordxml.Options{Encoding: ordxml.Dewey})
+//	doc, _ := store.LoadString("plays", "<PLAY>...</PLAY>")
+//	hits, _ := store.Query(doc, "/PLAY/ACT[2]/SCENE[1]/SPEECH/SPEAKER")
+//	speaker, _ := store.Serialize(doc, hits[0].ID)
+//	store.Insert(doc, hits[0].ID, ordxml.After, "<LINE>O brave new world</LINE>")
+package ordxml
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ordxml/internal/core/check"
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/publish"
+	"ordxml/internal/core/shred"
+	"ordxml/internal/core/translate"
+	"ordxml/internal/core/update"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/xmltree"
+)
+
+// Encoding selects the order encoding.
+type Encoding int
+
+// The three order encodings of the paper.
+const (
+	// Global encodes each node's absolute position in document order.
+	// Ordered queries are cheap; inserts may renumber the whole document.
+	Global Encoding = iota
+	// Local encodes each node's position among its siblings. Inserts only
+	// renumber following siblings; materializing document order requires
+	// joining ancestors.
+	Local
+	// Dewey encodes the full path of sibling ordinals. Ancestry and
+	// document order are both byte comparisons on the key; inserts renumber
+	// following siblings together with their subtrees.
+	Dewey
+)
+
+// String returns the encoding name.
+func (e Encoding) String() string { return encoding.Kind(e).String() }
+
+// ParseEncoding reads an encoding name ("global", "local", "dewey").
+func ParseEncoding(s string) (Encoding, error) {
+	k, err := encoding.ParseKind(s)
+	return Encoding(k), err
+}
+
+// Options configure a Store.
+type Options struct {
+	Encoding Encoding
+	// Gap spaces consecutive order values (default 1, dense). Larger gaps
+	// let inserts claim unused values and amortize renumbering.
+	Gap uint32
+	// DeweyAsText stores Dewey keys as padded strings instead of the binary
+	// codec (larger, slower; kept for the paper's codec ablation).
+	DeweyAsText bool
+}
+
+// DocID identifies a stored document.
+type DocID = int64
+
+// NodeID identifies a node within a document.
+type NodeID = int64
+
+// NodeKind classifies a matched node.
+type NodeKind int
+
+// Node kinds.
+const (
+	ElementNode NodeKind = iota
+	AttributeNode
+	TextNode
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	return [...]string{"element", "attribute", "text"}[k]
+}
+
+// Node is one XPath query match.
+type Node struct {
+	ID   NodeID
+	Kind NodeKind
+	// Tag is the element tag or attribute name (empty for text nodes).
+	Tag string
+	// Value is the attribute value or text content (empty for elements;
+	// use Serialize or QueryValues for element content).
+	Value string
+	// OrderKey is a human-readable rendering of the encoding's order key
+	// (e.g. "1.2.3" for Dewey).
+	OrderKey string
+}
+
+// Position places an inserted fragment relative to the target node.
+type Position = update.Mode
+
+// Insert positions.
+const (
+	FirstChild = update.FirstChild
+	LastChild  = update.LastChild
+	Before     = update.Before
+	After      = update.After
+)
+
+// UpdateReport describes the work an update performed.
+type UpdateReport struct {
+	// NewID is the inserted subtree root's node id (inserts only).
+	NewID NodeID
+	// RowsInserted, RowsRenumbered and RowsDeleted quantify the update per
+	// the paper's cost model: renumbering is the order-maintenance cost.
+	RowsInserted   int64
+	RowsRenumbered int64
+	RowsDeleted    int64
+}
+
+// DocInfo describes one stored document.
+type DocInfo struct {
+	ID    DocID
+	Name  string
+	Nodes int64
+}
+
+// WorkCounters snapshot the engine's logical work counters; subtract two
+// snapshots to measure an operation in hardware-independent units.
+type WorkCounters struct {
+	RowsScanned  int64
+	IndexProbes  int64
+	RowsInserted int64
+	RowsDeleted  int64
+	RowsUpdated  int64
+}
+
+// Sub returns c - prev field-wise.
+func (c WorkCounters) Sub(prev WorkCounters) WorkCounters {
+	return WorkCounters{
+		RowsScanned:  c.RowsScanned - prev.RowsScanned,
+		IndexProbes:  c.IndexProbes - prev.IndexProbes,
+		RowsInserted: c.RowsInserted - prev.RowsInserted,
+		RowsDeleted:  c.RowsDeleted - prev.RowsDeleted,
+		RowsUpdated:  c.RowsUpdated - prev.RowsUpdated,
+	}
+}
+
+// Store is one ordered-XML store over an embedded relational database.
+// A Store is safe for concurrent readers; updates take the engine's writer
+// lock per statement.
+type Store struct {
+	db   *sqldb.DB
+	opts encoding.Options
+
+	shredder  *shred.Shredder
+	publisher *publish.Publisher
+	evaluator *translate.Evaluator
+	manager   *update.Manager
+}
+
+// Open creates an empty store with its own embedded database.
+func Open(opts Options) (*Store, error) {
+	iopts := encoding.Options{
+		Kind:        encoding.Kind(opts.Encoding),
+		Gap:         opts.Gap,
+		DeweyAsText: opts.DeweyAsText,
+	}
+	if err := iopts.Validate(); err != nil {
+		return nil, err
+	}
+	db := sqldb.Open()
+	if err := encoding.Install(db, iopts); err != nil {
+		return nil, err
+	}
+	if err := installMeta(db, iopts); err != nil {
+		return nil, err
+	}
+	return newStoreOn(db, iopts)
+}
+
+// Encoding returns the store's order encoding.
+func (s *Store) Encoding() Encoding { return Encoding(s.opts.Kind) }
+
+// Load parses an XML document from r and stores it.
+func (s *Store) Load(name string, r io.Reader) (DocID, error) {
+	return s.shredder.Load(name, r)
+}
+
+// LoadString stores a document held in a string.
+func (s *Store) LoadString(name, xml string) (DocID, error) {
+	return s.shredder.Load(name, strings.NewReader(xml))
+}
+
+// Drop removes a document.
+func (s *Store) Drop(doc DocID) error { return s.shredder.DropDocument(doc) }
+
+// Documents lists stored documents.
+func (s *Store) Documents() ([]DocInfo, error) {
+	infos, err := shred.Documents(s.db)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DocInfo, len(infos))
+	for i, d := range infos {
+		out[i] = DocInfo{ID: d.Doc, Name: d.Name, Nodes: d.Nodes}
+	}
+	return out, nil
+}
+
+// Query evaluates an absolute XPath expression, returning matches in
+// document order.
+func (s *Store) Query(doc DocID, xpathExpr string) ([]Node, error) {
+	refs, err := s.evaluator.Query(doc, xpathExpr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Node, len(refs))
+	for i, r := range refs {
+		out[i] = Node{
+			ID:       r.ID,
+			Kind:     kindOf(r.Kind),
+			Tag:      r.Tag,
+			Value:    r.Value,
+			OrderKey: s.renderOrderKey(r.Order),
+		}
+	}
+	return out, nil
+}
+
+func kindOf(k xmltree.Kind) NodeKind {
+	switch k {
+	case xmltree.Attr:
+		return AttributeNode
+	case xmltree.Text:
+		return TextNode
+	default:
+		return ElementNode
+	}
+}
+
+func (s *Store) renderOrderKey(v sqltypes.Value) string {
+	if s.opts.Kind != encoding.Dewey || s.opts.DeweyAsText {
+		return v.String()
+	}
+	p, err := deweyPathString(v.Blob())
+	if err != nil {
+		return v.String()
+	}
+	return p
+}
+
+// QueryValues evaluates a query and returns the XPath string value of each
+// match (text content for elements).
+func (s *Store) QueryValues(doc DocID, xpathExpr string) ([]string, error) {
+	nodes, err := s.Query(doc, xpathExpr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n.Kind == ElementNode {
+			sub, err := s.publisher.Subtree(doc, n.ID)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sub.TextContent()
+		} else {
+			out[i] = n.Value
+		}
+	}
+	return out, nil
+}
+
+// ExplainQuery returns the SQL statements the store generates for a query
+// (one per path segment), without executing the post-processing steps.
+func (s *Store) ExplainQuery(doc DocID, xpathExpr string) ([]string, error) {
+	if _, err := s.evaluator.Query(doc, xpathExpr); err != nil {
+		return nil, err
+	}
+	return append([]string(nil), s.evaluator.LastSQL()...), nil
+}
+
+// Serialize reconstructs the subtree rooted at id as XML.
+func (s *Store) Serialize(doc DocID, id NodeID) (string, error) {
+	n, err := s.publisher.Subtree(doc, id)
+	if err != nil {
+		return "", err
+	}
+	return n.String(), nil
+}
+
+// SerializeDocument reconstructs the whole document.
+func (s *Store) SerializeDocument(doc DocID) (string, error) {
+	n, err := s.publisher.Document(doc)
+	if err != nil {
+		return "", err
+	}
+	return n.String(), nil
+}
+
+// Insert places an XML fragment relative to the target node.
+func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) (UpdateReport, error) {
+	st, err := s.manager.InsertXML(doc, target, pos, fragment)
+	return report(st), err
+}
+
+// Delete removes the subtree rooted at id.
+func (s *Store) Delete(doc DocID, id NodeID) (UpdateReport, error) {
+	st, err := s.manager.Delete(doc, id)
+	return report(st), err
+}
+
+func report(st update.Stats) UpdateReport {
+	return UpdateReport{
+		NewID:          st.NewID,
+		RowsInserted:   st.RowsInserted,
+		RowsRenumbered: st.RowsRenumbered,
+		RowsDeleted:    st.RowsDeleted,
+	}
+}
+
+// Counters returns the engine's cumulative work counters.
+func (s *Store) Counters() WorkCounters {
+	c := s.db.Counters()
+	return WorkCounters{
+		RowsScanned:  c.RowsScanned,
+		IndexProbes:  c.IndexProbes,
+		RowsInserted: c.RowsInserted,
+		RowsDeleted:  c.RowsDeleted,
+		RowsUpdated:  c.RowsUpdated,
+	}
+}
+
+// StorageStats reports the node table's size.
+type StorageStats struct {
+	Rows      int
+	HeapPages int
+	HeapBytes int
+}
+
+// Storage returns size statistics for the store's node table.
+func (s *Store) Storage() StorageStats {
+	t := s.db.Catalog().Table(s.opts.NodesTable())
+	if t == nil {
+		return StorageStats{}
+	}
+	hs := t.Heap.Stats()
+	return StorageStats{Rows: hs.Rows, HeapPages: hs.Pages, HeapBytes: hs.LiveBytes}
+}
+
+// Rows is a generic SQL result for the escape-hatch SQL method.
+type Rows struct {
+	Columns []string
+	Values  [][]string
+}
+
+// SQL runs a raw SELECT against the underlying engine — the escape hatch
+// for inspecting the shredded relations. Arguments bind to `?` placeholders
+// and may be int, int64, float64, string, []byte, bool or nil.
+func (s *Store) SQL(query string, args ...any) (*Rows, error) {
+	params := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		params[i] = v
+	}
+	res, err := s.db.Query(query, params...)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: res.Columns}
+	for _, r := range res.Rows {
+		row := make([]string, len(r))
+		for i, v := range r {
+			row[i] = v.String()
+		}
+		out.Values = append(out.Values, row)
+	}
+	return out, nil
+}
+
+func toValue(a any) (sqltypes.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return sqltypes.NullValue(), nil
+	case int:
+		return sqltypes.NewInt(int64(v)), nil
+	case int64:
+		return sqltypes.NewInt(v), nil
+	case float64:
+		return sqltypes.NewReal(v), nil
+	case string:
+		return sqltypes.NewText(v), nil
+	case []byte:
+		return sqltypes.NewBlob(v), nil
+	case bool:
+		return sqltypes.NewBool(v), nil
+	default:
+		return sqltypes.Value{}, fmt.Errorf("unsupported type %T", a)
+	}
+}
+
+// SetValue rewrites a text or attribute node's value in place (no order
+// keys change, so no renumbering under any encoding).
+func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
+	return s.manager.SetValue(doc, id, value)
+}
+
+// Rename changes an element tag or attribute name in place.
+func (s *Store) Rename(doc DocID, id NodeID, name string) error {
+	return s.manager.Rename(doc, id, name)
+}
+
+// Move relocates the subtree rooted at id to a new position relative to
+// target, preserving its content. It composes Serialize + Delete + Insert
+// atomically with respect to other statements; the report aggregates the
+// delete and insert costs. The returned NewID identifies the relocated
+// subtree root (node ids are not preserved across a move).
+func (s *Store) Move(doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
+	if id == target {
+		return UpdateReport{}, fmt.Errorf("cannot move a node relative to itself")
+	}
+	sub, err := s.publisher.Subtree(doc, id)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	// Reject moves into the subtree being moved (the target would be
+	// deleted out from under the insert): walk up from the target and fail
+	// if the moved node appears on the ancestor chain.
+	cur := target
+	for cur != 0 {
+		if cur == id {
+			return UpdateReport{}, fmt.Errorf("cannot move node %d into its own subtree", id)
+		}
+		parent, err := s.manager.Node(doc, cur)
+		if err != nil {
+			return UpdateReport{}, err
+		}
+		cur = parent
+	}
+	delRep, err := s.manager.Delete(doc, id)
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	insRep, err := s.manager.InsertTree(doc, target, pos, sub)
+	if err != nil {
+		return UpdateReport{}, fmt.Errorf("move lost the subtree after delete (reinsert failed): %w", err)
+	}
+	return UpdateReport{
+		NewID:          insRep.NewID,
+		RowsInserted:   insRep.RowsInserted,
+		RowsRenumbered: delRep.RowsRenumbered + insRep.RowsRenumbered,
+		RowsDeleted:    delRep.RowsDeleted,
+	}, nil
+}
+
+// Check verifies the document's structural invariants — parent links, node
+// shapes, registry counts, and the encoding's order-key contract (unique
+// global orders, per-parent sibling orders, or parent-prefix Dewey paths).
+// It returns the list of violations; an empty list means the stored form is
+// consistent.
+func (s *Store) Check(doc DocID) ([]string, error) {
+	c, err := check.New(s.db, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.Document(doc)
+}

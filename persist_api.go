@@ -1,0 +1,135 @@
+package ordxml
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"ordxml/internal/core/encoding"
+	"ordxml/internal/core/publish"
+	"ordxml/internal/core/shred"
+	"ordxml/internal/core/translate"
+	"ordxml/internal/core/update"
+	"ordxml/internal/sqldb"
+)
+
+// This file implements snapshot persistence for stores: Save streams the
+// entire database (documents, schemas, configuration) and OpenSnapshot
+// restores it, including the store's encoding options, which are kept in a
+// store_meta relation.
+
+// installMeta records the store's options inside the database so a snapshot
+// is self-describing.
+func installMeta(db *sqldb.DB, o encoding.Options) error {
+	if db.Catalog().Table("store_meta") != nil {
+		return nil
+	}
+	if _, err := db.Exec(`CREATE TABLE store_meta (k TEXT PRIMARY KEY, v TEXT NOT NULL)`); err != nil {
+		return err
+	}
+	rows := [][2]string{
+		{"encoding", o.Kind.String()},
+		{"gap", strconv.FormatUint(uint64(o.EffectiveGap()), 10)},
+		{"dewey_text", strconv.FormatBool(o.DeweyAsText)},
+		{"format", "1"},
+	}
+	for _, kv := range rows {
+		if _, err := db.Exec(`INSERT INTO store_meta VALUES (?, ?)`,
+			sqldb.S(kv[0]), sqldb.S(kv[1])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readMeta(db *sqldb.DB) (encoding.Options, error) {
+	var o encoding.Options
+	if db.Catalog().Table("store_meta") == nil {
+		return o, fmt.Errorf("snapshot has no store_meta table (not an ordxml store?)")
+	}
+	res, err := db.Query(`SELECT k, v FROM store_meta`)
+	if err != nil {
+		return o, err
+	}
+	vals := map[string]string{}
+	for _, r := range res.Rows {
+		vals[r[0].Text()] = r[1].Text()
+	}
+	kind, err := encoding.ParseKind(vals["encoding"])
+	if err != nil {
+		return o, fmt.Errorf("snapshot meta: %w", err)
+	}
+	gap, err := strconv.ParseUint(vals["gap"], 10, 32)
+	if err != nil {
+		return o, fmt.Errorf("snapshot meta gap: %w", err)
+	}
+	o = encoding.Options{Kind: kind, Gap: uint32(gap), DeweyAsText: vals["dewey_text"] == "true"}
+	return o, o.Validate()
+}
+
+// newStoreOn builds the component stack over an existing database.
+func newStoreOn(db *sqldb.DB, iopts encoding.Options) (*Store, error) {
+	s := &Store{db: db, opts: iopts}
+	var err error
+	if s.shredder, err = shred.New(db, iopts); err != nil {
+		return nil, err
+	}
+	if s.publisher, err = publish.New(db, iopts); err != nil {
+		return nil, err
+	}
+	if s.evaluator, err = translate.New(db, iopts); err != nil {
+		return nil, err
+	}
+	if s.manager, err = update.New(db, iopts); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Save streams a snapshot of the whole store (documents, indexes,
+// configuration) to w. The snapshot is consistent: it takes the engine's
+// read lock for its duration.
+func (s *Store) Save(w io.Writer) error {
+	return s.db.Dump(w)
+}
+
+// SaveFile writes a snapshot to path, replacing any existing file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenSnapshot restores a store from a snapshot produced by Save. The
+// encoding options travel with the snapshot.
+func OpenSnapshot(r io.Reader) (*Store, error) {
+	db, err := sqldb.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	iopts, err := readMeta(db)
+	if err != nil {
+		return nil, err
+	}
+	if !encoding.Installed(db, iopts) {
+		return nil, fmt.Errorf("snapshot lacks the %s node table", iopts.Kind)
+	}
+	return newStoreOn(db, iopts)
+}
+
+// OpenFile restores a store from a snapshot file.
+func OpenFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenSnapshot(f)
+}

@@ -1,0 +1,157 @@
+package ordxml
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ordxml/internal/xmlgen"
+)
+
+// randomXML renders a deterministic random document for snapshot tests.
+func randomXML(seed int64) string {
+	return xmlgen.Random(xmlgen.DefaultRandom(seed)).String()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, opts := range []Options{
+		{Encoding: Global},
+		{Encoding: Local, Gap: 8},
+		{Encoding: Dewey},
+		{Encoding: Dewey, DeweyAsText: true},
+	} {
+		s, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := s.LoadString("d", testDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutate before saving so the snapshot captures updates too.
+		hits, _ := s.Query(doc, "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]")
+		if _, err := s.Insert(doc, hits[0].ID, After,
+			"<SPEECH><SPEAKER>GHOST</SPEAKER><LINE>Mark me</LINE></SPEECH>"); err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.SerializeDocument(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", s.Encoding(), err)
+		}
+		restored, err := OpenSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("%s: restore: %v", s.Encoding(), err)
+		}
+		if restored.Encoding() != s.Encoding() {
+			t.Errorf("encoding lost: %v", restored.Encoding())
+		}
+		got, err := restored.SerializeDocument(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Encoding(), err)
+		}
+		if got != want {
+			t.Errorf("%s: snapshot round trip diverged", s.Encoding())
+		}
+		// The restored store is fully functional: query and update.
+		speakers, err := restored.QueryValues(doc, "/PLAY/ACT[1]/SCENE[1]/SPEECH/SPEAKER")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(speakers, ",") != "BERNARDO,GHOST,FRANCISCO" {
+			t.Errorf("%s: speakers after restore = %v", s.Encoding(), speakers)
+		}
+		hits, _ = restored.Query(doc, "//SPEECH[SPEAKER = 'GHOST']")
+		if len(hits) != 1 {
+			t.Fatalf("ghost speech missing after restore")
+		}
+		if _, err := restored.Delete(doc, hits[0].ID); err != nil {
+			t.Errorf("%s: update after restore: %v", s.Encoding(), err)
+		}
+	}
+}
+
+func TestSnapshotFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.oxdb")
+	s, _ := Open(Options{Encoding: Dewey, Gap: 4})
+	doc, _ := s.LoadString("d", "<a><b>x</b></a>")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := restored.QueryValues(doc, "/a/b")
+	if err != nil || len(vals) != 1 || vals[0] != "x" {
+		t.Fatalf("restored query = %v, %v", vals, err)
+	}
+	// Gap option survives: an insert uses the restored gap for new keys.
+	hits, _ := restored.Query(doc, "/a/b")
+	rep, err := restored.Insert(doc, hits[0].ID, Before, "<c/>")
+	if err != nil || rep.RowsRenumbered != 0 {
+		t.Errorf("gap lost across snapshot: %+v, %v", rep, err)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	if _, err := OpenSnapshot(strings.NewReader("junk data")); err == nil {
+		t.Error("junk snapshot opened")
+	}
+	if _, err := OpenSnapshot(strings.NewReader("")); err == nil {
+		t.Error("empty snapshot opened")
+	}
+	if _, err := OpenFile("/nonexistent/path"); err == nil {
+		t.Error("missing file opened")
+	}
+	// Truncated snapshot.
+	s, _ := Open(Options{Encoding: Global})
+	s.LoadString("d", "<a/>")
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, err := OpenSnapshot(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated snapshot opened")
+	}
+}
+
+// TestSnapshotRandomDocuments: snapshots of random documents restore
+// byte-identically under every encoding.
+func TestSnapshotRandomDocuments(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, opts := range []Options{
+			{Encoding: Global}, {Encoding: Local}, {Encoding: Dewey, Gap: 4},
+		} {
+			s, err := Open(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree := randomXML(seed)
+			doc, err := s.LoadString("r", tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := s.SerializeDocument(doc)
+			var buf bytes.Buffer
+			if err := s.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := OpenSnapshot(&buf)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, s.Encoding(), err)
+			}
+			got, err := back.SerializeDocument(doc)
+			if err != nil || got != want {
+				t.Fatalf("seed %d %s: snapshot diverged (%v)", seed, s.Encoding(), err)
+			}
+		}
+	}
+}

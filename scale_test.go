@@ -1,0 +1,76 @@
+package ordxml_test
+
+import (
+	"testing"
+
+	"ordxml"
+	"ordxml/internal/xmlgen"
+)
+
+// TestScale loads a ~50k-node document into every encoding and exercises
+// queries, updates and reconstruction at a size past any page/split
+// boundaries the small tests reach.
+func TestScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-document test")
+	}
+	doc := xmlgen.Play(xmlgen.PlayConfig{
+		Acts: 12, ScenesPerAct: 12, SpeechesPerScene: 24, LinesPerSpeech: 6, Seed: 9,
+	})
+	xml := doc.String()
+	nodes := doc.Size()
+	if nodes < 40000 {
+		t.Fatalf("workload too small: %d nodes", nodes)
+	}
+	for _, enc := range []ordxml.Encoding{ordxml.Global, ordxml.Local, ordxml.Dewey} {
+		store, err := ordxml.Open(ordxml.Options{Encoding: enc, Gap: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := store.LoadString("big", xml)
+		if err != nil {
+			t.Fatalf("%s: load: %v", enc, err)
+		}
+		if st := store.Storage(); st.Rows != nodes || st.HeapPages < 100 {
+			t.Errorf("%s: storage = %+v, want %d rows across many pages", enc, st, nodes)
+		}
+		// Deep positional query.
+		vals, err := store.QueryValues(id, "/PLAY/ACT[7]/SCENE[3]/SPEECH[11]/SPEAKER")
+		if err != nil || len(vals) != 1 {
+			t.Fatalf("%s: deep query: %v, %v", enc, vals, err)
+		}
+		// Wide descendant query.
+		lines, err := store.Query(id, "//LINE")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 12 * 12 * 24 * 6; len(lines) != want {
+			t.Errorf("%s: //LINE = %d, want %d", enc, len(lines), want)
+		}
+		// Update in the middle, then verify placement.
+		hits, err := store.Query(id, "/PLAY/ACT[5]/SCENE[5]/SPEECH[10]")
+		if err != nil || len(hits) != 1 {
+			t.Fatalf("%s: target: %v", enc, err)
+		}
+		if _, err := store.Insert(id, hits[0].ID, ordxml.After,
+			"<SPEECH><SPEAKER>PROBE</SPEAKER><LINE>marker</LINE></SPEECH>"); err != nil {
+			t.Fatalf("%s: insert: %v", enc, err)
+		}
+		speakers, err := store.QueryValues(id, "/PLAY/ACT[5]/SCENE[5]/SPEECH[11]/SPEAKER")
+		if err != nil || len(speakers) != 1 || speakers[0] != "PROBE" {
+			t.Fatalf("%s: probe not at position 11: %v, %v", enc, speakers, err)
+		}
+		// Subtree reconstruction of a full act.
+		acts, err := store.Query(id, "/PLAY/ACT[2]")
+		if err != nil || len(acts) != 1 {
+			t.Fatal(err)
+		}
+		actXML, err := store.Serialize(id, acts[0].ID)
+		if err != nil {
+			t.Fatalf("%s: serialize: %v", enc, err)
+		}
+		if len(actXML) < 10000 {
+			t.Errorf("%s: act serialization suspiciously small: %d bytes", enc, len(actXML))
+		}
+	}
+}
