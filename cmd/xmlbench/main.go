@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	xmlbench [-exp E3] [-items 200] [-quick]
+//	xmlbench [-exp E3] [-items 200] [-quick] [-json]
 //
 // Without -exp it runs every experiment. -quick shrinks workload sizes for a
-// fast smoke run; EXPERIMENTS.md records full-size results.
+// fast smoke run; EXPERIMENTS.md records full-size results. -json emits one
+// machine-readable JSON array of per-experiment results on stdout instead of
+// the aligned text tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,10 +21,22 @@ import (
 	"ordxml/internal/bench"
 )
 
+// jsonResult is the machine-readable form of one experiment's table: the
+// header names the columns, each row holds the rendered cell values.
+type jsonResult struct {
+	Experiment string     `json:"experiment"`
+	Reference  string     `json:"reference"`
+	Title      string     `json:"title"`
+	Note       string     `json:"note,omitempty"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+}
+
 func main() {
 	exp := flag.String("exp", "", "run one experiment (E1..E9); default all")
 	items := flag.Int("items", 200, "catalog items per region for query/update experiments")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	flag.Parse()
 
 	sizes := []int{50, 200, 800}
@@ -55,6 +70,7 @@ func main() {
 
 	want := strings.ToUpper(*exp)
 	ran := false
+	var results []jsonResult
 	for _, r := range runners {
 		if want != "" && r.id != want {
 			continue
@@ -65,11 +81,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.id, err)
 			os.Exit(1)
 		}
+		if *asJSON {
+			results = append(results, jsonResult{
+				Experiment: r.id,
+				Reference:  r.ref,
+				Title:      strings.TrimPrefix(t.Title, r.id+": "),
+				Note:       t.Note,
+				Header:     t.Header,
+				Rows:       t.Rows,
+			})
+			continue
+		}
 		t.Title = r.id + " (" + r.ref + ") — " + strings.TrimPrefix(t.Title, r.id+": ")
 		fmt.Println(t.String())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9)\n", *exp)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "encode results: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -152,11 +152,16 @@ func (p Path) IsAncestorOf(q Path) bool {
 // out-of-range components (they cannot be produced by the public
 // constructors).
 func (p Path) Bytes() []byte {
-	out := make([]byte, 0, len(p)*2)
+	return p.AppendBytes(make([]byte, 0, len(p)*2))
+}
+
+// AppendBytes appends the binary encoding of p to dst and returns the
+// extended slice, letting hot loops share one buffer across many paths.
+func (p Path) AppendBytes(dst []byte) []byte {
 	for _, c := range p {
-		out = appendComponent(out, c)
+		dst = appendComponent(dst, c)
 	}
-	return out
+	return dst
 }
 
 func appendComponent(dst []byte, c uint32) []byte {

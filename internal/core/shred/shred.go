@@ -20,11 +20,16 @@ type Shredder struct {
 	db   *sqldb.DB
 	opts encoding.Options
 
-	insertNode *sqldb.Stmt
-	insertDoc  *sqldb.Stmt
-	maxDoc     *sqldb.Stmt
-	deleteDoc  *sqldb.Stmt
-	deleteReg  *sqldb.Stmt
+	insertDoc *sqldb.Stmt
+	maxDoc    *sqldb.Stmt
+	docByID   *sqldb.Stmt
+	deleteDoc *sqldb.Stmt
+	deleteReg *sqldb.Stmt
+
+	// nextDoc is the cached high-water mark for document ids: the next id to
+	// hand out, 0 until seeded by the first load. It replaces a full-scan
+	// MAX(doc) per load with one indexed point probe.
+	nextDoc int64
 }
 
 // New prepares a shredder. The encoding's schema must already be installed.
@@ -38,15 +43,13 @@ func New(db *sqldb.DB, opts encoding.Options) (*Shredder, error) {
 	tbl := opts.NodesTable()
 	s := &Shredder{db: db, opts: opts}
 	var err error
-	if s.insertNode, err = db.Prepare(fmt.Sprintf(
-		`INSERT INTO %s (doc, id, parent, kind, tag, value, %s) VALUES (?, ?, ?, ?, ?, ?, ?)`,
-		tbl, opts.OrderColumn())); err != nil {
-		return nil, err
-	}
 	if s.insertDoc, err = db.Prepare(`INSERT INTO docs (doc, name, root, nodes) VALUES (?, ?, ?, ?)`); err != nil {
 		return nil, err
 	}
 	if s.maxDoc, err = db.Prepare(`SELECT MAX(doc) FROM docs`); err != nil {
+		return nil, err
+	}
+	if s.docByID, err = db.Prepare(`SELECT doc FROM docs WHERE doc = ?`); err != nil {
 		return nil, err
 	}
 	if s.deleteDoc, err = db.Prepare(fmt.Sprintf(`DELETE FROM %s WHERE doc = ?`, tbl)); err != nil {
@@ -71,19 +74,31 @@ func (s *Shredder) Load(name string, r io.Reader) (int64, error) {
 	return s.LoadTree(name, root)
 }
 
-// LoadTree stores an already-parsed document.
+// LoadTree stores an already-parsed document. The whole tree is shredded
+// into rows in memory first and inserted through the engine's bulk fast
+// path (one batch heap append plus one sorted pass per index), instead of
+// one parse/plan/execute round trip per node.
 func (s *Shredder) LoadTree(name string, root *xmltree.Node) (int64, error) {
 	docID, err := s.nextDocID()
 	if err != nil {
 		return 0, err
 	}
-	w := &walker{s: s, doc: docID}
-	if err := w.walk(root, 0, nil, 1); err != nil {
+	size := root.Size()
+	w := &walker{
+		s: s, doc: docID,
+		rows: make([]sqltypes.Row, 0, size),
+		vals: make([]sqltypes.Value, 0, size*nodeCols),
+	}
+	if err := w.walk(root, 0, 1); err != nil {
+		return 0, err
+	}
+	if _, err := s.db.BulkInsert(s.opts.NodesTable(), w.rows); err != nil {
 		return 0, err
 	}
 	if _, err := s.insertDoc.Exec(sqldb.I(docID), sqldb.S(name), sqldb.I(1), sqldb.I(w.nextID-1)); err != nil {
 		return 0, err
 	}
+	s.nextDoc = docID + 1
 	return docID, nil
 }
 
@@ -102,27 +117,60 @@ func (s *Shredder) DropDocument(docID int64) error {
 	return nil
 }
 
+// nextDocID returns the next unused document id. The first call seeds the
+// high-water mark with one MAX(doc) scan; every later call costs a single
+// point probe through the docs primary-key index — the probe guards against
+// other writers on the shared docs table (e.g. a second shredder for another
+// encoding in the same database).
 func (s *Shredder) nextDocID() (int64, error) {
-	res, err := s.maxDoc.Query()
-	if err != nil {
-		return 0, err
+	if s.nextDoc == 0 {
+		res, err := s.maxDoc.Query()
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
+			s.nextDoc = 1
+		} else {
+			s.nextDoc = res.Rows[0][0].Int() + 1
+		}
+		return s.nextDoc, nil
 	}
-	if len(res.Rows) == 0 || res.Rows[0][0].IsNull() {
-		return 1, nil
+	for {
+		res, err := s.docByID.Query(sqldb.I(s.nextDoc))
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) == 0 {
+			return s.nextDoc, nil
+		}
+		s.nextDoc++
 	}
-	return res.Rows[0][0].Int() + 1, nil
 }
 
-// walker assigns ids and order keys during the pre-order traversal. Root id
-// is always 1.
+// nodeCols is the node-table row width: doc, id, parent, kind, tag, value
+// and one order-key column.
+const nodeCols = 7
+
+// walker assigns ids and order keys during the pre-order traversal,
+// accumulating one row per node for the bulk insert. Root id is always 1.
+// Row values are carved out of one shared backing slice (vals), sized for the
+// whole document up front.
 type walker struct {
 	s      *Shredder
 	doc    int64
 	nextID int64
 	gpos   int64 // running global position (document order)
+	rows   []sqltypes.Row
+	vals   []sqltypes.Value
+	// stack is the Dewey path of the node currently being visited, shared
+	// across the walk (push before insert, pop after the subtree) so path
+	// construction costs no allocation per node. pathBuf is the shared
+	// backing for the encoded order-key blobs.
+	stack   dewey.Path
+	pathBuf []byte
 }
 
-func (w *walker) walk(n *xmltree.Node, parentID int64, parentPath dewey.Path, ordinal uint32) error {
+func (w *walker) walk(n *xmltree.Node, parentID int64, ordinal uint32) error {
 	if w.nextID == 0 {
 		w.nextID = 1
 	}
@@ -132,13 +180,10 @@ func (w *walker) walk(n *xmltree.Node, parentID int64, parentPath dewey.Path, or
 	w.gpos += gap
 
 	var path dewey.Path
-	if w.s.opts.Kind == encoding.Dewey {
-		spaced := ordinal * w.s.opts.EffectiveGap()
-		if parentPath == nil {
-			path = dewey.Path{spaced}
-		} else {
-			path = parentPath.Child(spaced)
-		}
+	isDewey := w.s.opts.Kind == encoding.Dewey
+	if isDewey {
+		w.stack = append(w.stack, ordinal*w.s.opts.EffectiveGap())
+		path = w.stack
 	}
 	if err := w.insert(n, id, parentID, ordinal, path); err != nil {
 		return err
@@ -148,21 +193,27 @@ func (w *walker) walk(n *xmltree.Node, parentID int64, parentPath dewey.Path, or
 	// encoding.
 	ord := uint32(1)
 	for _, a := range n.Attrs {
-		if err := w.walk(a, id, path, ord); err != nil {
+		if err := w.walk(a, id, ord); err != nil {
 			return err
 		}
 		ord++
 	}
 	for _, c := range n.Children {
-		if err := w.walk(c, id, path, ord); err != nil {
+		if err := w.walk(c, id, ord); err != nil {
 			return err
 		}
 		ord++
 	}
+	// Pop this node's path component. Error returns above skip the pop; an
+	// error aborts the whole load, so the stack's state no longer matters.
+	if isDewey {
+		w.stack = w.stack[:len(w.stack)-1]
+	}
 	return nil
 }
 
-// insert writes one node row.
+// insert buffers one node row in the node table's column order
+// (doc, id, parent, kind, tag, value, <order key>).
 func (w *walker) insert(n *xmltree.Node, id, parentID int64, ordinal uint32, path dewey.Path) error {
 	parent := sqldb.Null()
 	if parentID != 0 {
@@ -186,13 +237,18 @@ func (w *walker) insert(n *xmltree.Node, id, parentID int64, ordinal uint32, pat
 		if w.s.opts.DeweyAsText {
 			orderKey = sqldb.S(path.PaddedString())
 		} else {
-			orderKey = sqldb.B(path.Bytes())
+			off := len(w.pathBuf)
+			w.pathBuf = path.AppendBytes(w.pathBuf)
+			orderKey = sqldb.B(w.pathBuf[off:len(w.pathBuf):len(w.pathBuf)])
 		}
 	}
-	_, err := w.s.insertNode.Exec(
+	start := len(w.vals)
+	w.vals = append(w.vals,
 		sqldb.I(w.doc), sqldb.I(id), parent,
-		sqldb.S(n.Kind.String()), tag, value, orderKey)
-	return err
+		sqldb.S(n.Kind.String()), tag, value, orderKey,
+	)
+	w.rows = append(w.rows, sqltypes.Row(w.vals[start:len(w.vals):len(w.vals)]))
+	return nil
 }
 
 // DocInfo describes one stored document.

@@ -351,3 +351,72 @@ func TestWideFanout(t *testing.T) {
 		}
 	}
 }
+
+// TestNextDocIDNoFullScan is the regression test for the doc-id high-water
+// mark: after the first load seeds it, later loads must not scan any table
+// to find the next free document id (the old implementation ran a full-table
+// SELECT MAX(doc) per load).
+func TestNextDocIDNoFullScan(t *testing.T) {
+	db, s, _ := newStore(t, encoding.Options{Kind: encoding.Global})
+	doc := xmlgen.Catalog(xmlgen.CatalogConfig{
+		Regions: 2, ItemsPerRegion: 3, KeywordsPerItem: 1, DescriptionWords: 3, Seed: 1})
+	if _, err := s.LoadTree("first", doc); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Counters()
+	for i := 0; i < 5; i++ {
+		if _, err := s.LoadTree("more", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	delta := db.Counters().Sub(before)
+	if delta.RowsScanned != 0 {
+		t.Fatalf("loads after the first scanned %d rows, want 0", delta.RowsScanned)
+	}
+}
+
+// TestNextDocIDSharedDocsTable: two shredders over one database share the
+// docs registry; the cached high-water mark must not hand out an id the
+// other shredder already took.
+func TestNextDocIDSharedDocsTable(t *testing.T) {
+	db := sqldb.Open()
+	for _, opts := range []encoding.Options{{Kind: encoding.Global}, {Kind: encoding.Local}} {
+		if err := encoding.Install(db, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sg, err := New(db, encoding.Options{Kind: encoding.Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := New(db, encoding.Options{Kind: encoding.Local})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmlgen.Catalog(xmlgen.CatalogConfig{
+		Regions: 1, ItemsPerRegion: 2, KeywordsPerItem: 1, DescriptionWords: 2, Seed: 2})
+	seen := map[int64]bool{}
+	for i := 0; i < 3; i++ {
+		for _, sh := range []*Shredder{sg, sl} {
+			id, err := sh.LoadTree("d", doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[id] {
+				t.Fatalf("doc id %d handed out twice", id)
+			}
+			seen[id] = true
+		}
+	}
+	// Dropping and reloading must also not reuse a live id.
+	if err := sg.DropDocument(1); err != nil {
+		t.Fatal(err)
+	}
+	id, err := sg.LoadTree("again", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[id] && id != 1 {
+		t.Fatalf("reload returned live id %d", id)
+	}
+}

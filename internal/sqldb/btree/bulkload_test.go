@@ -1,0 +1,198 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ordxml/internal/sqldb/heap"
+)
+
+// randomSortedItems builds n strictly ascending items with variable-length
+// random keys.
+func randomSortedItems(rng *rand.Rand, n int) []Item {
+	seen := map[string]bool{}
+	keys := make([][]byte, 0, n)
+	for len(keys) < n {
+		k := make([]byte, 1+rng.Intn(24))
+		rng.Read(k)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	items := make([]Item, n)
+	for i, k := range keys {
+		items[i] = Item{Key: k, RID: heap.RID{Page: uint32(i), Slot: uint16(i % 500)}}
+	}
+	return items
+}
+
+// TestBulkLoadEquivalence is the property test behind the bulk loader: for
+// random sorted inputs, a bulk-built tree must be observationally equivalent
+// to one built by repeated Insert — same Len, Get, Seek ranges and prefix
+// scans — and must stay correct under further Inserts and Deletes.
+func TestBulkLoadEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 47, 48, 49, 64, 65, 100, 1000, 5000} {
+		items := randomSortedItems(rng, n)
+		bulk, err := BulkLoad(items)
+		if err != nil {
+			t.Fatalf("n=%d: BulkLoad: %v", n, err)
+		}
+		ref := New()
+		for _, it := range items {
+			if err := ref.Insert(it.Key, it.RID); err != nil {
+				t.Fatalf("n=%d: Insert: %v", n, err)
+			}
+		}
+		checkEquivalent(t, bulk, ref, items, rng)
+
+		// The bulk-built tree must keep working as a normal tree: trickle
+		// inserts and deletes after the load.
+		extra := randomSortedItems(rng, 50)
+		for _, it := range extra {
+			ebulk := bulk.Insert(it.Key, it.RID)
+			eref := ref.Insert(it.Key, it.RID)
+			if (ebulk == nil) != (eref == nil) {
+				t.Fatalf("n=%d: post-load insert disagreement: %v vs %v", n, ebulk, eref)
+			}
+		}
+		for i := 0; i < len(items); i += 3 {
+			if err := bulk.Delete(items[i].Key); err != nil {
+				t.Fatalf("n=%d: post-load delete: %v", n, err)
+			}
+			if err := ref.Delete(items[i].Key); err != nil {
+				t.Fatalf("n=%d: ref delete: %v", n, err)
+			}
+		}
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("n=%d: after churn Len %d != %d", n, bulk.Len(), ref.Len())
+		}
+		all := collect(bulk.Seek(nil, nil))
+		refAll := collect(ref.Seek(nil, nil))
+		if len(all) != len(refAll) {
+			t.Fatalf("n=%d: after churn scan %d != %d entries", n, len(all), len(refAll))
+		}
+	}
+}
+
+func checkEquivalent(t *testing.T, bulk, ref *Tree, items []Item, rng *rand.Rand) {
+	t.Helper()
+	if bulk.Len() != ref.Len() {
+		t.Fatalf("Len %d != %d", bulk.Len(), ref.Len())
+	}
+	for _, it := range items {
+		got, ok := bulk.Get(it.Key)
+		if !ok || got != it.RID {
+			t.Fatalf("Get(%x) = %v, %v; want %v", it.Key, got, ok, it.RID)
+		}
+	}
+	if _, ok := bulk.Get([]byte("\xfe\xfd no such key")); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	// Full scans agree and come back sorted.
+	ba, ra := collect(bulk.Seek(nil, nil)), collect(ref.Seek(nil, nil))
+	if len(ba) != len(items) {
+		t.Fatalf("full scan returned %d of %d entries", len(ba), len(items))
+	}
+	for i := range ba {
+		if !bytes.Equal(ba[i], ra[i]) {
+			t.Fatalf("scan entry %d: %x != %x", i, ba[i], ra[i])
+		}
+		if i > 0 && bytes.Compare(ba[i-1], ba[i]) >= 0 {
+			t.Fatalf("scan not strictly ascending at %d", i)
+		}
+	}
+	// Random sub-ranges agree.
+	for trial := 0; trial < 20; trial++ {
+		lo := items[rng.Intn(len(items))].Key
+		hi := items[rng.Intn(len(items))].Key
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		if got, want := collect(bulk.Seek(lo, hi)), collect(ref.Seek(lo, hi)); len(got) != len(want) {
+			t.Fatalf("Seek(%x, %x): %d != %d entries", lo, hi, len(got), len(want))
+		}
+	}
+	// Prefix scans agree.
+	for trial := 0; trial < 20; trial++ {
+		k := items[rng.Intn(len(items))].Key
+		p := k[:1+rng.Intn(len(k))]
+		if got, want := collect(bulk.ScanPrefix(p)), collect(ref.ScanPrefix(p)); len(got) != len(want) {
+			t.Fatalf("ScanPrefix(%x): %d != %d entries", p, len(got), len(want))
+		}
+	}
+}
+
+func collect(it *Iterator) [][]byte {
+	var out [][]byte
+	for ; it.Valid(); it.Next() {
+		out = append(out, append([]byte(nil), it.Key()...))
+	}
+	return out
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoad(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Insert([]byte("a"), heap.RID{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	cases := [][]Item{
+		{{Key: []byte("b")}, {Key: []byte("a")}},                     // descending
+		{{Key: []byte("a")}, {Key: []byte("a")}},                     // duplicate
+		{{Key: []byte("a")}, {Key: []byte("c")}, {Key: []byte("b")}}, // out of order tail
+	}
+	for i, items := range cases {
+		if _, err := BulkLoad(items); err != ErrUnsorted {
+			t.Fatalf("case %d: err = %v, want ErrUnsorted", i, err)
+		}
+	}
+}
+
+// TestBulkLoadLeafChain checks the leaf sibling links that range iteration
+// depends on: every key must be reachable by walking leaf next pointers.
+func TestBulkLoadLeafChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomSortedItems(rng, 3000)
+	tr, err := BulkLoad(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.root
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	count := 0
+	var prev []byte
+	for ; n != nil; n = n.next {
+		if len(n.keys) == 0 {
+			t.Fatal("empty leaf in chain")
+		}
+		if len(n.keys) > maxKeys {
+			t.Fatalf("overfull leaf: %d keys", len(n.keys))
+		}
+		for _, k := range n.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("leaf chain out of order at %x", k)
+			}
+			prev = k
+			count++
+		}
+	}
+	if count != len(items) {
+		t.Fatalf("leaf chain has %d keys, want %d", count, len(items))
+	}
+}

@@ -7,8 +7,10 @@
 package catalog
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -156,19 +158,32 @@ func (t *Table) ColumnTypes() []sqltypes.Type {
 func (t *Table) RowCount() int { return t.Heap.Stats().Rows }
 
 // checkRow validates arity, coerces values to column types and enforces
-// NOT NULL.
+// NOT NULL. When no value needs coercion (the common case for rows built by
+// the XML layer) the input row is returned as-is, copy-free; callers must not
+// mutate the result.
 func (t *Table) checkRow(row sqltypes.Row) (sqltypes.Row, error) {
 	if len(row) != len(t.Columns) {
 		return nil, fmt.Errorf("table %s: row has %d values, want %d", t.Name, len(row), len(t.Columns))
 	}
-	out := make(sqltypes.Row, len(row))
+	out := row
+	copied := false
 	for i, v := range row {
+		if v.IsNull() {
+			if t.Columns[i].NotNull {
+				return nil, fmt.Errorf("table %s column %s: NULL violates NOT NULL", t.Name, t.Columns[i].Name)
+			}
+			continue
+		}
+		if v.Type() == t.Columns[i].Type {
+			continue
+		}
 		cv, err := sqltypes.Coerce(v, t.Columns[i].Type)
 		if err != nil {
 			return nil, fmt.Errorf("table %s column %s: %w", t.Name, t.Columns[i].Name, err)
 		}
-		if cv.IsNull() && t.Columns[i].NotNull {
-			return nil, fmt.Errorf("table %s column %s: NULL violates NOT NULL", t.Name, t.Columns[i].Name)
+		if !copied {
+			out = append(sqltypes.Row(nil), row...)
+			copied = true
 		}
 		out[i] = cv
 	}
@@ -203,6 +218,147 @@ func (t *Table) Insert(row sqltypes.Row) (heap.RID, error) {
 	}
 	t.counters.RowsInserted.Add(1)
 	return rid, nil
+}
+
+// BulkInsert validates and stores a batch of rows: every row is checked
+// (arity, types, NOT NULL, uniqueness — against the table and within the
+// batch) before any storage is touched, so an error leaves the table
+// unchanged. Rows go to the heap through one batch append, and each index is
+// maintained with one sorted pass — bulk-built bottom-up when the index is
+// empty, sorted inserts otherwise. Returns the RIDs in row order.
+func (t *Table) BulkInsert(rows []sqltypes.Row) ([]heap.RID, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, nil
+	}
+	checked := make([]sqltypes.Row, n)
+	for i, row := range rows {
+		cr, err := t.checkRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i+1, err)
+		}
+		checked[i] = cr
+	}
+
+	// Build every index key up front, arena-backed (one allocation per batch
+	// instead of one per key). Non-unique keys get a zeroed RID-suffix
+	// placeholder patched after the heap append; because the key encoding is
+	// self-delimiting, placeholder keys compare exactly like patched ones
+	// except on full-prefix ties, which the real RIDs (ascending in row
+	// order) then break. Each index records whether its keys already arrive
+	// in tree order — true for the (doc,id) and document-order indexes fed by
+	// the shredder's pre-order walk — and a sort permutation otherwise.
+	type ixBuild struct {
+		keys [][]byte
+		perm []int // nil when keys are already sorted in row order
+	}
+	builds := make([]ixBuild, len(t.Indexes))
+	arena := make([]byte, 0, 24*n*max(len(t.Indexes), 1))
+	allKeys := make([][]byte, len(t.Indexes)*n)
+	for xi, ix := range t.Indexes {
+		keys := allKeys[xi*n : (xi+1)*n : (xi+1)*n]
+		sorted := true
+		for i, row := range checked {
+			start := len(arena)
+			for _, c := range ix.Columns {
+				arena = sqltypes.EncodeKey(arena, row[c])
+			}
+			if !ix.Unique {
+				arena = AppendRID(arena, heap.RID{})
+			}
+			keys[i] = arena[start:len(arena):len(arena)]
+			if i > 0 && sorted {
+				cmp := bytes.Compare(keys[i-1], keys[i])
+				if cmp > 0 {
+					sorted = false
+				} else if cmp == 0 && ix.Unique {
+					return nil, fmt.Errorf("unique index %s: duplicate key %s within batch", ix.Name, describeKey(ix, row))
+				}
+			}
+		}
+		b := ixBuild{keys: keys}
+		if !sorted {
+			b.perm = make([]int, n)
+			for i := range b.perm {
+				b.perm[i] = i
+			}
+			// Ties break by row order so patched RID suffixes stay ascending.
+			slices.SortFunc(b.perm, func(i, j int) int {
+				if c := bytes.Compare(keys[i], keys[j]); c != 0 {
+					return c
+				}
+				return i - j
+			})
+			if ix.Unique {
+				for i := 1; i < n; i++ {
+					if bytes.Equal(keys[b.perm[i-1]], keys[b.perm[i]]) {
+						return nil, fmt.Errorf("unique index %s: duplicate key %s within batch", ix.Name, describeKey(ix, checked[b.perm[i]]))
+					}
+				}
+			}
+		}
+		if ix.Unique && ix.Tree.Len() > 0 {
+			for i, key := range keys {
+				if _, exists := ix.Tree.Get(key); exists {
+					return nil, fmt.Errorf("unique index %s: duplicate key %s", ix.Name, describeKey(ix, checked[i]))
+				}
+			}
+		}
+		builds[xi] = b
+	}
+
+	payloads := make([][]byte, n)
+	rowArena := make([]byte, 0, 48*n)
+	for i, row := range checked {
+		start := len(rowArena)
+		rowArena = sqltypes.EncodeRow(rowArena, row)
+		payloads[i] = rowArena[start:len(rowArena):len(rowArena)]
+	}
+	rids, err := t.Heap.AppendBatch(payloads)
+	if err != nil {
+		return nil, err
+	}
+
+	items := make([]btree.Item, n)
+	for xi, ix := range t.Indexes {
+		b := builds[xi]
+		if !ix.Unique {
+			for i, key := range b.keys {
+				patchRID(key, rids[i])
+			}
+		}
+		for i := range items {
+			src := i
+			if b.perm != nil {
+				src = b.perm[i]
+			}
+			items[i] = btree.Item{Key: b.keys[src], RID: rids[src]}
+		}
+		if ix.Tree.Len() == 0 {
+			tree, err := btree.BulkLoad(items)
+			if err != nil {
+				// Uniqueness was pre-checked; a collision here is corruption.
+				panic(fmt.Sprintf("catalog: index %s bulk load: %v", ix.Name, err))
+			}
+			ix.Tree = tree
+			continue
+		}
+		for _, it := range items {
+			if err := ix.Tree.Insert(it.Key, it.RID); err != nil {
+				panic(fmt.Sprintf("catalog: index %s insert: %v", ix.Name, err))
+			}
+		}
+	}
+	t.counters.RowsInserted.Add(int64(n))
+	return rids, nil
+}
+
+// patchRID overwrites the zeroed RID-suffix placeholder at the end of a
+// non-unique index key with the row's real RID.
+func patchRID(key []byte, rid heap.RID) {
+	n := len(key)
+	binary.BigEndian.PutUint32(key[n-6:n-2], rid.Page)
+	binary.BigEndian.PutUint16(key[n-2:], rid.Slot)
 }
 
 func describeKey(ix *Index, row sqltypes.Row) string {
@@ -340,7 +496,13 @@ func (t *Table) IndexScan(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Va
 type Catalog struct {
 	tables   map[string]*Table
 	Counters Counters
+	// version counts schema changes (DDL). Plan caches key their entries by
+	// it, so a CREATE/DROP TABLE/INDEX invalidates every cached plan.
+	version atomic.Uint64
 }
+
+// Version returns the schema version counter, bumped by every DDL change.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -369,6 +531,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		t.colIdx[col.Name] = i
 	}
 	c.tables[name] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -378,6 +541,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("table %s does not exist", name)
 	}
 	delete(c.tables, name)
+	c.version.Add(1)
 	return nil
 }
 
@@ -415,6 +579,9 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 		cols[i] = pos
 	}
 	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: btree.New()}
+	// Populate bottom-up: collect and sort every (key, rid) pair, then build
+	// the tree leaves-first instead of one top-down insert per row.
+	items := make([]btree.Item, 0, t.RowCount())
 	var buildErr error
 	t.Heap.Scan(func(rid heap.RID, data []byte) bool {
 		row, err := sqltypes.DecodeRow(data)
@@ -422,16 +589,22 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 			buildErr = err
 			return false
 		}
-		if err := ix.Tree.Insert(ix.keyFor(row, rid), rid); err != nil {
-			buildErr = fmt.Errorf("index %s: %w (existing data violates uniqueness?)", name, err)
-			return false
-		}
+		items = append(items, btree.Item{Key: ix.keyFor(row, rid), RID: rid})
 		return true
 	})
 	if buildErr != nil {
 		return nil, buildErr
 	}
+	sort.Slice(items, func(i, j int) bool { return bytes.Compare(items[i].Key, items[j].Key) < 0 })
+	tree, err := btree.BulkLoad(items)
+	if err != nil {
+		// Keys only collide on a unique index (non-unique keys carry a RID
+		// suffix), so ErrUnsorted here means a uniqueness violation.
+		return nil, fmt.Errorf("index %s: %w (existing data violates uniqueness?)", name, btree.ErrDuplicate)
+	}
+	ix.Tree = tree
 	t.Indexes = append(t.Indexes, ix)
+	c.version.Add(1)
 	return ix, nil
 }
 
@@ -441,6 +614,7 @@ func (c *Catalog) DropIndex(name string) error {
 		for i, ix := range t.Indexes {
 			if ix.Name == name {
 				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				c.version.Add(1)
 				return nil
 			}
 		}

@@ -301,3 +301,139 @@ func TestTableNames(t *testing.T) {
 		t.Errorf("TableNames = %s", got)
 	}
 }
+
+// bulkTable creates a table shaped like the node tables: a unique pkey plus
+// a non-unique secondary whose keys arrive out of row order.
+func bulkTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c, tbl := newTestTable(t)
+	if _, err := c.CreateIndex("users_pkey", "users", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateIndex("users_name", "users", []string{"name"}, false); err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+// TestBulkInsertMatchesInsert: a bulk batch must leave table and indexes in
+// the same observable state as row-at-a-time Insert, for both presorted and
+// shuffled key orders.
+func TestBulkInsertMatchesInsert(t *testing.T) {
+	_, bulk := bulkTable(t)
+	_, ref := bulkTable(t)
+
+	const n = 500
+	rows := make([]sqltypes.Row, n)
+	for i := range rows {
+		// id ascending (presorted for the pkey), name descending (forces the
+		// permutation-sort path on the secondary index).
+		rows[i] = row(int64(i), fmt.Sprintf("name-%04d", n-i), int64(i%90))
+	}
+	rids, err := bulk.BulkInsert(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != n {
+		t.Fatalf("got %d rids", len(rids))
+	}
+	for _, r := range rows {
+		if _, err := ref.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, tbl := range []*Table{bulk, ref} {
+		if tbl.RowCount() != n {
+			t.Fatalf("RowCount = %d", tbl.RowCount())
+		}
+	}
+	// RIDs come back in row order and resolve to their rows.
+	for i, rid := range rids {
+		got, err := bulk.Fetch(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].Int() != int64(i) {
+			t.Fatalf("rid %d fetches id %d", i, got[0].Int())
+		}
+	}
+	// Both indexes agree with the reference table, in order.
+	for _, ixName := range []string{"users_pkey", "users_name"} {
+		var a, b []string
+		scan := func(tbl *Table, out *[]string) {
+			var ix *Index
+			for _, cand := range tbl.Indexes {
+				if cand.Name == ixName {
+					ix = cand
+				}
+			}
+			tbl.IndexScan(ix, nil, nil, nil, false, false, func(rid heap.RID) bool {
+				r, err := tbl.Fetch(rid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				*out = append(*out, fmt.Sprintf("%d|%s", r[0].Int(), r[1].Text()))
+				return true
+			})
+		}
+		scan(bulk, &a)
+		scan(ref, &b)
+		if len(a) != n || len(b) != n {
+			t.Fatalf("%s: scans returned %d and %d entries", ixName, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s entry %d: %s != %s", ixName, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestBulkInsertIntoPopulatedTable exercises the trickle path: the target
+// indexes already hold rows, so the batch inserts key by key.
+func TestBulkInsertIntoPopulatedTable(t *testing.T) {
+	_, tbl := bulkTable(t)
+	if _, err := tbl.Insert(row(1000, "pre", 1)); err != nil {
+		t.Fatal(err)
+	}
+	rows := []sqltypes.Row{row(1, "a", 1), row(2, "b", 2), row(3, "c", 3)}
+	if _, err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.RowCount() != 4 {
+		t.Fatalf("RowCount = %d", tbl.RowCount())
+	}
+	// Unique violation against the pre-existing row must reject the whole
+	// batch.
+	before := tbl.RowCount()
+	if _, err := tbl.BulkInsert([]sqltypes.Row{row(50, "x", 0), row(1000, "dup", 0)}); err == nil {
+		t.Fatal("duplicate against existing row succeeded")
+	}
+	if tbl.RowCount() != before {
+		t.Fatalf("failed batch changed RowCount to %d", tbl.RowCount())
+	}
+}
+
+// TestBulkInsertCoercion: bulk rows go through the same coercion and NOT
+// NULL checks as Insert.
+func TestBulkInsertCoercion(t *testing.T) {
+	_, tbl := newTestTable(t)
+	rows := []sqltypes.Row{
+		{sqltypes.NewText("7"), sqltypes.NewText("seven"), sqltypes.NewInt(1)},
+	}
+	if _, err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	tbl.Scan(func(_ heap.RID, r sqltypes.Row) bool { got = r[0].Int(); return true })
+	if got != 7 {
+		t.Fatalf("coerced id = %d", got)
+	}
+	if _, err := tbl.BulkInsert([]sqltypes.Row{{sqltypes.NullValue(), sqltypes.NewText("x"), sqltypes.NewInt(1)}}); err == nil {
+		t.Fatal("NULL id accepted")
+	}
+	if _, err := tbl.BulkInsert([]sqltypes.Row{{sqltypes.NewInt(1), sqltypes.NewText("x")}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}

@@ -23,8 +23,9 @@ import (
 
 // DB is one embedded database instance.
 type DB struct {
-	mu  sync.RWMutex
-	cat *catalog.Catalog
+	mu    sync.RWMutex
+	cat   *catalog.Catalog
+	plans *planCache
 }
 
 // Result is re-exported for callers of Query.
@@ -32,7 +33,7 @@ type Result = exec.Result
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{cat: catalog.New()}
+	return &DB{cat: catalog.New(), plans: newPlanCache()}
 }
 
 // Catalog exposes the live catalog (used by tests and the stats reporting in
@@ -44,41 +45,56 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 func (db *DB) Counters() catalog.Snapshot { return db.cat.Counters.Snapshot() }
 
 // Exec runs a statement that returns no rows (DDL or DML) and reports the
-// number of rows affected (0 for DDL).
+// number of rows affected (0 for DDL). DML plans are cached by SQL text, so
+// repeated Exec calls skip parse and plan entirely.
 func (db *DB) Exec(sql string, params ...sqltypes.Value) (int, error) {
-	stmt, err := sqlparse.Parse(sql)
-	if err != nil {
-		return 0, err
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	stmt, cached := db.plans.lookup(sql, db.cat.Version())
+	if cached != nil {
+		if isDMLPlan(cached) {
+			return runDML(cached, params)
+		}
+		return 0, fmt.Errorf("use Query for SELECT statements")
 	}
-	return db.execStmt(stmt, params)
+	if stmt == nil {
+		var err error
+		if stmt, err = sqlparse.Parse(sql); err != nil {
+			return 0, err
+		}
+	}
+	return db.execParsed(sql, stmt, params)
 }
 
-func (db *DB) execStmt(stmt sqlparse.Statement, params []sqltypes.Value) (int, error) {
+func isDMLPlan(p any) bool {
+	switch p.(type) {
+	case *plan.InsertPlan, *plan.UpdatePlan, *plan.DeletePlan:
+		return true
+	}
+	return false
+}
+
+// execParsed runs a parsed statement. The caller holds the write lock; sql
+// keys the plan cache for DML (DDL is executed directly and, by bumping the
+// catalog version, invalidates every cached plan).
+func (db *DB) execParsed(sql string, stmt sqlparse.Statement, params []sqltypes.Value) (int, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.CreateTable:
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return 0, db.createTable(s)
 	case *sqlparse.CreateIndex:
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		_, err := db.cat.CreateIndex(s.Name, s.Table, s.Columns, s.Unique)
 		return 0, err
 	case *sqlparse.DropTable:
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return 0, db.cat.DropTable(s.Name)
 	case *sqlparse.DropIndex:
-		db.mu.Lock()
-		defer db.mu.Unlock()
 		return 0, db.cat.DropIndex(s.Name)
 	case *sqlparse.Insert, *sqlparse.Update, *sqlparse.Delete:
-		db.mu.Lock()
-		defer db.mu.Unlock()
+		ver := db.cat.Version()
 		p, err := plan.Plan(db.cat, stmt)
 		if err != nil {
 			return 0, err
 		}
+		db.plans.store(sql, stmt, ver, p)
 		return runDML(p, params)
 	case *sqlparse.Select:
 		return 0, fmt.Errorf("use Query for SELECT statements")
@@ -121,23 +137,72 @@ func (db *DB) createTable(s *sqlparse.CreateTable) error {
 	return nil
 }
 
-// Query runs a SELECT and materializes the result.
+// Query runs a SELECT and materializes the result. Plans are cached by SQL
+// text and revalidated against the catalog version, so repeated queries skip
+// parse and plan.
 func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
-	stmt, err := sqlparse.Parse(sql)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	node, err := db.selectPlan(sql, nil)
 	if err != nil {
 		return nil, err
+	}
+	return exec.Run(node, params)
+}
+
+// selectPlan compiles (or fetches from the cache) the plan for a SELECT.
+// preparsed, when non-nil, is the already-parsed AST (prepared statements)
+// used on a cache miss. The caller holds at least the read lock, so the
+// catalog version cannot change between lookup and store.
+func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, error) {
+	ver := db.cat.Version()
+	stmt, cached := db.plans.lookup(sql, ver)
+	if cached != nil {
+		if node, ok := cached.(plan.Node); ok {
+			return node, nil
+		}
+		return nil, fmt.Errorf("Query requires a SELECT statement")
+	}
+	if stmt == nil {
+		stmt = preparsed
+	}
+	if stmt == nil {
+		var err error
+		if stmt, err = sqlparse.Parse(sql); err != nil {
+			return nil, err
+		}
 	}
 	sel, ok := stmt.(*sqlparse.Select)
 	if !ok {
 		return nil, fmt.Errorf("Query requires a SELECT statement")
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	node, err := plan.PlanSelect(db.cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(node, params)
+	db.plans.store(sql, stmt, ver, node)
+	return node, nil
+}
+
+// BulkInsert appends full-width rows (one value per table column, in
+// declaration order) through the batch fast path: one write-lock
+// acquisition, no SQL parse or plan, one heap append pass, and one sorted
+// index-maintenance pass per index. Rows are constraint-checked exactly like
+// INSERT, and an error leaves the table unchanged.
+func (db *DB) BulkInsert(table string, rows []sqltypes.Row) (int, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.cat.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("no such table %s", table)
+	}
+	if _, err := t.BulkInsert(rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
 }
 
 // Explain returns the physical plan of a statement as text.
@@ -169,11 +234,14 @@ func (db *DB) Explain(sql string, params ...sqltypes.Value) (string, error) {
 	}
 }
 
-// Stmt is a prepared statement: parsed once, planned per Run against the
-// current catalog. Preparing skips reparsing in hot loops (the shredder and
-// update manager run millions of parameterized statements).
+// Stmt is a prepared statement: parsed once, with its plan cached in the
+// engine's shared plan cache (keyed by SQL text, validated against the
+// catalog version). Hot loops (the shredder, the update manager, the XPath
+// evaluator) therefore pay parse and plan once per schema version, not per
+// Run.
 type Stmt struct {
 	db   *DB
+	sql  string
 	stmt sqlparse.Statement
 }
 
@@ -183,23 +251,24 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{db: db, stmt: stmt}, nil
+	return &Stmt{db: db, sql: sql, stmt: stmt}, nil
 }
 
 // Exec runs a prepared DML statement.
 func (s *Stmt) Exec(params ...sqltypes.Value) (int, error) {
-	return s.db.execStmt(s.stmt, params)
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if _, cached := s.db.plans.lookup(s.sql, s.db.cat.Version()); cached != nil && isDMLPlan(cached) {
+		return runDML(cached, params)
+	}
+	return s.db.execParsed(s.sql, s.stmt, params)
 }
 
 // Query runs a prepared SELECT.
 func (s *Stmt) Query(params ...sqltypes.Value) (*Result, error) {
-	sel, ok := s.stmt.(*sqlparse.Select)
-	if !ok {
-		return nil, fmt.Errorf("Query requires a SELECT statement")
-	}
 	s.db.mu.RLock()
 	defer s.db.mu.RUnlock()
-	node, err := plan.PlanSelect(s.db.cat, sel)
+	node, err := s.db.selectPlan(s.sql, s.stmt)
 	if err != nil {
 		return nil, err
 	}

@@ -204,6 +204,49 @@ func (h *Heap) Insert(data []byte) (RID, error) {
 	return RID{Page: uint32(len(h.pages) - 1), Slot: uint16(slot)}, nil
 }
 
+// AppendBatch stores every payload in order and returns one RID per payload.
+// It is the bulk-load fast path: records are appended to the tail page (no
+// dead-slot search, no compaction probing), and a new page is allocated the
+// moment one does not fit. All payloads are validated before any is stored,
+// so an error means the heap is unchanged.
+func (h *Heap) AppendBatch(payloads [][]byte) ([]RID, error) {
+	for _, d := range payloads {
+		if len(d) > MaxRowSize {
+			return nil, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(d))
+		}
+	}
+	rids := make([]RID, 0, len(payloads))
+	var p *page
+	pi := len(h.pages) - 1
+	if pi >= 0 {
+		p = h.pages[pi]
+	}
+	for _, d := range payloads {
+		if p == nil || p.contiguousFree() < len(d)+slotSize {
+			p = newPage()
+			h.pages = append(h.pages, p)
+			pi = len(h.pages) - 1
+		}
+		slot := p.appendRecord(d)
+		rids = append(rids, RID{Page: uint32(pi), Slot: uint16(slot)})
+		h.rowCount++
+	}
+	return rids, nil
+}
+
+// appendRecord places data in a fresh slot at the end of the directory.
+// The caller guarantees the payload plus a new slot fit the page.
+func (p *page) appendRecord(data []byte) int {
+	slot := p.numSlots()
+	p.setNumSlots(slot + 1)
+	p.setFreeStart(p.freeStart() + slotSize)
+	off := p.freeEnd() - len(data)
+	copy(p.buf[off:], data)
+	p.setFreeEnd(off)
+	p.setSlot(slot, off, len(data))
+	return slot
+}
+
 // Get returns the payload stored at rid. The returned slice aliases page
 // memory and is only valid until the next mutation; callers that retain it
 // must copy.

@@ -279,3 +279,67 @@ func verify(t *testing.T, h *Heap, ref map[RID][]byte) {
 		t.Fatalf("Stats.Rows = %d, want %d", s.Rows, len(ref))
 	}
 }
+
+func TestAppendBatch(t *testing.T) {
+	h := New()
+	// Seed one record through the normal path so the batch continues on a
+	// partially filled tail page.
+	first, err := h.Insert([]byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, 5000)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("batch-record-%05d", i))
+	}
+	rids, err := h.AppendBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != len(payloads) {
+		t.Fatalf("got %d rids", len(rids))
+	}
+	for i, rid := range rids {
+		if i > 0 {
+			prev := rids[i-1]
+			if rid.Page < prev.Page || (rid.Page == prev.Page && rid.Slot <= prev.Slot) {
+				t.Fatalf("rids not ascending at %d: %v then %v", i, prev, rid)
+			}
+		}
+		data, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(payloads[i]) {
+			t.Fatalf("record %d: got %q", i, data)
+		}
+	}
+	if data, err := h.Get(first); err != nil || string(data) != "seed" {
+		t.Fatalf("seed record lost: %q, %v", data, err)
+	}
+	if got := h.Stats().Rows; got != len(payloads)+1 {
+		t.Fatalf("Rows = %d, want %d", got, len(payloads)+1)
+	}
+	if h.Stats().Pages < 2 {
+		t.Fatalf("batch of %d records fit one page", len(payloads))
+	}
+}
+
+func TestAppendBatchAllOrNothing(t *testing.T) {
+	h := New()
+	before := h.Stats()
+	_, err := h.AppendBatch([][]byte{
+		[]byte("fine"),
+		make([]byte, MaxRowSize+1),
+	})
+	if err == nil {
+		t.Fatal("oversized batch succeeded")
+	}
+	if got := h.Stats(); got != before {
+		t.Fatalf("failed batch mutated heap: %+v", got)
+	}
+	rids, err := h.AppendBatch(nil)
+	if err != nil || len(rids) != 0 {
+		t.Fatalf("empty batch: %v, %v", rids, err)
+	}
+}

@@ -106,7 +106,22 @@ func Load(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Rows go through the batch fast path (heap append, no per-row
+		// parse/plan or index churn — indexes are rebuilt bottom-up below),
+		// chunked to bound peak memory.
 		nRows := in.uvarint()
+		const loadChunk = 4096
+		batch := make([]sqltypes.Row, 0, loadChunk)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			if _, err := t.BulkInsert(batch); err != nil {
+				return fmt.Errorf("table %s: %w", name, err)
+			}
+			batch = batch[:0]
+			return nil
+		}
 		for ri := uint64(0); ri < nRows && in.err == nil; ri++ {
 			data := in.blobCopy()
 			if in.err != nil {
@@ -116,9 +131,15 @@ func Load(r io.Reader) (*DB, error) {
 			if err != nil {
 				return nil, fmt.Errorf("table %s row %d: %w", name, ri, err)
 			}
-			if _, err := t.Insert(row); err != nil {
-				return nil, fmt.Errorf("table %s row %d: %w", name, ri, err)
+			batch = append(batch, row)
+			if len(batch) == loadChunk {
+				if err := flush(); err != nil {
+					return nil, err
+				}
 			}
+		}
+		if err := flush(); err != nil {
+			return nil, err
 		}
 		nIdx := in.uvarint()
 		for ii := uint64(0); ii < nIdx && in.err == nil; ii++ {

@@ -1,0 +1,111 @@
+package sqldb
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"ordxml/internal/sqldb/sqlparse"
+)
+
+// planCacheCap bounds the number of cached statements. The XML layer
+// generates a closed family of SQL shapes (a few dozen per encoding), so the
+// cap exists only to bound ad-hoc query churn.
+const planCacheCap = 512
+
+// cacheEntry is one cached statement: the parsed AST plus the compiled plan
+// and the catalog version the plan was built against.
+type cacheEntry struct {
+	sql     string
+	stmt    sqlparse.Statement
+	version uint64
+	plan    any // plan.Node for SELECT; *plan.InsertPlan etc. for DML
+}
+
+// planCache is an LRU map from SQL text to parsed statement + compiled plan.
+// Every lookup revalidates the entry against the current catalog version,
+// which DDL bumps — so CREATE/DROP TABLE/INDEX can never serve a stale plan.
+// A stale entry still yields its parsed AST (parsing is schema-independent),
+// so only planning repeats after DDL.
+//
+// Plans are shared across executions and across concurrent queries: plan
+// trees are read-only after planning (parameters bind at execution inside
+// the operator tree), which is what makes the cache safe under the engine's
+// reader lock.
+type planCache struct {
+	mu    sync.Mutex
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{items: map[string]*list.Element{}, lru: list.New()}
+}
+
+// lookup returns the cached parse and plan for sql. plan is non-nil only
+// when the entry was built against catalog version ver (a hit); a stale or
+// absent entry counts as a miss, returning the parsed statement when one is
+// cached so the caller can skip re-parsing.
+func (pc *planCache) lookup(sql string, ver uint64) (stmt sqlparse.Statement, plan any) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.items[sql]
+	if !ok {
+		pc.misses.Add(1)
+		return nil, nil
+	}
+	pc.lru.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	if e.version != ver {
+		pc.misses.Add(1)
+		return e.stmt, nil
+	}
+	pc.hits.Add(1)
+	return e.stmt, e.plan
+}
+
+// store records a freshly compiled plan, evicting the least recently used
+// entry past capacity.
+func (pc *planCache) store(sql string, stmt sqlparse.Statement, ver uint64, plan any) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[sql]; ok {
+		e := el.Value.(*cacheEntry)
+		e.stmt, e.version, e.plan = stmt, ver, plan
+		pc.lru.MoveToFront(el)
+		return
+	}
+	pc.items[sql] = pc.lru.PushFront(&cacheEntry{sql: sql, stmt: stmt, version: ver, plan: plan})
+	if pc.lru.Len() > planCacheCap {
+		oldest := pc.lru.Back()
+		pc.lru.Remove(oldest)
+		delete(pc.items, oldest.Value.(*cacheEntry).sql)
+	}
+}
+
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}
+
+// PlanCacheStats is a snapshot of the plan cache counters. A hit means a
+// statement executed without parsing or planning; a miss covers both absent
+// entries and entries invalidated by DDL.
+type PlanCacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// PlanCacheStats returns the cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:    db.plans.hits.Load(),
+		Misses:  db.plans.misses.Load(),
+		Entries: db.plans.len(),
+	}
+}

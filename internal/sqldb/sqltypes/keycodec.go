@@ -1,9 +1,11 @@
 package sqltypes
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // This file implements the order-preserving byte encoding for index keys.
@@ -61,7 +63,7 @@ func encodeKeyValue(dst []byte, v Value) []byte {
 		return append(dst, buf[:]...)
 	case Text:
 		dst = append(dst, tagText)
-		return appendEscaped(dst, []byte(v.s))
+		return appendEscapedString(dst, v.s)
 	case Blob:
 		dst = append(dst, tagBlob)
 		return appendEscaped(dst, v.b)
@@ -72,14 +74,34 @@ func encodeKeyValue(dst []byte, v Value) []byte {
 
 // appendEscaped writes data with 0x00 escaped as 0x00 0xFF and a 0x00 0x01
 // terminator. Lexicographic order of escaped forms equals order of raw forms,
-// and a key that is a prefix of another sorts first.
+// and a key that is a prefix of another sorts first. Zero-free runs (the
+// overwhelmingly common case) are appended wholesale.
 func appendEscaped(dst, data []byte) []byte {
-	for _, b := range data {
-		if b == 0x00 {
-			dst = append(dst, 0x00, 0xFF)
-		} else {
-			dst = append(dst, b)
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, 0x00)
+		if i < 0 {
+			dst = append(dst, data...)
+			break
 		}
+		dst = append(dst, data[:i]...)
+		dst = append(dst, 0x00, 0xFF)
+		data = data[i+1:]
+	}
+	return append(dst, 0x00, 0x01)
+}
+
+// appendEscapedString is appendEscaped for string payloads, avoiding the
+// []byte conversion.
+func appendEscapedString(dst []byte, s string) []byte {
+	for len(s) > 0 {
+		i := strings.IndexByte(s, 0x00)
+		if i < 0 {
+			dst = append(dst, s...)
+			break
+		}
+		dst = append(dst, s[:i]...)
+		dst = append(dst, 0x00, 0xFF)
+		s = s[i+1:]
 	}
 	return append(dst, 0x00, 0x01)
 }

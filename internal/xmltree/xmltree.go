@@ -230,9 +230,27 @@ func ParseString(s string) (*Node, error) {
 	return Parse(strings.NewReader(s))
 }
 
+// nodeArena hands out nodes from fixed-size chunks, one allocation per chunk
+// instead of one per node. Chunks never move, so node pointers stay valid.
+// A chunk is only reclaimed when every node carved from it is unreachable,
+// which holds for parsing since documents are kept (and dropped) whole.
+type nodeArena struct{ free []Node }
+
+const arenaChunk = 256
+
+func (a *nodeArena) new() *Node {
+	if len(a.free) == 0 {
+		a.free = make([]Node, arenaChunk)
+	}
+	n := &a.free[0]
+	a.free = a.free[1:]
+	return n
+}
+
 // ParseWith reads one XML document with explicit options.
 func ParseWith(r io.Reader, opts ParseOptions) (*Node, error) {
 	dec := xml.NewDecoder(r)
+	var arena nodeArena
 	var root *Node
 	var cur *Node
 	for {
@@ -245,12 +263,15 @@ func ParseWith(r io.Reader, opts ParseOptions) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			n := NewElement(t.Name.Local)
+			n := arena.new()
+			n.Kind, n.Tag = Element, t.Name.Local
 			for _, a := range t.Attr {
 				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
 					continue // namespace declarations are not data
 				}
-				n.AddAttr(a.Name.Local, a.Value)
+				at := arena.new()
+				at.Kind, at.Tag, at.Value, at.Parent = Attr, a.Name.Local, a.Value, n
+				n.Attrs = append(n.Attrs, at)
 			}
 			if cur == nil {
 				if root != nil {
@@ -274,7 +295,9 @@ func ParseWith(r io.Reader, opts ParseOptions) (*Node, error) {
 			if !opts.KeepWhitespaceText && strings.TrimSpace(s) == "" {
 				continue
 			}
-			cur.AddChild(NewText(s))
+			tn := arena.new()
+			tn.Kind, tn.Value = Text, s
+			cur.AddChild(tn)
 		case xml.Comment, xml.ProcInst, xml.Directive:
 			// Not part of the data model.
 		}

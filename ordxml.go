@@ -343,6 +343,15 @@ func (s *Store) Counters() WorkCounters {
 	}
 }
 
+// PlanCacheStats re-exports the engine's plan cache counters: hits are
+// statements that ran without parsing or planning, misses cover absent
+// entries and entries invalidated by schema changes.
+type PlanCacheStats = sqldb.PlanCacheStats
+
+// PlanCache returns the engine's plan cache counters for this store's
+// database.
+func (s *Store) PlanCache() PlanCacheStats { return s.db.PlanCacheStats() }
+
 // StorageStats reports the node table's size.
 type StorageStats struct {
 	Rows      int

@@ -1,0 +1,52 @@
+package ordxml_test
+
+import (
+	"testing"
+
+	"ordxml/internal/bench"
+)
+
+// TestQuerySuitePlanCacheWarm runs the E3 query suite twice over one store
+// per encoding: the second pass must execute entirely from the plan cache —
+// hits only, no new parse or plan work — and return identical result counts.
+func TestQuerySuitePlanCacheWarm(t *testing.T) {
+	const items = 20
+	doc := bench.CatalogDoc(items)
+	suite := bench.QuerySuite(items)
+	for _, cfg := range bench.Encodings() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			s, id, err := bench.NewStore(cfg, doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first := make(map[string]int)
+			for _, q := range suite {
+				nodes, err := s.Query(id, q.XPath)
+				if err != nil {
+					t.Fatalf("%s: %v", q.ID, err)
+				}
+				first[q.ID] = len(nodes)
+			}
+			warm := s.PlanCache()
+
+			for _, q := range suite {
+				nodes, err := s.Query(id, q.XPath)
+				if err != nil {
+					t.Fatalf("%s second pass: %v", q.ID, err)
+				}
+				if len(nodes) != first[q.ID] {
+					t.Fatalf("%s: second pass returned %d nodes, first %d", q.ID, len(nodes), first[q.ID])
+				}
+			}
+			second := s.PlanCache()
+
+			if second.Misses != warm.Misses {
+				t.Fatalf("second pass planned %d statements, want 0 (stats %+v -> %+v)",
+					second.Misses-warm.Misses, warm, second)
+			}
+			if second.Hits <= warm.Hits {
+				t.Fatalf("second pass recorded no cache hits (stats %+v -> %+v)", warm, second)
+			}
+		})
+	}
+}
