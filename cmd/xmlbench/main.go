@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	xmlbench [-exp E3] [-items 200] [-quick] [-json]
+//	xmlbench [-exp E3] [-items 200] [-quick] [-json] [-stats]
 //
 // Without -exp it runs every experiment. -quick shrinks workload sizes for a
 // fast smoke run; EXPERIMENTS.md records full-size results. -json emits one
-// machine-readable JSON array of per-experiment results on stdout instead of
-// the aligned text tables.
+// machine-readable JSON object (schema_version, results, and with -stats a
+// stage_breakdown) on stdout instead of the aligned text tables. -stats
+// additionally runs the E3 query suite under stage tracing and reports where
+// each encoding spends its query time (parse/translate/exec/post/sort).
 package main
 
 import (
@@ -21,6 +23,10 @@ import (
 	"ordxml/internal/bench"
 )
 
+// jsonSchemaVersion identifies the -json output shape; bump on breaking
+// changes. The shape is documented in EXPERIMENTS.md.
+const jsonSchemaVersion = 1
+
 // jsonResult is the machine-readable form of one experiment's table: the
 // header names the columns, each row holds the rendered cell values.
 type jsonResult struct {
@@ -32,11 +38,19 @@ type jsonResult struct {
 	Rows       [][]string `json:"rows"`
 }
 
+// jsonOutput is the top-level -json document.
+type jsonOutput struct {
+	SchemaVersion  int                          `json:"schema_version"`
+	Results        []jsonResult                 `json:"results"`
+	StageBreakdown map[string][]bench.StageStat `json:"stage_breakdown,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "", "run one experiment (E1..E9); default all")
 	items := flag.Int("items", 200, "catalog items per region for query/update experiments")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
-	asJSON := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	asJSON := flag.Bool("json", false, "emit results as a JSON object instead of text tables")
+	stats := flag.Bool("stats", false, "also report the XPath pipeline stage breakdown over the E3 suite")
 	flag.Parse()
 
 	sizes := []int{50, 200, 800}
@@ -99,10 +113,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (want E1..E9)\n", *exp)
 		os.Exit(2)
 	}
+	var breakdown map[string][]bench.StageStat
+	if *stats {
+		statReps := reps
+		if statReps > 5 {
+			statReps = 5
+		}
+		var err error
+		breakdown, err = bench.StageBreakdown(*items, statReps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stage breakdown failed: %v\n", err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Println(bench.StageTable(breakdown).String())
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		out := jsonOutput{SchemaVersion: jsonSchemaVersion, Results: results, StageBreakdown: breakdown}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "encode results: %v\n", err)
 			os.Exit(1)
 		}

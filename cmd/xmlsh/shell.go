@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ordxml"
 )
@@ -14,9 +15,29 @@ import (
 // Commands are parsed and executed by Execute, which returns the text to
 // print — keeping the interpreter separate from the REPL loop makes it
 // testable.
+//
+// mu guards the store pointer only: Execute (the single command goroutine)
+// swaps it on open/restore while the debug HTTP endpoint reads it
+// concurrently. The Store itself is safe for concurrent readers.
 type shell struct {
+	mu    sync.RWMutex
 	store *ordxml.Store
 	doc   ordxml.DocID
+}
+
+// setStore swaps the active store (open/restore).
+func (sh *shell) setStore(st *ordxml.Store) {
+	sh.mu.Lock()
+	sh.store = st
+	sh.mu.Unlock()
+}
+
+// currentStore returns the active store for concurrent readers (the debug
+// endpoint); nil when none is open.
+func (sh *shell) currentStore() *ordxml.Store {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.store
 }
 
 // helpText lists every command.
@@ -38,6 +59,11 @@ const helpText = `commands:
   serialize [id]                    print the document (or subtree) as XML
   check                             verify the document's storage invariants
   stats                             storage and work-counter summary
+  \explain <select ...>             show the SQL engine's physical plan
+  \analyze <select ...>             run with EXPLAIN ANALYZE instrumentation
+  \stats                            engine metrics (counters, latency histograms)
+  \slow                             slow-query log
+  trace <xpath>                     run a query; prints per-stage timings
   save <path>                       write a snapshot file
   restore <path>                    open a snapshot file
   help                              this text
@@ -79,7 +105,8 @@ func (sh *shell) Execute(line string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		sh.store, sh.doc = store, 0
+		sh.setStore(store)
+		sh.doc = 0
 		return fmt.Sprintf("opened empty %s store", enc), nil
 	case "restore":
 		if len(args) != 1 {
@@ -89,7 +116,8 @@ func (sh *shell) Execute(line string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		sh.store, sh.doc = store, 0
+		sh.setStore(store)
+		sh.doc = 0
 		if docs, err := store.Documents(); err == nil && len(docs) > 0 {
 			sh.doc = docs[0].ID
 		}
@@ -165,6 +193,40 @@ func (sh *shell) Execute(line string) (string, error) {
 		return fmt.Sprintf("storage: %d rows, %d pages, %d bytes\nwork: %d probes, %d scanned, %d ins, %d del, %d upd",
 			st.Rows, st.HeapPages, st.HeapBytes,
 			c.IndexProbes, c.RowsScanned, c.RowsInserted, c.RowsDeleted, c.RowsUpdated), nil
+	case `\explain`:
+		if rest == "" {
+			return "", fmt.Errorf(`usage: \explain <select ...>`)
+		}
+		text, err := sh.store.ExplainSQL(rest)
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(text, "\n"), nil
+	case `\analyze`:
+		if rest == "" {
+			return "", fmt.Errorf(`usage: \analyze <select ...>`)
+		}
+		text, err := sh.store.ExplainAnalyzeSQL(rest)
+		if err != nil {
+			return "", err
+		}
+		return strings.TrimRight(text, "\n"), nil
+	case `\stats`:
+		return renderMetrics(sh.store.Metrics()), nil
+	case `\slow`:
+		slow := sh.store.SlowQueries()
+		if len(slow) == 0 {
+			return "slow-query log empty", nil
+		}
+		var sb strings.Builder
+		for _, q := range slow {
+			rows := "-"
+			if q.Rows >= 0 {
+				rows = strconv.Itoa(q.Rows)
+			}
+			fmt.Fprintf(&sb, "%-12s rows=%-6s %s\n", q.Duration, rows, q.SQL)
+		}
+		return strings.TrimRight(sb.String(), "\n"), nil
 	}
 
 	if sh.doc == 0 {
@@ -202,6 +264,17 @@ func (sh *shell) Execute(line string) (string, error) {
 			return "", err
 		}
 		return strings.Join(sqls, "\n"), nil
+	case "trace":
+		nodes, stages, err := sh.store.QueryTrace(sh.doc, rest)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		for _, st := range stages {
+			fmt.Fprintf(&sb, "%-10s %-12s x%d\n", st.Name, st.Dur, st.Count)
+		}
+		fmt.Fprintf(&sb, "%d match(es)", len(nodes))
+		return sb.String(), nil
 	case "sql":
 		rows, err := sh.store.SQL(rest)
 		if err != nil {
@@ -320,6 +393,24 @@ func parseID(args []string, i int, usage string) (int64, error) {
 		return 0, fmt.Errorf("bad node id %q", args[i])
 	}
 	return id, nil
+}
+
+// renderMetrics formats a metrics snapshot: counters and gauges one per
+// line, then histograms with count/mean/quantiles.
+func renderMetrics(m ordxml.Metrics) string {
+	var sb strings.Builder
+	for _, n := range m.CounterNames() {
+		fmt.Fprintf(&sb, "%-32s %d\n", n, m.Counters[n])
+	}
+	for _, n := range m.GaugeNames() {
+		fmt.Fprintf(&sb, "%-32s %d\n", n, m.Gauges[n])
+	}
+	for _, n := range m.HistogramNames() {
+		h := m.Histograms[n]
+		fmt.Fprintf(&sb, "%-32s count=%d mean=%s p50=%s p95=%s p99=%s max=%s\n",
+			n, h.Count, h.Mean(), h.P50, h.P95, h.P99, h.Max)
+	}
+	return strings.TrimRight(sb.String(), "\n")
 }
 
 func positionNames() string {

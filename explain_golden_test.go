@@ -1,0 +1,173 @@
+package ordxml
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// explainDoc is a small deterministic catalog slice: enough items for the
+// E3-representative queries (position predicate, range, following-sibling)
+// to exercise index scans and positional post-processing.
+const explainDoc = `<site><regions><namerica>` +
+	`<item id="i1"><name>a</name><quantity>1</quantity></item>` +
+	`<item id="i2"><name>b</name><quantity>2</quantity></item>` +
+	`<item id="i3"><name>c</name><quantity>3</quantity></item>` +
+	`<item id="i4"><name>d</name><quantity>4</quantity></item>` +
+	`<item id="i5"><name>e</name><quantity>5</quantity></item>` +
+	`</namerica></regions></site>`
+
+// goldenQueries are the representative E3 shapes named by the golden files.
+var goldenQueries = []struct {
+	id    string
+	xpath string
+}{
+	{"Q2-position", "/site/regions/namerica/item[3]"},
+	{"Q3-range", "/site/regions/namerica/item[position() <= 2]"},
+	{"Q4-following-sibling", "/site/regions/namerica/item[2]/following-sibling::item"},
+}
+
+// volatileTime matches the wall-time field of EXPLAIN ANALYZE annotations
+// and the total line; plans are otherwise deterministic.
+var volatileTime = regexp.MustCompile(`time=[0-9][^ )\n]*`)
+
+func normalizeAnalyze(s string) string {
+	return volatileTime.ReplaceAllString(s, "time=<T>")
+}
+
+// TestExplainGolden locks the EXPLAIN and EXPLAIN ANALYZE output for the
+// representative ordered queries under every encoding. Each golden records,
+// per query: the generated SQL statements, the physical plan of each, and —
+// for the parameter-free statements — the instrumented EXPLAIN ANALYZE tree
+// with times normalized. Regenerate with `go test -run TestExplainGolden
+// -update`.
+func TestExplainGolden(t *testing.T) {
+	for _, enc := range []Encoding{Global, Local, Dewey} {
+		t.Run(enc.String(), func(t *testing.T) {
+			store, err := Open(Options{Encoding: enc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := store.LoadString("golden", explainDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			for _, q := range goldenQueries {
+				fmt.Fprintf(&out, "== %s %s ==\n", q.id, q.xpath)
+				sqls, err := store.ExplainQuery(doc, q.xpath)
+				if err != nil {
+					t.Fatalf("%s: %v", q.id, err)
+				}
+				for i, sql := range sqls {
+					fmt.Fprintf(&out, "-- statement %d\n%s\n", i+1, sql)
+					plan, err := store.ExplainSQL(sql)
+					if err != nil {
+						t.Fatalf("%s explain stmt %d: %v", q.id, i+1, err)
+					}
+					out.WriteString(plan)
+					if !strings.Contains(sql, "?") {
+						analyzed, err := store.ExplainAnalyzeSQL(sql)
+						if err != nil {
+							t.Fatalf("%s analyze stmt %d: %v", q.id, i+1, err)
+						}
+						out.WriteString("-- analyze\n")
+						out.WriteString(normalizeAnalyze(analyzed))
+					}
+				}
+				out.WriteByte('\n')
+			}
+			got := out.String()
+
+			path := filepath.Join("testdata", "explain_"+enc.String()+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("golden mismatch for %s\n--- got ---\n%s\n--- want ---\n%s", enc, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainAnalyzeActualRows verifies the acceptance path end to end: an
+// ordered E3 query's generated SQL runs under EXPLAIN ANALYZE in all three
+// encodings and reports per-operator actual rows.
+func TestExplainAnalyzeActualRows(t *testing.T) {
+	for _, enc := range []Encoding{Global, Local, Dewey} {
+		store, err := Open(Options{Encoding: enc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := store.LoadString("golden", explainDoc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sqls, err := store.ExplainQuery(doc, "/site/regions/namerica/item[3]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyzed, err := store.ExplainAnalyzeSQL(sqls[0])
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		if !strings.Contains(analyzed, "actual rows=") || !strings.Contains(analyzed, "loops=1") {
+			t.Errorf("%s: missing actuals:\n%s", enc, analyzed)
+		}
+		if !strings.Contains(analyzed, "Total: rows=") {
+			t.Errorf("%s: missing total line:\n%s", enc, analyzed)
+		}
+	}
+}
+
+// TestQueryTraceStages checks the XPath pipeline breakdown covers the
+// expected stages for a positional query.
+func TestQueryTraceStages(t *testing.T) {
+	store, err := Open(Options{Encoding: Dewey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := store.LoadString("golden", explainDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, stages, err := store.QueryTrace(doc, "/site/regions/namerica/item[3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 {
+		t.Fatalf("matches = %d, want 1", len(nodes))
+	}
+	seen := map[string]bool{}
+	for _, st := range stages {
+		seen[st.Name] = true
+	}
+	for _, want := range []string{"parse", "translate", "exec", "post", "sort"} {
+		if !seen[want] {
+			t.Errorf("stage %q missing from trace %v", want, stages)
+		}
+	}
+	m := store.Metrics()
+	if m.Counters["xpath.queries"] == 0 {
+		t.Error("xpath.queries not counted")
+	}
+	if m.Histograms["xpath.stage.exec"].Count == 0 {
+		t.Error("xpath.stage.exec histogram empty")
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// StageStat aggregates one XPath pipeline stage over a traced query batch.
+type StageStat struct {
+	Stage string        `json:"stage"`
+	Total time.Duration `json:"total_ns"`
+	Count int64         `json:"count"`
+}
+
+// StageBreakdown runs the E3 query suite under stage tracing for every dense
+// encoding and returns the cumulative per-stage wall time (parse, translate,
+// exec, post, sort), keyed by encoding name. It is the data behind
+// xmlbench -stats: where each encoding spends its query time.
+func StageBreakdown(itemsPerRegion, reps int) (map[string][]StageStat, error) {
+	doc := CatalogDoc(itemsPerRegion)
+	suite := QuerySuite(itemsPerRegion)
+	out := map[string][]StageStat{}
+	for _, cfg := range Encodings() {
+		s, id, err := NewStore(cfg, doc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		acc := map[string]*StageStat{}
+		var order []string
+		for i := 0; i < reps; i++ {
+			for _, q := range suite {
+				_, stages, err := s.QueryTrace(id, q.XPath)
+				if err != nil {
+					return nil, fmt.Errorf("%s %s: %w", cfg.Name, q.ID, err)
+				}
+				for _, st := range stages {
+					a := acc[st.Name]
+					if a == nil {
+						a = &StageStat{Stage: st.Name}
+						acc[st.Name] = a
+						order = append(order, st.Name)
+					}
+					a.Total += st.Dur
+					a.Count += st.Count
+				}
+			}
+		}
+		stats := make([]StageStat, 0, len(order))
+		for _, n := range order {
+			stats = append(stats, *acc[n])
+		}
+		out[cfg.Name] = stats
+	}
+	return out, nil
+}
+
+// StageTable renders a breakdown as a result table (encoding × stage).
+func StageTable(breakdown map[string][]StageStat) Table {
+	t := Table{
+		Title:  "XPath pipeline stage breakdown (E3 suite)",
+		Note:   "cumulative wall time per stage; count = spans folded into the stage",
+		Header: []string{"encoding", "stage", "total", "count"},
+	}
+	for _, cfg := range Encodings() {
+		for _, st := range breakdown[cfg.Name] {
+			t.Rows = append(t.Rows, []string{
+				cfg.Name, st.Stage, st.Total.Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", st.Count),
+			})
+		}
+	}
+	return t
+}

@@ -23,9 +23,13 @@ type binding struct {
 // matched final-step nodes.
 func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]NodeRef, error) {
 	if seg.steps[0].Axis == xpath.Ancestor {
+		sp := r.trace.Start(StagePost)
+		defer sp.End()
 		return r.runAncestorSegment(doc, seg, ctx)
 	}
+	sp := r.trace.Start(StageTranslate)
 	cs, err := r.buildChainSQL(doc, seg, first)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -40,7 +44,9 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 
 	var bindings []binding
 	runOnce := func(params []sqltypes.Value, ctxID int64) error {
+		sp := r.trace.Start(StageExec)
 		res, err := stmt.Query(params...)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -67,7 +73,10 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 			if err := runOnce(nil, 0); err != nil {
 				return nil, err
 			}
-			if bindings, err = r.ancestryFilter(doc, bindings, ctx); err != nil {
+			sp := r.trace.Start(StagePost)
+			bindings, err = r.ancestryFilter(doc, bindings, ctx)
+			sp.End()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -117,7 +126,9 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 
 	lastStep := seg.steps[len(seg.steps)-1]
 	if hasPosPred(lastStep) {
+		sp := r.trace.Start(StagePost)
 		bindings, err = r.applyPositional(doc, bindings, seg, lastStep)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

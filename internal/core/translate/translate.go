@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/core/xpath"
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/xmltree"
@@ -63,15 +65,65 @@ type Evaluator struct {
 
 	parentStmt *sqldb.Stmt
 	nodeStmt   *sqldb.Stmt
+
+	met evalMetrics
+}
+
+// evalMetrics are the evaluator's always-on instruments, hung on the DB's
+// registry so Store.Metrics() sees the XPath pipeline next to the SQL engine.
+type evalMetrics struct {
+	queries *obs.Counter   // xpath.queries
+	total   *obs.Histogram // xpath.query.latency
+	stages  map[string]*obs.Histogram
+}
+
+// Stage names of the XPath pipeline, in execution order: parsing the path,
+// compiling segments to SQL, running the statements, client-side
+// post-processing (positional predicates, ancestry walks) and the final
+// document-order sort.
+const (
+	StageParse     = "parse"
+	StageTranslate = "translate"
+	StageExec      = "exec"
+	StagePost      = "post"
+	StageSort      = "sort"
+)
+
+// stageNames lists every pipeline stage for metric registration.
+var stageNames = []string{StageParse, StageTranslate, StageExec, StagePost, StageSort}
+
+func newEvalMetrics(reg *obs.Registry) evalMetrics {
+	m := evalMetrics{
+		queries: reg.Counter("xpath.queries"),
+		total:   reg.Histogram("xpath.query.latency"),
+		stages:  make(map[string]*obs.Histogram, len(stageNames)),
+	}
+	for _, name := range stageNames {
+		m.stages[name] = reg.Histogram("xpath.stage." + name)
+	}
+	return m
+}
+
+// record folds one query's trace into the per-stage histograms.
+func (m *evalMetrics) record(total time.Duration, tr *obs.Trace) {
+	m.queries.Inc()
+	m.total.Observe(total)
+	for _, s := range tr.Stages() {
+		if h := m.stages[s.Name]; h != nil {
+			h.Observe(s.Dur)
+		}
+	}
 }
 
 // run is the per-query evaluation context: memoized point lookups (reset per
-// query so work counters stay honest) and the generated SQL trace.
+// query so work counters stay honest), the generated SQL trace, and the
+// stage trace that feeds the pipeline histograms.
 type run struct {
 	*Evaluator
 	parentMemo map[int64]parentInfo
 	nodeMemo   map[int64]NodeRef
 	sqls       []string
+	trace      *obs.Trace
 }
 
 type parentInfo struct {
@@ -92,6 +144,7 @@ func New(db *sqldb.DB, opts encoding.Options) (*Evaluator, error) {
 		db: db, opts: opts,
 		tbl: opts.NodesTable(), ord: opts.OrderColumn(),
 		stmts: map[string]*sqldb.Stmt{},
+		met:   newEvalMetrics(db.Registry()),
 	}
 	var err error
 	e.parentStmt, err = db.Prepare(fmt.Sprintf(
@@ -123,21 +176,53 @@ func (e *Evaluator) LastSQL() []string {
 // Query parses and evaluates an absolute XPath expression against one
 // document, returning matches in document order.
 func (e *Evaluator) Query(doc int64, path string) ([]NodeRef, error) {
+	refs, _, err := e.queryTraced(doc, path)
+	return refs, err
+}
+
+// QueryTraced evaluates a path like Query and additionally returns the
+// per-stage wall-time breakdown of this evaluation (parse, translate, exec,
+// post, sort). Stage durations also feed the xpath.stage.* histograms.
+func (e *Evaluator) QueryTraced(doc int64, path string) ([]NodeRef, []obs.Stage, error) {
+	return e.queryTraced(doc, path)
+}
+
+func (e *Evaluator) queryTraced(doc int64, path string) ([]NodeRef, []obs.Stage, error) {
+	tr := obs.NewTrace()
+	start := time.Now()
+	sp := tr.Start(StageParse)
 	p, err := xpath.Parse(path)
+	sp.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return e.QueryPath(doc, p)
+	refs, err := e.queryPath(doc, p, tr)
+	e.met.record(time.Since(start), tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return refs, tr.Stages(), nil
 }
 
 // QueryPath evaluates a parsed path.
 func (e *Evaluator) QueryPath(doc int64, p *xpath.Path) ([]NodeRef, error) {
+	tr := obs.NewTrace()
+	start := time.Now()
+	refs, err := e.queryPath(doc, p, tr)
+	e.met.record(time.Since(start), tr)
+	return refs, err
+}
+
+func (e *Evaluator) queryPath(doc int64, p *xpath.Path, tr *obs.Trace) ([]NodeRef, error) {
 	r := &run{
 		Evaluator:  e,
 		parentMemo: map[int64]parentInfo{},
 		nodeMemo:   map[int64]NodeRef{},
+		trace:      tr,
 	}
+	sp := tr.Start(StageTranslate)
 	segs, err := splitSegments(p, e.opts.Kind)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +244,10 @@ func (e *Evaluator) QueryPath(doc int64, p *xpath.Path) ([]NodeRef, error) {
 	if len(ctx) == 0 {
 		return nil, nil
 	}
-	if err := r.sortDocOrder(doc, ctx); err != nil {
+	sp = tr.Start(StageSort)
+	err = r.sortDocOrder(doc, ctx)
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return ctx, nil

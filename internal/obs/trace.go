@@ -1,0 +1,89 @@
+package obs
+
+import "time"
+
+// Stage is one named region of a trace with its accumulated duration.
+// Repeated spans with the same name fold into one stage (Count tracks how
+// many spans contributed, e.g. one SQL statement execution per context node).
+type Stage struct {
+	Name  string        `json:"name"`
+	Dur   time.Duration `json:"dur_ns"`
+	Count int64         `json:"count"`
+}
+
+// Trace collects stage timings for one operation (one XPath query, one
+// statement). A nil *Trace is the disabled state: Start returns a zero Span
+// and End is a nil check — no allocation, no time syscall. A Trace is NOT
+// safe for concurrent use; it belongs to one operation on one goroutine.
+type Trace struct {
+	stages []Stage
+}
+
+// NewTrace returns an empty enabled trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Span is one started region. Spans are values so starting one never
+// allocates; End folds the elapsed time into the owning trace.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+}
+
+// Start begins a span. On a nil trace it returns a no-op span.
+func (t *Trace) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End records the span's elapsed time. No-op for spans from a nil trace.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.add(s.name, time.Since(s.start))
+}
+
+// add folds d into the named stage (linear scan: traces have a handful of
+// stages).
+func (t *Trace) add(name string, d time.Duration) {
+	for i := range t.stages {
+		if t.stages[i].Name == name {
+			t.stages[i].Dur += d
+			t.stages[i].Count++
+			return
+		}
+	}
+	t.stages = append(t.stages, Stage{Name: name, Dur: d, Count: 1})
+}
+
+// Add records an externally measured duration against a stage.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.add(name, d)
+}
+
+// Stages returns the recorded stages in first-started order. The slice is a
+// copy and safe to retain. Nil trace returns nil.
+func (t *Trace) Stages() []Stage {
+	if t == nil {
+		return nil
+	}
+	return append([]Stage(nil), t.stages...)
+}
+
+// Total returns the sum of all stage durations.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range t.stages {
+		total += s.Dur
+	}
+	return total
+}

@@ -9,6 +9,7 @@ package btree
 import (
 	"bytes"
 	"errors"
+	"sync/atomic"
 
 	"ordxml/internal/sqldb/heap"
 )
@@ -56,6 +57,17 @@ func (n *node) search(k []byte) int {
 type Tree struct {
 	root *node
 	size int
+	// NodeReads, when set, is incremented once per tree node visited by
+	// lookups, seeks and leaf-chain advances. The catalog points it at a
+	// shared engine counter; the nil check keeps the package dependency-free.
+	NodeReads *atomic.Int64
+}
+
+// readNodes bumps the read counter by n visited nodes.
+func (t *Tree) readNodes(n int64) {
+	if t.NodeReads != nil {
+		t.NodeReads.Add(n)
+	}
 }
 
 // New returns an empty tree.
@@ -69,13 +81,16 @@ func (t *Tree) Len() int { return t.size }
 // Get returns the RID stored under key.
 func (t *Tree) Get(key []byte) (heap.RID, bool) {
 	n := t.root
+	visited := int64(1)
 	for !n.leaf() {
 		i := n.search(key)
 		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 			i++ // interior separator equal to key: key lives in right subtree
 		}
 		n = n.children[i]
+		visited++
 	}
+	t.readNodes(visited)
 	i := n.search(key)
 	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		return n.rids[i], true
@@ -262,15 +277,17 @@ func (t *Tree) rebalance(n *node, i int) {
 
 // Iterator walks entries in ascending key order.
 type Iterator struct {
-	n   *node
-	i   int
-	end []byte // exclusive upper bound; nil = none
+	n     *node
+	i     int
+	end   []byte        // exclusive upper bound; nil = none
+	reads *atomic.Int64 // owning tree's node-read counter; may be nil
 }
 
 // Seek returns an iterator positioned at the first key >= start. A nil start
 // begins at the smallest key. end, when non-nil, is an exclusive upper bound.
 func (t *Tree) Seek(start, end []byte) *Iterator {
 	n := t.root
+	visited := int64(1)
 	for !n.leaf() {
 		i := 0
 		if start != nil {
@@ -280,12 +297,14 @@ func (t *Tree) Seek(start, end []byte) *Iterator {
 			}
 		}
 		n = n.children[i]
+		visited++
 	}
+	t.readNodes(visited)
 	i := 0
 	if start != nil {
 		i = n.search(start)
 	}
-	it := &Iterator{n: n, i: i, end: end}
+	it := &Iterator{n: n, i: i, end: end, reads: t.NodeReads}
 	it.skipExhausted()
 	return it
 }
@@ -311,6 +330,9 @@ func (it *Iterator) skipExhausted() {
 	for it.n != nil && it.i >= len(it.n.keys) {
 		it.n = it.n.next
 		it.i = 0
+		if it.reads != nil && it.n != nil {
+			it.reads.Add(1)
+		}
 	}
 }
 

@@ -35,36 +35,47 @@ type Counters struct {
 	RowsInserted atomic.Int64
 	RowsDeleted  atomic.Int64
 	RowsUpdated  atomic.Int64
+	// HeapPageReads and BtreeNodeReads are the storage-layer access counters:
+	// every table heap and index tree created through the catalog points its
+	// read counter here, so page/node traffic aggregates per database.
+	HeapPageReads  atomic.Int64
+	BtreeNodeReads atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
-	RowsScanned  int64
-	IndexProbes  int64
-	RowsInserted int64
-	RowsDeleted  int64
-	RowsUpdated  int64
+	RowsScanned    int64
+	IndexProbes    int64
+	RowsInserted   int64
+	RowsDeleted    int64
+	RowsUpdated    int64
+	HeapPageReads  int64
+	BtreeNodeReads int64
 }
 
 // Snapshot copies the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
-		RowsScanned:  c.RowsScanned.Load(),
-		IndexProbes:  c.IndexProbes.Load(),
-		RowsInserted: c.RowsInserted.Load(),
-		RowsDeleted:  c.RowsDeleted.Load(),
-		RowsUpdated:  c.RowsUpdated.Load(),
+		RowsScanned:    c.RowsScanned.Load(),
+		IndexProbes:    c.IndexProbes.Load(),
+		RowsInserted:   c.RowsInserted.Load(),
+		RowsDeleted:    c.RowsDeleted.Load(),
+		RowsUpdated:    c.RowsUpdated.Load(),
+		HeapPageReads:  c.HeapPageReads.Load(),
+		BtreeNodeReads: c.BtreeNodeReads.Load(),
 	}
 }
 
 // Sub returns the per-field difference s - prev.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
-		RowsScanned:  s.RowsScanned - prev.RowsScanned,
-		IndexProbes:  s.IndexProbes - prev.IndexProbes,
-		RowsInserted: s.RowsInserted - prev.RowsInserted,
-		RowsDeleted:  s.RowsDeleted - prev.RowsDeleted,
-		RowsUpdated:  s.RowsUpdated - prev.RowsUpdated,
+		RowsScanned:    s.RowsScanned - prev.RowsScanned,
+		IndexProbes:    s.IndexProbes - prev.IndexProbes,
+		RowsInserted:   s.RowsInserted - prev.RowsInserted,
+		RowsDeleted:    s.RowsDeleted - prev.RowsDeleted,
+		RowsUpdated:    s.RowsUpdated - prev.RowsUpdated,
+		HeapPageReads:  s.HeapPageReads - prev.HeapPageReads,
+		BtreeNodeReads: s.BtreeNodeReads - prev.BtreeNodeReads,
 	}
 }
 
@@ -340,6 +351,7 @@ func (t *Table) BulkInsert(rows []sqltypes.Row) ([]heap.RID, error) {
 				// Uniqueness was pre-checked; a collision here is corruption.
 				panic(fmt.Sprintf("catalog: index %s bulk load: %v", ix.Name, err))
 			}
+			tree.NodeReads = ix.Tree.NodeReads
 			ix.Tree = tree
 			continue
 		}
@@ -524,6 +536,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		counters: &c.Counters,
 		colIdx:   map[string]int{},
 	}
+	t.Heap.PageReads = &c.Counters.HeapPageReads
 	for i, col := range cols {
 		if _, dup := t.colIdx[col.Name]; dup {
 			return nil, fmt.Errorf("table %s: duplicate column %s", name, col.Name)
@@ -579,6 +592,7 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 		cols[i] = pos
 	}
 	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: btree.New()}
+	ix.Tree.NodeReads = &c.Counters.BtreeNodeReads
 	// Populate bottom-up: collect and sort every (key, rid) pair, then build
 	// the tree leaves-first instead of one top-down insert per row.
 	items := make([]btree.Item, 0, t.RowCount())
@@ -602,6 +616,7 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 		// suffix), so ErrUnsorted here means a uniqueness violation.
 		return nil, fmt.Errorf("index %s: %w (existing data violates uniqueness?)", name, btree.ErrDuplicate)
 	}
+	tree.NodeReads = &c.Counters.BtreeNodeReads
 	ix.Tree = tree
 	t.Indexes = append(t.Indexes, ix)
 	c.version.Add(1)

@@ -12,8 +12,11 @@ package sqldb
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/exec"
 	"ordxml/internal/sqldb/plan"
@@ -23,9 +26,10 @@ import (
 
 // DB is one embedded database instance.
 type DB struct {
-	mu    sync.RWMutex
-	cat   *catalog.Catalog
-	plans *planCache
+	mu      sync.RWMutex
+	cat     *catalog.Catalog
+	plans   *planCache
+	metrics *dbMetrics
 }
 
 // Result is re-exported for callers of Query.
@@ -33,7 +37,10 @@ type Result = exec.Result
 
 // Open creates an empty database.
 func Open() *DB {
-	return &DB{cat: catalog.New(), plans: newPlanCache()}
+	reg := obs.NewRegistry()
+	db := &DB{cat: catalog.New(), plans: newPlanCache(reg), metrics: newDBMetrics(reg)}
+	db.registerStorageFuncs()
+	return db
 }
 
 // Catalog exposes the live catalog (used by tests and the stats reporting in
@@ -48,6 +55,13 @@ func (db *DB) Counters() catalog.Snapshot { return db.cat.Counters.Snapshot() }
 // number of rows affected (0 for DDL). DML plans are cached by SQL text, so
 // repeated Exec calls skip parse and plan entirely.
 func (db *DB) Exec(sql string, params ...sqltypes.Value) (int, error) {
+	start := time.Now()
+	n, err := db.exec(sql, params)
+	db.metrics.recordExec(sql, time.Since(start), err)
+	return n, err
+}
+
+func (db *DB) exec(sql string, params []sqltypes.Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	stmt, cached := db.plans.lookup(sql, db.cat.Version())
@@ -139,13 +153,28 @@ func (db *DB) createTable(s *sqlparse.CreateTable) error {
 
 // Query runs a SELECT and materializes the result. Plans are cached by SQL
 // text and revalidated against the catalog version, so repeated queries skip
-// parse and plan.
+// parse and plan. EXPLAIN and EXPLAIN ANALYZE statements are also accepted:
+// they return a single "plan" column with one row per plan line.
 func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	start := time.Now()
+	res, err := db.query(sql, nil, params)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	db.metrics.recordQuery(sql, time.Since(start), rows, err)
+	return res, err
+}
+
+func (db *DB) query(sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	node, err := db.selectPlan(sql, nil)
+	node, ex, err := db.selectPlan(sql, preparsed)
 	if err != nil {
 		return nil, err
+	}
+	if ex != nil {
+		return db.runExplain(ex, params)
 	}
 	return exec.Run(node, params)
 }
@@ -153,15 +182,17 @@ func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
 // selectPlan compiles (or fetches from the cache) the plan for a SELECT.
 // preparsed, when non-nil, is the already-parsed AST (prepared statements)
 // used on a cache miss. The caller holds at least the read lock, so the
-// catalog version cannot change between lookup and store.
-func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, error) {
+// catalog version cannot change between lookup and store. EXPLAIN statements
+// are returned unplanned (and are never cached): the caller runs them
+// through runExplain.
+func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, *sqlparse.Explain, error) {
 	ver := db.cat.Version()
 	stmt, cached := db.plans.lookup(sql, ver)
 	if cached != nil {
 		if node, ok := cached.(plan.Node); ok {
-			return node, nil
+			return node, nil, nil
 		}
-		return nil, fmt.Errorf("Query requires a SELECT statement")
+		return nil, nil, fmt.Errorf("Query requires a SELECT statement")
 	}
 	if stmt == nil {
 		stmt = preparsed
@@ -169,19 +200,86 @@ func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, e
 	if stmt == nil {
 		var err error
 		if stmt, err = sqlparse.Parse(sql); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+	}
+	if ex, ok := stmt.(*sqlparse.Explain); ok {
+		return nil, ex, nil
 	}
 	sel, ok := stmt.(*sqlparse.Select)
 	if !ok {
-		return nil, fmt.Errorf("Query requires a SELECT statement")
+		return nil, nil, fmt.Errorf("Query requires a SELECT statement")
+	}
+	node, err := plan.PlanSelect(db.cat, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.plans.store(sql, stmt, ver, node)
+	return node, nil, nil
+}
+
+// runExplain executes an EXPLAIN [ANALYZE] statement. The caller holds at
+// least the read lock. The result has one "plan" column with a row per line.
+func (db *DB) runExplain(ex *sqlparse.Explain, params []sqltypes.Value) (*Result, error) {
+	if !ex.Analyze {
+		text, err := db.explainText(ex.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		return planTextResult(text), nil
+	}
+	sel, ok := ex.Stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("EXPLAIN ANALYZE supports only SELECT statements")
 	}
 	node, err := plan.PlanSelect(db.cat, sel)
 	if err != nil {
 		return nil, err
 	}
-	db.plans.store(sql, stmt, ver, node)
-	return node, nil
+	start := time.Now()
+	res, stats, err := exec.RunAnalyze(node, params)
+	total := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	text := exec.FormatAnalyze(node, stats)
+	text += fmt.Sprintf("Total: rows=%d time=%s\n", len(res.Rows), total.Round(time.Microsecond))
+	return planTextResult(text), nil
+}
+
+// planTextResult wraps multi-line plan text as a one-column result.
+func planTextResult(text string) *Result {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	res := &Result{Columns: []string{"plan"}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(l)})
+	}
+	return res
+}
+
+// ExplainAnalyze executes a SELECT with per-operator instrumentation and
+// returns the plan tree annotated with actual row counts, loop counts and
+// inclusive wall time per operator.
+func (db *DB) ExplainAnalyze(sql string, params ...sqltypes.Value) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if e, ok := stmt.(*sqlparse.Explain); ok {
+		stmt = e.Stmt
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	res, err := db.runExplain(&sqlparse.Explain{Stmt: stmt, Analyze: true}, params)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0].Text())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
 }
 
 // BulkInsert appends full-width rows (one value per table column, in
@@ -216,6 +314,12 @@ func (db *DB) Explain(sql string, params ...sqltypes.Value) (string, error) {
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.explainText(stmt)
+}
+
+// explainText formats the plan of a parsed statement. The caller holds at
+// least the read lock.
+func (db *DB) explainText(stmt sqlparse.Statement) (string, error) {
 	p, err := plan.Plan(db.cat, stmt)
 	if err != nil {
 		return "", err
@@ -256,6 +360,13 @@ func (db *DB) Prepare(sql string) (*Stmt, error) {
 
 // Exec runs a prepared DML statement.
 func (s *Stmt) Exec(params ...sqltypes.Value) (int, error) {
+	start := time.Now()
+	n, err := s.exec(params)
+	s.db.metrics.recordExec(s.sql, time.Since(start), err)
+	return n, err
+}
+
+func (s *Stmt) exec(params []sqltypes.Value) (int, error) {
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	if _, cached := s.db.plans.lookup(s.sql, s.db.cat.Version()); cached != nil && isDMLPlan(cached) {
@@ -266,13 +377,14 @@ func (s *Stmt) Exec(params ...sqltypes.Value) (int, error) {
 
 // Query runs a prepared SELECT.
 func (s *Stmt) Query(params ...sqltypes.Value) (*Result, error) {
-	s.db.mu.RLock()
-	defer s.db.mu.RUnlock()
-	node, err := s.db.selectPlan(s.sql, s.stmt)
-	if err != nil {
-		return nil, err
+	start := time.Now()
+	res, err := s.db.query(s.sql, s.stmt, params)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
 	}
-	return exec.Run(node, params)
+	s.db.metrics.recordQuery(s.sql, time.Since(start), rows, err)
+	return res, err
 }
 
 // Convenience constructors so engine callers do not import sqltypes

@@ -39,77 +39,93 @@ func DecodeRIDInt(v int64) heap.RID {
 
 // Build compiles a plan node into an operator tree.
 func Build(n plan.Node, params []sqltypes.Value) (Operator, error) {
+	return build(n, params, nil)
+}
+
+// build compiles one node (recursively). When stats is non-nil every operator
+// is wrapped with a stats decorator registered in the map under its plan node.
+func build(n plan.Node, params []sqltypes.Value, stats map[plan.Node]*OpStats) (Operator, error) {
+	op, err := buildOp(n, params, stats)
+	if err != nil || stats == nil {
+		return op, err
+	}
+	st := &OpStats{}
+	stats[n] = st
+	return &statsOp{op: op, st: st}, nil
+}
+
+func buildOp(n plan.Node, params []sqltypes.Value, stats map[plan.Node]*OpStats) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
 		return newSeqScan(x, params), nil
 	case *plan.IndexScan:
 		return newIndexScan(x, params), nil
 	case *plan.Filter:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &filterOp{input: in, pred: x.Pred, env: &expr.Env{Params: params}}, nil
 	case *plan.Project:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{input: in, exprs: x.Exprs, env: &expr.Env{Params: params}}, nil
 	case *plan.Trim:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &trimOp{input: in, keep: x.Keep}, nil
 	case *plan.Sort:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &sortOp{input: in, keys: x.Keys, env: &expr.Env{Params: params}}, nil
 	case *plan.Limit:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &limitOp{input: in, node: x, env: &expr.Env{Params: params}}, nil
 	case *plan.Distinct:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOp{input: in}, nil
 	case *plan.HashJoin:
-		l, err := Build(x.Left, params)
+		l, err := build(x.Left, params, stats)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Build(x.Right, params)
+		r, err := build(x.Right, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &hashJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
 			rightWidth: len(x.Right.Schema())}, nil
 	case *plan.IndexNLJoin:
-		l, err := Build(x.Left, params)
+		l, err := build(x.Left, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return newIndexNLJoin(x, l, params), nil
 	case *plan.NLJoin:
-		l, err := Build(x.Left, params)
+		l, err := build(x.Left, params, stats)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Build(x.Right, params)
+		r, err := build(x.Right, params, stats)
 		if err != nil {
 			return nil, err
 		}
 		return &nlJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
 			rightWidth: len(x.Right.Schema())}, nil
 	case *plan.HashAggregate:
-		in, err := Build(x.Input, params)
+		in, err := build(x.Input, params, stats)
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // PageSize is the size of a heap page in bytes.
@@ -169,6 +170,10 @@ type Heap struct {
 	// insertHint is the page most recently found to have space; inserts try
 	// it first so bulk loads stay O(1) per row.
 	insertHint int
+	// PageReads, when set, is incremented once per page accessed by reads
+	// (Get and Scan). The catalog points it at a shared engine counter; the
+	// nil check keeps the package dependency-free.
+	PageReads *atomic.Int64
 }
 
 // New returns an empty heap.
@@ -255,6 +260,9 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.PageReads != nil {
+		h.PageReads.Add(1)
+	}
 	return p.buf[off : off+l], nil
 }
 
@@ -318,6 +326,9 @@ func (h *Heap) locate(rid RID) (*page, int, int, error) {
 // page memory; fn must not retain it. Scanning stops when fn returns false.
 func (h *Heap) Scan(fn func(rid RID, data []byte) bool) {
 	for pi, p := range h.pages {
+		if h.PageReads != nil {
+			h.PageReads.Add(1)
+		}
 		for si := 0; si < p.numSlots(); si++ {
 			off, l := p.slot(si)
 			if l == 0 {

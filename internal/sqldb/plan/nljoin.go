@@ -35,8 +35,7 @@ func (j *IndexNLJoin) Schema() expr.Schema {
 	return append(append(expr.Schema{}, j.Left.Schema()...), tableSchema(j.Table, j.Alias, false)...)
 }
 
-func (j *IndexNLJoin) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (j *IndexNLJoin) describe(b *strings.Builder) {
 	fmt.Fprintf(b, "IndexNLJoin %s using %s", j.Table.Name, j.Index.Name)
 	if j.Alias != j.Table.Name {
 		fmt.Fprintf(b, " AS %s", j.Alias)
@@ -62,8 +61,6 @@ func (j *IndexNLJoin) explain(b *strings.Builder, depth int) {
 	for _, f := range j.Filters {
 		fmt.Fprintf(b, " filter=%s", f)
 	}
-	b.WriteByte('\n')
-	j.Left.explain(b, depth+1)
 }
 
 // nlCand is one conjunct usable as an index bound for the inner table. The

@@ -22,8 +22,9 @@ import (
 type Node interface {
 	// Schema describes the rows the node produces.
 	Schema() expr.Schema
-	// explain appends one line per operator to b at the given depth.
-	explain(b *strings.Builder, depth int)
+	// describe appends the node's own one-line description (no children, no
+	// indent, no newline) to b.
+	describe(b *strings.Builder)
 }
 
 func indent(b *strings.Builder, depth int) {
@@ -32,11 +33,73 @@ func indent(b *strings.Builder, depth int) {
 	}
 }
 
-// Explain renders the plan tree.
+// Explain renders the plan tree, one indented line per operator.
 func Explain(n Node) string {
 	var b strings.Builder
-	n.explain(&b, 0)
+	explainInto(n, &b, 0, nil)
 	return b.String()
+}
+
+// ExplainNode renders just one operator's description line.
+func ExplainNode(n Node) string {
+	var b strings.Builder
+	n.describe(&b)
+	return b.String()
+}
+
+// Annotator appends extra per-node text (e.g. runtime statistics) to a plan
+// line; see ExplainAnnotated.
+type Annotator func(n Node, b *strings.Builder)
+
+// ExplainAnnotated renders the plan tree like Explain, calling annotate after
+// each node's description — this is how EXPLAIN ANALYZE attaches actual row
+// counts and timings to the same tree shape.
+func ExplainAnnotated(n Node, annotate Annotator) string {
+	var b strings.Builder
+	explainInto(n, &b, 0, annotate)
+	return b.String()
+}
+
+func explainInto(n Node, b *strings.Builder, depth int, annotate Annotator) {
+	indent(b, depth)
+	n.describe(b)
+	if annotate != nil {
+		annotate(n, b)
+	}
+	b.WriteByte('\n')
+	for _, c := range Children(n) {
+		explainInto(c, b, depth+1, annotate)
+	}
+}
+
+// Children returns a node's input operators in display order.
+func Children(n Node) []Node {
+	switch x := n.(type) {
+	case *SeqScan, *IndexScan:
+		return nil
+	case *Filter:
+		return []Node{x.Input}
+	case *Project:
+		return []Node{x.Input}
+	case *Trim:
+		return []Node{x.Input}
+	case *Sort:
+		return []Node{x.Input}
+	case *Limit:
+		return []Node{x.Input}
+	case *Distinct:
+		return []Node{x.Input}
+	case *HashAggregate:
+		return []Node{x.Input}
+	case *HashJoin:
+		return []Node{x.Left, x.Right}
+	case *NLJoin:
+		return []Node{x.Left, x.Right}
+	case *IndexNLJoin:
+		return []Node{x.Left}
+	default:
+		return nil
+	}
 }
 
 // tableSchema builds the schema of a base-table access under an alias,
@@ -63,8 +126,7 @@ type SeqScan struct {
 // Schema implements Node.
 func (s *SeqScan) Schema() expr.Schema { return tableSchema(s.Table, s.Alias, s.EmitRID) }
 
-func (s *SeqScan) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (s *SeqScan) describe(b *strings.Builder) {
 	fmt.Fprintf(b, "SeqScan %s", s.Table.Name)
 	if s.Alias != s.Table.Name {
 		fmt.Fprintf(b, " AS %s", s.Alias)
@@ -72,7 +134,6 @@ func (s *SeqScan) explain(b *strings.Builder, depth int) {
 	for _, f := range s.Filters {
 		fmt.Fprintf(b, " filter=%s", f)
 	}
-	b.WriteByte('\n')
 }
 
 // IndexScan reads rows via an index: an equality prefix over the first
@@ -95,8 +156,7 @@ type IndexScan struct {
 // Schema implements Node.
 func (s *IndexScan) Schema() expr.Schema { return tableSchema(s.Table, s.Alias, s.EmitRID) }
 
-func (s *IndexScan) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (s *IndexScan) describe(b *strings.Builder) {
 	fmt.Fprintf(b, "IndexScan %s using %s", s.Table.Name, s.Index.Name)
 	if s.Alias != s.Table.Name {
 		fmt.Fprintf(b, " AS %s", s.Alias)
@@ -122,7 +182,6 @@ func (s *IndexScan) explain(b *strings.Builder, depth int) {
 	for _, f := range s.Filters {
 		fmt.Fprintf(b, " filter=%s", f)
 	}
-	b.WriteByte('\n')
 }
 
 // Filter drops rows for which Pred is not TRUE.
@@ -134,10 +193,8 @@ type Filter struct {
 // Schema implements Node.
 func (f *Filter) Schema() expr.Schema { return f.Input.Schema() }
 
-func (f *Filter) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
-	fmt.Fprintf(b, "Filter %s\n", f.Pred)
-	f.Input.explain(b, depth+1)
+func (f *Filter) describe(b *strings.Builder) {
+	fmt.Fprintf(b, "Filter %s", f.Pred)
 }
 
 // HashJoin joins on equality keys; Residual (optional) is evaluated on the
@@ -155,8 +212,7 @@ func (j *HashJoin) Schema() expr.Schema {
 	return append(append(expr.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
 }
 
-func (j *HashJoin) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (j *HashJoin) describe(b *strings.Builder) {
 	kind := "HashJoin"
 	if j.Outer {
 		kind = "HashLeftJoin"
@@ -168,9 +224,6 @@ func (j *HashJoin) explain(b *strings.Builder, depth int) {
 	if j.Residual != nil {
 		fmt.Fprintf(b, " residual=%s", j.Residual)
 	}
-	b.WriteByte('\n')
-	j.Left.explain(b, depth+1)
-	j.Right.explain(b, depth+1)
 }
 
 // NLJoin is a nested-loops join with an arbitrary ON predicate.
@@ -185,8 +238,7 @@ func (j *NLJoin) Schema() expr.Schema {
 	return append(append(expr.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
 }
 
-func (j *NLJoin) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (j *NLJoin) describe(b *strings.Builder) {
 	kind := "NestedLoopJoin"
 	if j.Outer {
 		kind = "NestedLoopLeftJoin"
@@ -195,9 +247,6 @@ func (j *NLJoin) explain(b *strings.Builder, depth int) {
 	if j.On != nil {
 		fmt.Fprintf(b, " on=%s", j.On)
 	}
-	b.WriteByte('\n')
-	j.Left.explain(b, depth+1)
-	j.Right.explain(b, depth+1)
 }
 
 // SortKey is one ORDER BY key.
@@ -215,8 +264,7 @@ type Sort struct {
 // Schema implements Node.
 func (s *Sort) Schema() expr.Schema { return s.Input.Schema() }
 
-func (s *Sort) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (s *Sort) describe(b *strings.Builder) {
 	b.WriteString("Sort")
 	for _, k := range s.Keys {
 		dir := ""
@@ -225,8 +273,6 @@ func (s *Sort) explain(b *strings.Builder, depth int) {
 		}
 		fmt.Fprintf(b, " %s%s", k.Expr, dir)
 	}
-	b.WriteByte('\n')
-	s.Input.explain(b, depth+1)
 }
 
 // Project evaluates output expressions. The last Hidden expressions are
@@ -258,8 +304,7 @@ func exprType(e expr.Expr) sqltypes.Type {
 	}
 }
 
-func (p *Project) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (p *Project) describe(b *strings.Builder) {
 	b.WriteString("Project")
 	n := len(p.Exprs) - p.Hidden
 	for i := 0; i < n; i++ {
@@ -268,8 +313,6 @@ func (p *Project) explain(b *strings.Builder, depth int) {
 	if p.Hidden > 0 {
 		fmt.Fprintf(b, " (+%d sort keys)", p.Hidden)
 	}
-	b.WriteByte('\n')
-	p.Input.explain(b, depth+1)
 }
 
 // Trim keeps the first Keep columns, dropping hidden sort keys.
@@ -281,10 +324,8 @@ type Trim struct {
 // Schema implements Node.
 func (t *Trim) Schema() expr.Schema { return t.Input.Schema()[:t.Keep] }
 
-func (t *Trim) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
-	fmt.Fprintf(b, "Trim %d\n", t.Keep)
-	t.Input.explain(b, depth+1)
+func (t *Trim) describe(b *strings.Builder) {
+	fmt.Fprintf(b, "Trim %d", t.Keep)
 }
 
 // HashAggregate groups rows by GroupBy values and computes Aggs per group.
@@ -312,8 +353,7 @@ func (a *HashAggregate) Schema() expr.Schema {
 	return s
 }
 
-func (a *HashAggregate) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (a *HashAggregate) describe(b *strings.Builder) {
 	b.WriteString("HashAggregate")
 	for _, g := range a.GroupBy {
 		fmt.Fprintf(b, " by=%s", g)
@@ -324,8 +364,6 @@ func (a *HashAggregate) explain(b *strings.Builder, depth int) {
 	if a.Having != nil {
 		fmt.Fprintf(b, " having=%s", a.Having)
 	}
-	b.WriteByte('\n')
-	a.Input.explain(b, depth+1)
 }
 
 // Distinct removes duplicate rows.
@@ -336,10 +374,8 @@ type Distinct struct {
 // Schema implements Node.
 func (d *Distinct) Schema() expr.Schema { return d.Input.Schema() }
 
-func (d *Distinct) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
-	b.WriteString("Distinct\n")
-	d.Input.explain(b, depth+1)
+func (d *Distinct) describe(b *strings.Builder) {
+	b.WriteString("Distinct")
 }
 
 // Limit applies LIMIT/OFFSET; the bound expressions are row-independent.
@@ -352,8 +388,7 @@ type Limit struct {
 // Schema implements Node.
 func (l *Limit) Schema() expr.Schema { return l.Input.Schema() }
 
-func (l *Limit) explain(b *strings.Builder, depth int) {
-	indent(b, depth)
+func (l *Limit) describe(b *strings.Builder) {
 	b.WriteString("Limit")
 	if l.Limit != nil {
 		fmt.Fprintf(b, " limit=%s", l.Limit)
@@ -361,8 +396,6 @@ func (l *Limit) explain(b *strings.Builder, depth int) {
 	if l.Offset != nil {
 		fmt.Fprintf(b, " offset=%s", l.Offset)
 	}
-	b.WriteByte('\n')
-	l.Input.explain(b, depth+1)
 }
 
 // InsertPlan is a compiled INSERT.

@@ -3,8 +3,8 @@ package sqldb
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/sqlparse"
 )
 
@@ -37,12 +37,22 @@ type planCache struct {
 	items map[string]*list.Element
 	lru   *list.List // front = most recently used
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// hits/misses live in the DB's metrics registry (sqldb.plancache.*) so
+	// cache behaviour shows up in Metrics() snapshots; PlanCacheStats reads
+	// them back for the legacy accessor.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
-func newPlanCache() *planCache {
-	return &planCache{items: map[string]*list.Element{}, lru: list.New()}
+func newPlanCache(reg *obs.Registry) *planCache {
+	pc := &planCache{
+		items:  map[string]*list.Element{},
+		lru:    list.New(),
+		hits:   reg.Counter("sqldb.plancache.hits"),
+		misses: reg.Counter("sqldb.plancache.misses"),
+	}
+	reg.RegisterFunc("sqldb.plancache.entries", func() int64 { return int64(pc.len()) })
+	return pc
 }
 
 // lookup returns the cached parse and plan for sql. plan is non-nil only
@@ -54,16 +64,16 @@ func (pc *planCache) lookup(sql string, ver uint64) (stmt sqlparse.Statement, pl
 	defer pc.mu.Unlock()
 	el, ok := pc.items[sql]
 	if !ok {
-		pc.misses.Add(1)
+		pc.misses.Inc()
 		return nil, nil
 	}
 	pc.lru.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	if e.version != ver {
-		pc.misses.Add(1)
+		pc.misses.Inc()
 		return e.stmt, nil
 	}
-	pc.hits.Add(1)
+	pc.hits.Inc()
 	return e.stmt, e.plan
 }
 
@@ -101,11 +111,13 @@ type PlanCacheStats struct {
 	Entries int
 }
 
-// PlanCacheStats returns the cache counters.
+// PlanCacheStats returns the cache counters. It is a thin shim over the
+// metrics registry (sqldb.plancache.hits / .misses / .entries), kept for
+// callers that predate Metrics().
 func (db *DB) PlanCacheStats() PlanCacheStats {
 	return PlanCacheStats{
-		Hits:    db.plans.hits.Load(),
-		Misses:  db.plans.misses.Load(),
+		Hits:    db.plans.hits.Value(),
+		Misses:  db.plans.misses.Value(),
 		Entries: db.plans.len(),
 	}
 }

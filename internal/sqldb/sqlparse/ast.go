@@ -121,8 +121,12 @@ type Delete struct {
 	Where expr.Expr
 }
 
-// Explain wraps a statement for plan display.
-type Explain struct{ Stmt Statement }
+// Explain wraps a statement for plan display. With Analyze set the wrapped
+// statement is executed with per-operator instrumentation (EXPLAIN ANALYZE).
+type Explain struct {
+	Stmt    Statement
+	Analyze bool
+}
 
 func (*CreateTable) isStmt() {}
 func (*CreateIndex) isStmt() {}

@@ -49,7 +49,7 @@ var keywords = map[string]bool{
 	"OR": true, "IN": true, "IS": true, "BETWEEN": true, "LIKE": true,
 	"AS": true, "JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "ON": true,
 	"DISTINCT": true, "PRIMARY": true, "KEY": true, "TRUE": true, "FALSE": true,
-	"EXPLAIN": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"EXPLAIN": true, "ANALYZE": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 }
 
 type lexer struct {

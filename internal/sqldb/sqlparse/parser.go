@@ -111,11 +111,15 @@ func (p *parser) parseStatement() (Statement, error) {
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
+		analyze, err := p.acceptKw("ANALYZE")
+		if err != nil {
+			return nil, err
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Stmt: inner}, nil
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
 	default:
 		return nil, p.unexpected("statement keyword")
 	}

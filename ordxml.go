@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"ordxml/internal/core/check"
 	"ordxml/internal/core/encoding"
@@ -29,6 +30,7 @@ import (
 	"ordxml/internal/core/shred"
 	"ordxml/internal/core/translate"
 	"ordxml/internal/core/update"
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/xmltree"
@@ -349,8 +351,79 @@ func (s *Store) Counters() WorkCounters {
 type PlanCacheStats = sqldb.PlanCacheStats
 
 // PlanCache returns the engine's plan cache counters for this store's
-// database.
+// database. It is a shim over Metrics(): the same values appear there as the
+// sqldb.plancache.* counters and gauge.
 func (s *Store) PlanCache() PlanCacheStats { return s.db.PlanCacheStats() }
+
+// Metrics is a point-in-time snapshot of every engine metric: counters,
+// gauges and latency histograms (with p50/p95/p99). It marshals to JSON.
+type Metrics = obs.Snapshot
+
+// HistogramStats summarizes one latency histogram inside a Metrics snapshot.
+type HistogramStats = obs.HistogramSnapshot
+
+// StageTiming is one XPath pipeline stage's cumulative wall time within a
+// single query: parse, translate, exec, post or sort. Count is the number of
+// times the stage ran (e.g. one exec per generated statement execution).
+type StageTiming = obs.Stage
+
+// SlowQuery is one slow-query log entry. Rows is -1 for non-SELECT
+// statements.
+type SlowQuery = sqldb.SlowQuery
+
+// Metrics returns a snapshot of the store's engine metrics: statement counts
+// and latency histograms (sqldb.*), XPath pipeline stage histograms
+// (xpath.*), plan-cache counters (sqldb.plancache.*) and storage-layer
+// heap-page/btree-node read counters (storage.*).
+func (s *Store) Metrics() Metrics { return s.db.Metrics() }
+
+// QueryTrace evaluates a query like Query and additionally returns the
+// per-stage wall-time breakdown of this evaluation.
+func (s *Store) QueryTrace(doc DocID, xpathExpr string) ([]Node, []StageTiming, error) {
+	refs, stages, err := s.evaluator.QueryTraced(doc, xpathExpr)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Node, len(refs))
+	for i, r := range refs {
+		out[i] = Node{
+			ID:       r.ID,
+			Kind:     kindOf(r.Kind),
+			Tag:      r.Tag,
+			Value:    r.Value,
+			OrderKey: s.renderOrderKey(r.Order),
+		}
+	}
+	return out, stages, nil
+}
+
+// ExplainSQL returns the physical plan of a SQL statement as text.
+func (s *Store) ExplainSQL(query string) (string, error) {
+	return s.db.Explain(query)
+}
+
+// ExplainAnalyzeSQL executes a SELECT with per-operator instrumentation and
+// returns the plan tree annotated with actual row counts, loop counts and
+// wall time per operator. Equivalent to running `EXPLAIN ANALYZE <query>`
+// through SQL.
+func (s *Store) ExplainAnalyzeSQL(query string, args ...any) (string, error) {
+	params := make([]sqltypes.Value, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return "", fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		params[i] = v
+	}
+	return s.db.ExplainAnalyze(query, params...)
+}
+
+// SlowQueries returns the engine's slow-query log, oldest first.
+func (s *Store) SlowQueries() []SlowQuery { return s.db.SlowQueries() }
+
+// SetSlowQueryThreshold sets the slow-query log threshold; 0 disables the
+// log.
+func (s *Store) SetSlowQueryThreshold(d time.Duration) { s.db.SetSlowQueryThreshold(d) }
 
 // StorageStats reports the node table's size.
 type StorageStats struct {
