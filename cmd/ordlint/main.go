@@ -1,0 +1,274 @@
+// Command ordlint is the engine's static-analysis suite: a multichecker
+// bundling the four project analyzers
+//
+//	exhaustenc — dispatch on an order-encoding kind must cover Global, Local
+//	             and Dewey or fail loudly in its default
+//	rawsql     — SQL text may not be assembled with Sprintf/concatenation
+//	             outside the designated SQL-generation packages
+//	spanfinish — every obs span started must be finished on all paths
+//	wraperr    — errors formatted into fmt.Errorf must use %w, not %v/%s
+//
+// Standalone use (the common path):
+//
+//	go run ./cmd/ordlint ./...
+//	go run ./cmd/ordlint -only rawsql,wraperr ./internal/core/...
+//
+// Findings print one per line as file:line:col: message [analyzer]; the exit
+// status is 1 when any finding is reported, 0 on a clean tree.
+//
+// The command also speaks enough of the vet driver protocol (-V=full, -flags,
+// a single *.cfg argument) to run as `go vet -vettool=$(which ordlint)`; in
+// that mode packages are type-checked from the export data the go command
+// supplies rather than from source.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"ordxml/internal/lint/exhaustenc"
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/rawsql"
+	"ordxml/internal/lint/spanfinish"
+	"ordxml/internal/lint/wraperr"
+)
+
+var analyzers = []*framework.Analyzer{
+	exhaustenc.Analyzer,
+	rawsql.Analyzer,
+	spanfinish.Analyzer,
+	wraperr.Analyzer,
+}
+
+// selfBuildID hashes this executable so the go command's vet cache is keyed
+// to the exact tool build (a rebuilt ordlint invalidates cached results).
+func selfBuildID() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	return "unknown"
+}
+
+func main() {
+	// Vet driver handshake, before normal flag parsing: the go command probes
+	// the tool's version and flag set, then invokes it with a single
+	// unit.cfg argument per package.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// The go command requires the last field to be "buildID=<hex>"
+			// and caches vet results against it, so hash the executable.
+			fmt.Printf("ordlint version devel %s buildID=%s\n", runtime.Version(), selfBuildID())
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetUnit(os.Args[1]))
+	}
+
+	var (
+		list = flag.Bool("list", false, "list the registered analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ordlint [-list] [-only name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the ordered-XML engine analyzers over the named packages\n")
+		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 if any finding is reported.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+	findings, err := framework.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		os.Exit(2)
+	}
+	framework.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ordlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*framework.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var out []*framework.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig mirrors the fields of the unit.cfg JSON file the go command
+// writes for vet tools.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit under the vet driver protocol and
+// returns the process exit code: 0 clean, 2 findings, 1 on internal error.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ordlint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The engine's analyzers export no facts, so the vetx output is always
+	// empty — but it must exist for the go command's cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ordlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:    importer.ForCompiler(fset, "gc", lookup),
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+
+	pkg := &framework.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+		TypeErrors: typeErrs,
+	}
+	findings, err := framework.RunAnalyzers([]*framework.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ordlint:", err)
+		return 1
+	}
+	framework.SortFindings(findings)
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,312 @@
+// Package exhaustenc implements the exhaustive-encoding analyzer: every
+// switch or if-chain dispatching on an order-encoding kind must handle all
+// three encodings of the paper — Global, Local and Dewey — explicitly, or
+// carry a default that fails loudly.
+//
+// The motivating bug class: the engine's original dispatch sites spelled
+// Dewey as the `default:` arm. That compiles, but it silently routes any
+// future (or corrupt) kind value through the Dewey code path instead of
+// failing — and a wrong order encoding corrupts document order without
+// crashing. The analyzer recognizes "order-encoding enum" types
+// structurally: any defined integer type whose package also declares
+// constants named Global, Local and Dewey of that exact type (this matches
+// both encoding.Kind and the public ordxml.Encoding, as well as test
+// doubles).
+package exhaustenc
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ordxml/internal/lint/framework"
+)
+
+// Analyzer is the exhaustive-encoding pass.
+var Analyzer = &framework.Analyzer{
+	Name: "exhaustenc",
+	Doc: "dispatch on an order-encoding kind must cover Global, Local and Dewey " +
+		"or have a default that panics or returns an error",
+	Run: run,
+}
+
+// kindNames are the constant names that identify an order-encoding enum.
+var kindNames = [...]string{"Global", "Local", "Dewey"}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.SwitchStmt:
+				checkSwitch(pass, stmt)
+			case *ast.IfStmt:
+				checkIfChain(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// encodingConsts returns the Global/Local/Dewey constant objects when t is a
+// defined integer type whose package declares all three with type t, else nil.
+func encodingConsts(t types.Type) map[string]*types.Const {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return nil // universe types
+	}
+	out := make(map[string]*types.Const, len(kindNames))
+	for _, name := range kindNames {
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), t) {
+			return nil
+		}
+		out[name] = c
+	}
+	return out
+}
+
+// checkSwitch enforces exhaustiveness on a tagged switch over an
+// order-encoding enum.
+func checkSwitch(pass *framework.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagType := pass.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	consts := encodingConsts(tagType)
+	if consts == nil {
+		return
+	}
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			markCovered(pass, e, consts, covered)
+		}
+	}
+	missing := missingNames(covered)
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && failsLoudly(defaultClause.Body) {
+		return
+	}
+	if defaultClause != nil {
+		pass.Reportf(sw.Switch,
+			"switch on %s does not handle %s explicitly and its default does not fail: "+
+				"add the missing case(s) or make the default panic or return an error",
+			types.TypeString(tagType, relativeTo(pass.Pkg)), strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(sw.Switch,
+		"switch on %s does not handle %s: add the missing case(s) or a default that fails",
+		types.TypeString(tagType, relativeTo(pass.Pkg)), strings.Join(missing, ", "))
+}
+
+// checkIfChain enforces exhaustiveness on if/else-if chains comparing one
+// expression against two or more of the encoding constants. A chain that
+// tests a single constant (a special-case branch, not a dispatch) is left
+// alone.
+func checkIfChain(pass *framework.Pass, ifStmt *ast.IfStmt) {
+	// Only consider the head of a chain: an IfStmt that is the Else of
+	// another IfStmt was already checked as part of its head.
+	if isElseBranch(pass, ifStmt) {
+		return
+	}
+	covered := map[string]bool{}
+	var tagType types.Type
+	var tagRepr string
+	hasFinalElse := false
+	var finalElse *ast.BlockStmt
+	for cur := ifStmt; cur != nil; {
+		name, t, repr := encodingEquality(pass, cur.Cond)
+		if name == "" {
+			return // a non-dispatch condition breaks the chain pattern
+		}
+		if tagType == nil {
+			tagType, tagRepr = t, repr
+		} else if repr != tagRepr {
+			return // comparing different expressions; not one dispatch
+		}
+		covered[name] = true
+		switch e := cur.Else.(type) {
+		case *ast.IfStmt:
+			cur = e
+		case *ast.BlockStmt:
+			hasFinalElse, finalElse = true, e
+			cur = nil
+		default:
+			cur = nil
+		}
+	}
+	if len(covered) < 2 {
+		return
+	}
+	missing := missingNames(covered)
+	if len(missing) == 0 {
+		return
+	}
+	if hasFinalElse && failsLoudly(finalElse.List) {
+		return
+	}
+	if hasFinalElse {
+		pass.Reportf(ifStmt.If,
+			"if-chain on %s does not handle %s explicitly and its else does not fail",
+			types.TypeString(tagType, relativeTo(pass.Pkg)), strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(ifStmt.If,
+		"if-chain on %s does not handle %s and has no else",
+		types.TypeString(tagType, relativeTo(pass.Pkg)), strings.Join(missing, ", "))
+}
+
+// isElseBranch reports whether stmt appears as the Else of some IfStmt in
+// the same file.
+func isElseBranch(pass *framework.Pass, stmt *ast.IfStmt) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= stmt.Pos() && stmt.Pos() < f.End() {
+			found := false
+			ast.Inspect(f, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				if p, ok := n.(*ast.IfStmt); ok && p.Else == stmt {
+					found = true
+					return false
+				}
+				return true
+			})
+			return found
+		}
+	}
+	return false
+}
+
+// encodingEquality matches `x == Const` (either order) where Const is one of
+// the encoding constants; it returns the constant name, the enum type, and a
+// canonical rendering of x.
+func encodingEquality(pass *framework.Pass, cond ast.Expr) (string, types.Type, string) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "==" {
+		return "", nil, ""
+	}
+	for _, pair := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		tag, c := pair[0], pair[1]
+		t := pass.TypeOf(c)
+		if t == nil {
+			continue
+		}
+		consts := encodingConsts(t)
+		if consts == nil {
+			continue
+		}
+		if name := constName(pass, c, consts); name != "" {
+			return name, t, types.ExprString(tag)
+		}
+	}
+	return "", nil, ""
+}
+
+// markCovered records which encoding constant a case expression denotes.
+func markCovered(pass *framework.Pass, e ast.Expr, consts map[string]*types.Const, covered map[string]bool) {
+	if name := constName(pass, e, consts); name != "" {
+		covered[name] = true
+	}
+}
+
+// constName resolves e to one of the encoding constants by value, returning
+// its canonical name ("" when e is not one of them).
+func constName(pass *framework.Pass, e ast.Expr, consts map[string]*types.Const) string {
+	if pass.TypesInfo == nil {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return ""
+	}
+	for name, c := range consts {
+		if constant.Compare(tv.Value, token.EQL, c.Val()) {
+			return name
+		}
+	}
+	return ""
+}
+
+// failsLoudly reports whether a default/else body fails the unknown case:
+// it panics, returns or assigns a freshly constructed error, or calls a
+// fatal/unreachable helper.
+func failsLoudly(body []ast.Stmt) bool {
+	found := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				if fn.Name == "panic" || strings.Contains(fn.Name, "unreachable") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				name := fn.Sel.Name
+				if name == "Errorf" || name == "New" && isErrorsPkg(fn.X) ||
+					strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorsPkg(x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	return ok && id.Name == "errors"
+}
+
+func missingNames(covered map[string]bool) []string {
+	var missing []string
+	for _, n := range kindNames {
+		if !covered[n] {
+			missing = append(missing, n)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(other *types.Package) string {
+		if other == pkg {
+			return ""
+		}
+		return other.Name()
+	}
+}

@@ -1,0 +1,12 @@
+package exhaustenc_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/exhaustenc"
+	"ordxml/internal/lint/framework"
+)
+
+func TestExhaustEnc(t *testing.T) {
+	framework.RunTest(t, exhaustenc.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,128 @@
+// Package a exercises the exhaustenc analyzer. The Kind enum here mirrors
+// the engine's order-encoding kind structurally: a defined integer type with
+// package-level constants Global, Local and Dewey.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type Kind int
+
+const (
+	Global Kind = iota
+	Local
+	Dewey
+)
+
+// Other is an integer enum without the three encoding constants; dispatch on
+// it is none of the analyzer's business.
+type Other int
+
+const (
+	A Other = iota
+	B
+)
+
+func covered(k Kind) string {
+	switch k {
+	case Global:
+		return "g"
+	case Local:
+		return "l"
+	case Dewey:
+		return "d"
+	}
+	return ""
+}
+
+func missingNoDefault(k Kind) string {
+	switch k { // want `switch on Kind does not handle Dewey`
+	case Global:
+		return "g"
+	case Local:
+		return "l"
+	}
+	return ""
+}
+
+func missingSilentDefault(k Kind) string {
+	switch k { // want `switch on Kind does not handle Dewey explicitly and its default does not fail`
+	case Global:
+		return "g"
+	case Local:
+		return "l"
+	default:
+		return "d" // silently treats every other kind as Dewey
+	}
+}
+
+func missingLoudDefault(k Kind) string {
+	switch k {
+	case Global:
+		return "g"
+	case Local:
+		return "l"
+	default:
+		panic(fmt.Sprintf("unknown encoding kind %d", k))
+	}
+}
+
+func missingErroringDefault(k Kind) (string, error) {
+	switch k {
+	case Global:
+		return "g", nil
+	case Dewey:
+		return "d", nil
+	default:
+		return "", errors.New("unknown encoding kind")
+	}
+}
+
+func chainSilentElse(k Kind) string {
+	if k == Global { // want `if-chain on Kind does not handle Dewey explicitly and its else does not fail`
+		return "g"
+	} else if k == Local {
+		return "l"
+	} else {
+		return "d"
+	}
+}
+
+func chainNoElse(k Kind) string {
+	out := ""
+	if k == Global { // want `if-chain on Kind does not handle Dewey and has no else`
+		out = "g"
+	} else if k == Local {
+		out = "l"
+	}
+	return out
+}
+
+func chainLoudElse(k Kind) string {
+	if k == Global {
+		return "g"
+	} else if k == Local {
+		return "l"
+	} else {
+		panic("unknown encoding kind")
+	}
+}
+
+// specialCase tests a single constant; that is a branch, not a dispatch.
+func specialCase(k Kind) bool {
+	if k == Dewey {
+		return true
+	}
+	return false
+}
+
+// otherEnum dispatches on an unrelated enum; not flagged.
+func otherEnum(o Other) string {
+	switch o {
+	case A:
+		return "a"
+	}
+	return ""
+}

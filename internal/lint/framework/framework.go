@@ -1,0 +1,149 @@
+// Package framework is a self-contained substrate for writing static
+// analyzers against the standard library's go/ast and go/types, mirroring
+// the golang.org/x/tools/go/analysis API surface (Analyzer, Pass, Diagnostic,
+// an analysistest-style test runner) without the external dependency.
+//
+// The mirror is deliberate: each analyzer in internal/lint/... is written
+// exactly as it would be against x/tools — a Name, a Doc string and a
+// Run(*Pass) function reporting position-anchored diagnostics — so the suite
+// can be lifted onto the real multichecker/unitchecker unchanged if the
+// dependency ever becomes available. Until then, cmd/ordlint drives these
+// analyzers with the loader in this package (go list -deps -json plus a
+// go/types source type-checker), which resolves the whole dependency closure,
+// standard library included, from source.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static analysis: a named pass over a type-checked
+// package. The shape matches golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By convention a
+	// short lower-case word ("rawsql", "wraperr").
+	Name string
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+	// Run applies the analysis to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function: its
+// syntax trees, type information and a Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (non-test files).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for Files. Type-check errors
+	// degrade the maps (missing entries) rather than aborting the pass;
+	// analyzers must tolerate nil lookups.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown (for example
+// inside code that failed to type-check).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf returns the object denoted by ident, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	if o := p.TypesInfo.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a rendered diagnostic: the analyzer that produced it plus its
+// resolved position.
+type Finding struct {
+	Analyzer string
+	Posn     token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Posn, f.Message, f.Analyzer)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d Diagnostic) {
+					findings = append(findings, Finding{
+						Analyzer: a.Name,
+						Posn:     pkg.Fset.Position(d.Pos),
+						Message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	SortFindings(findings)
+	return findings, nil
+}
+
+// SortFindings orders findings by file, line, column, then analyzer.
+func SortFindings(fs []Finding) {
+	sortSlice(fs, func(a, b Finding) bool {
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func sortSlice[T any](s []T, less func(a, b T) bool) {
+	// Insertion sort: finding lists are short and this avoids importing sort
+	// with interface shims.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package rawsql implements the raw-SQL-construction analyzer: SQL statement
+// text may not be assembled with fmt.Sprintf-style formatting or string
+// concatenation outside the designated SQL-generation packages.
+//
+// The engine binds all values through `?` placeholders, so the classic
+// injection vector is identifier interpolation — table and order-key column
+// names vary per encoding and are spliced into statement text. Uncontrolled
+// splicing is both injection-shaped (a hostile identifier breaks out of the
+// statement) and cache-hostile (value splicing would make every statement
+// text unique, defeating the plan cache keyed by SQL text). All construction
+// must therefore go through the audited helpers: internal/sqlgen (which
+// validates every interpolated identifier), or live inside the two packages
+// whose whole job is SQL generation — internal/core/translate and
+// internal/sqldb/sqlparse.
+package rawsql
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"ordxml/internal/lint/framework"
+)
+
+// Analyzer is the raw-SQL-construction pass.
+var Analyzer = &framework.Analyzer{
+	Name: "rawsql",
+	Doc: "SQL text must not be built with fmt.Sprintf or string concatenation " +
+		"outside the designated SQL-generation packages (use internal/sqlgen)",
+	Run: run,
+}
+
+// blessedSuffixes are import-path suffixes of packages allowed to assemble
+// SQL text directly.
+var blessedSuffixes = []string{
+	"internal/core/translate",
+	"internal/sqldb/sqlparse",
+	"internal/sqlgen",
+}
+
+// sqlShaped matches string literals that begin like a SQL statement (or a
+// statement fragment that only makes sense spliced into one).
+var sqlShaped = regexp.MustCompile(`(?is)^\s*(select\s|insert\s+into\s|update\s+\S+\s+set\s|delete\s+from\s|create\s+(unique\s+)?(table|index)\s|drop\s+(table|index)\s|explain\s)`)
+
+// sprintfFamily are the fmt functions whose use on SQL-shaped literals is
+// flagged. fmt.Errorf is deliberately absent: error messages legitimately
+// quote SQL.
+var sprintfFamily = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+func run(pass *framework.Pass) error {
+	if pkgBlessed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, e)
+			case *ast.BinaryExpr:
+				checkConcat(pass, e)
+			case *ast.AssignStmt:
+				checkAugmented(pass, e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func pkgBlessed(path string) bool {
+	for _, s := range blessedSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags fmt.Sprintf-family calls whose arguments include a
+// SQL-shaped string literal.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !sprintfFamily[sel.Sel.Name] {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok || pkgID.Name != "fmt" {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, text := sqlLiteral(arg); lit != nil {
+			pass.Reportf(call.Pos(),
+				"SQL text %q built with fmt.%s outside a SQL-generation package; use sqlgen.SQL with validated identifiers",
+				truncate(text), sel.Sel.Name)
+			return
+		}
+	}
+}
+
+// checkConcat flags `+` concatenation where either operand is a SQL-shaped
+// literal. Only the outermost `+` of a chain reports, anchored at the
+// literal.
+func checkConcat(pass *framework.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	for _, operand := range []ast.Expr{be.X, be.Y} {
+		// Literal-only chains (const SQL split over lines) are fine: flag
+		// only when the other side is non-literal (actual construction).
+		lit, text := sqlLiteral(operand)
+		if lit == nil {
+			continue
+		}
+		other := be.Y
+		if operand == be.Y {
+			other = be.X
+		}
+		if allLiterals(other) {
+			continue
+		}
+		pass.Reportf(lit.Pos(),
+			"SQL text %q built by string concatenation outside a SQL-generation package; use sqlgen.SQL with validated identifiers",
+			truncate(text))
+	}
+}
+
+// checkAugmented flags `s += "SELECT ..."` style construction.
+func checkAugmented(pass *framework.Pass, as *ast.AssignStmt) {
+	if as.Tok != token.ADD_ASSIGN {
+		return
+	}
+	for _, rhs := range as.Rhs {
+		if lit, text := sqlLiteral(rhs); lit != nil {
+			pass.Reportf(lit.Pos(),
+				"SQL text %q built by += concatenation outside a SQL-generation package; use sqlgen.SQL with validated identifiers",
+				truncate(text))
+		}
+	}
+}
+
+// sqlLiteral returns the basic literal and its decoded text when e is a
+// SQL-shaped string literal.
+func sqlLiteral(e ast.Expr) (*ast.BasicLit, string) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil, ""
+	}
+	text, err := strconv.Unquote(lit.Value)
+	if err != nil || !sqlShaped.MatchString(text) {
+		return nil, ""
+	}
+	return lit, text
+}
+
+// allLiterals reports whether e is built purely from string literals
+// (possibly concatenated), i.e. a compile-time constant SQL string.
+func allLiterals(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.STRING
+	case *ast.BinaryExpr:
+		return v.Op == token.ADD && allLiterals(v.X) && allLiterals(v.Y)
+	case *ast.ParenExpr:
+		return allLiterals(v.X)
+	}
+	return false
+}
+
+func truncate(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) > 32 {
+		return s[:29] + "..."
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+package rawsql_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/rawsql"
+)
+
+func TestRawSQL(t *testing.T) {
+	framework.RunTest(t, rawsql.Analyzer, "testdata/src/a")
+}

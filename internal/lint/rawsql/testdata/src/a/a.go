@@ -1,0 +1,49 @@
+// Package a exercises the rawsql analyzer: SQL text assembled with
+// fmt.Sprintf or concatenation outside the blessed SQL-generation packages.
+package a
+
+import "fmt"
+
+func exec(sql string, args ...any) {}
+
+func sprintfSQL(tbl string) {
+	q := fmt.Sprintf("SELECT id FROM %s WHERE doc = ?", tbl) // want `built with fmt.Sprintf`
+	exec(q, 1)
+}
+
+func sprintSQL(tbl string) {
+	q := fmt.Sprint("DELETE FROM ", tbl, " WHERE id = ?") // want `built with fmt.Sprint`
+	exec(q, 1)
+}
+
+func concatSQL(tbl string) {
+	q := "SELECT id FROM " + tbl // want `built by string concatenation`
+	exec(q)
+}
+
+func augmentedSQL(cond bool) {
+	q := ""
+	q += "SELECT id FROM docs" // want `built by \+= concatenation`
+	if cond {
+		q += " WHERE id = ?"
+	}
+	exec(q)
+}
+
+// constSQL splits a constant statement across literals: no construction, not
+// flagged.
+func constSQL() {
+	const q = "SELECT id, parent " +
+		"FROM xg_nodes WHERE doc = ?"
+	exec(q, 1)
+}
+
+// errorfSQL quotes SQL in an error message; fmt.Errorf is exempt.
+func errorfSQL(tbl string) error {
+	return fmt.Errorf("statement %q failed on SELECT count(*) FROM %s", "q", tbl)
+}
+
+// plainSprintf formats non-SQL text; not flagged.
+func plainSprintf(n int) string {
+	return fmt.Sprintf("node %d selected for update", n)
+}

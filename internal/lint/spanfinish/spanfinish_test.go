@@ -1,0 +1,12 @@
+package spanfinish_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/spanfinish"
+)
+
+func TestSpanFinish(t *testing.T) {
+	framework.RunTest(t, spanfinish.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,92 @@
+// Package a exercises the spanfinish analyzer.
+package a
+
+import (
+	"errors"
+
+	"ordxml/internal/lint/spanfinish/testdata/src/obs"
+)
+
+func deferred(tr *obs.Trace) {
+	sp := tr.Start("deferred")
+	defer sp.End()
+	work()
+}
+
+func deferredClosure(tr *obs.Trace) {
+	sp := tr.Start("closure")
+	defer func() {
+		sp.End()
+	}()
+	work()
+}
+
+func straightLine(tr *obs.Trace) {
+	sp := tr.Start("straight")
+	work()
+	sp.End()
+}
+
+func earlyReturnLeak(tr *obs.Trace, fail bool) error {
+	sp := tr.Start("leaky") // want `span sp is not finished on all paths`
+	if fail {
+		return errors.New("bail")
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func earlyReturnEnded(tr *obs.Trace, fail bool) error {
+	sp := tr.Start("careful")
+	if fail {
+		sp.End()
+		return errors.New("bail")
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+func fallthroughLeak(tr *obs.Trace, ok bool) {
+	sp := tr.Start("forgotten") // want `span sp is not finished on all paths`
+	if ok {
+		sp.End()
+	}
+	work()
+}
+
+func dropped(tr *obs.Trace) {
+	tr.Start("dropped") // want `span started and immediately dropped`
+	work()
+}
+
+func bothBranchesEnd(tr *obs.Trace, fast bool) {
+	sp := tr.Start("branchy")
+	if fast {
+		sp.End()
+	} else {
+		work()
+		sp.End()
+	}
+}
+
+// escaped spans are someone else's responsibility.
+func escapes(tr *obs.Trace) {
+	sp := tr.Start("handed-off")
+	finishLater(sp)
+}
+
+func finishLater(sp obs.Span) {
+	sp.End()
+}
+
+func panicPath(tr *obs.Trace, bad bool) {
+	sp := tr.Start("panicky")
+	if bad {
+		panic("no recovery, span moot")
+	}
+	sp.End()
+}
+
+func work() {}

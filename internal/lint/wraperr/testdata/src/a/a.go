@@ -1,0 +1,49 @@
+// Package a exercises the wraperr analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("sentinel")
+
+func swallowedV(err error) error {
+	return fmt.Errorf("load document: %v", err) // want `error formatted with %v loses the cause chain`
+}
+
+func swallowedS(err error) error {
+	return fmt.Errorf("load document: %s", err) // want `error formatted with %s loses the cause chain`
+}
+
+func swallowedPlusV(err error) error {
+	return fmt.Errorf("load document: %+v", err) // want `error formatted with %v loses the cause chain`
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load document: %w", err)
+}
+
+func positional(n int, err error) error {
+	return fmt.Errorf("shred %d nodes: %v", n, err) // want `error formatted with %v loses the cause chain`
+}
+
+func positionalWrapped(n int, err error) error {
+	return fmt.Errorf("shred %d nodes: %w", n, err)
+}
+
+func notAnError(name string) error {
+	return fmt.Errorf("unknown table %v", name)
+}
+
+func indexed(err error) error {
+	return fmt.Errorf("retry: %[1]v after %[1]v", err) // want `error formatted with %v` `error formatted with %v`
+}
+
+func customError() error {
+	return fmt.Errorf("codec: %v", &codecError{}) // want `error formatted with %v loses the cause chain`
+}
+
+type codecError struct{}
+
+func (*codecError) Error() string { return "codec" }

@@ -1,0 +1,153 @@
+// Package wraperr implements the error-wrapping analyzer: an error value
+// formatted into a new error with fmt.Errorf must use the %w verb, not %v or
+// %s, so the cause survives for errors.Is / errors.As across package
+// boundaries.
+//
+// A %v-swallowed cause looks identical in the log line but severs the chain:
+// callers can no longer match sentinel errors (sql driver errors, io.EOF,
+// catalog constraint sentinels) through the wrapper, so error-branching code
+// silently degrades to string matching. The analyzer parses the format
+// string, maps each verb to its argument, and flags any error-typed argument
+// consumed by a %v/%s (including flagged forms like %+v) instead of %w.
+package wraperr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"ordxml/internal/lint/framework"
+)
+
+// Analyzer is the error-wrapping pass.
+var Analyzer = &framework.Analyzer{
+	Name: "wraperr",
+	Doc:  "errors formatted into fmt.Errorf must use %w (not %v/%s) so the cause chain survives",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkErrorf(pass, call, errType)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr, errType *types.Interface) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok || pkgID.Name != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	args := call.Args[1:]
+	for _, v := range parseVerbs(format) {
+		if v.verb != 'v' && v.verb != 's' {
+			continue
+		}
+		if v.argIndex >= len(args) {
+			continue
+		}
+		arg := args[v.argIndex]
+		t := pass.TypeOf(arg)
+		if t == nil || !types.Implements(t, errType) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error formatted with %%%c loses the cause chain: use %%w (or a sentinel) so errors.Is/As keep working",
+			v.verb)
+	}
+}
+
+// verb is one conversion in a format string, mapped to the index of the
+// argument it consumes (after any * width/precision arguments).
+type verb struct {
+	verb     rune
+	argIndex int
+}
+
+// parseVerbs walks a Printf-style format string and returns each conversion
+// verb with the index of its operand. It handles %%, flags, * width and
+// precision (each consuming an argument), and explicit argument indexes
+// like %[1]v.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(runes) && (runes[i] == '+' || runes[i] == '-' || runes[i] == '#' || runes[i] == ' ' || runes[i] == '0') {
+			i++
+		}
+		// width
+		for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+			i++
+		}
+		if i < len(runes) && runes[i] == '*' {
+			arg++
+			i++
+		}
+		// precision
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+			}
+		}
+		// explicit argument index: %[n]v
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				n = n*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, verb{verb: runes[i], argIndex: arg})
+		arg++
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package wraperr_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/wraperr"
+)
+
+func TestWrapErr(t *testing.T) {
+	framework.RunTest(t, wraperr.Analyzer, "testdata/src/a")
+}
