@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"ordxml"
+	"ordxml/internal/sqlgen"
 )
 
 func main() {
@@ -59,9 +60,9 @@ func main() {
 		ord := map[ordxml.Encoding]string{
 			ordxml.Global: "gorder", ordxml.Local: "lorder", ordxml.Dewey: "path",
 		}[enc]
-		rows, err := store.SQL(fmt.Sprintf(
-			"SELECT id, parent, kind, tag, value, %s FROM %s WHERE doc = ? ORDER BY id LIMIT %d",
-			ord, table, *dump), doc)
+		rows, err := store.SQL(sqlgen.SQL(
+			"SELECT id, parent, kind, tag, value, %s FROM %s WHERE doc = ? ORDER BY id LIMIT ?",
+			ord, table), doc, *dump)
 		fatal(err)
 		fmt.Println("\n" + strings.Join(rows.Columns, "\t"))
 		for _, r := range rows.Values {

@@ -12,6 +12,7 @@ import (
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -33,7 +34,7 @@ func New(db *sqldb.DB, opts encoding.Options) (*Checker, error) {
 	}
 	c := &Checker{db: db, opts: opts}
 	var err error
-	if c.all, err = db.Prepare(fmt.Sprintf(
+	if c.all, err = db.Prepare(sqlgen.SQL(
 		`SELECT id, parent, kind, tag, value, %s FROM %s WHERE doc = ?`,
 		opts.OrderColumn(), opts.NodesTable())); err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqlgen"
 )
 
 // Kind selects the order encoding.
@@ -152,7 +153,7 @@ func (o Options) DDL() []string {
 		}
 	}
 	stmts := []string{
-		fmt.Sprintf(`CREATE TABLE %s (
+		sqlgen.SQL(`CREATE TABLE %s (
 			doc INT NOT NULL,
 			id INT NOT NULL,
 			parent INT,
@@ -160,21 +161,21 @@ func (o Options) DDL() []string {
 			tag TEXT,
 			value TEXT,
 			%s %s NOT NULL)`, tbl, ordCol, ordType),
-		fmt.Sprintf(`CREATE UNIQUE INDEX %s_id ON %s (doc, id)`, tbl, tbl),
+		sqlgen.SQL(`CREATE UNIQUE INDEX %s_id ON %s (doc, id)`, tbl, tbl),
 	}
 	if o.Kind == Local {
 		// A local order value is unique only among siblings: the sibling
 		// index is the unique one, and there is no document-order index —
 		// the defining weakness of the encoding.
 		stmts = append(stmts,
-			fmt.Sprintf(`CREATE UNIQUE INDEX %s_parent ON %s (doc, parent, %s)`, tbl, tbl, ordCol),
-			fmt.Sprintf(`CREATE INDEX %s_tag ON %s (doc, tag)`, tbl, tbl),
+			sqlgen.SQL(`CREATE UNIQUE INDEX %s_parent ON %s (doc, parent, %s)`, tbl, tbl, ordCol),
+			sqlgen.SQL(`CREATE INDEX %s_tag ON %s (doc, tag)`, tbl, tbl),
 		)
 	} else {
 		stmts = append(stmts,
-			fmt.Sprintf(`CREATE UNIQUE INDEX %s_order ON %s (doc, %s)`, tbl, tbl, ordCol),
-			fmt.Sprintf(`CREATE INDEX %s_parent ON %s (doc, parent, %s)`, tbl, tbl, ordCol),
-			fmt.Sprintf(`CREATE INDEX %s_tag ON %s (doc, tag, %s)`, tbl, tbl, ordCol),
+			sqlgen.SQL(`CREATE UNIQUE INDEX %s_order ON %s (doc, %s)`, tbl, tbl, ordCol),
+			sqlgen.SQL(`CREATE INDEX %s_parent ON %s (doc, parent, %s)`, tbl, tbl, ordCol),
+			sqlgen.SQL(`CREATE INDEX %s_tag ON %s (doc, tag, %s)`, tbl, tbl, ordCol),
 		)
 	}
 	return stmts

@@ -19,6 +19,7 @@ import (
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -45,25 +46,25 @@ func New(db *sqldb.DB, opts encoding.Options) (*Publisher, error) {
 	tbl, ord := opts.NodesTable(), opts.OrderColumn()
 	p := &Publisher{db: db, opts: opts}
 	var err error
-	cols := fmt.Sprintf("id, parent, kind, tag, value, %s", ord)
-	if p.allOrdered, err = db.Prepare(fmt.Sprintf(
+	cols := sqlgen.List("id", "parent", "kind", "tag", "value", ord)
+	if p.allOrdered, err = db.Prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ? ORDER BY %s`, cols, tbl, ord)); err != nil {
 		return nil, err
 	}
-	if p.allRows, err = db.Prepare(fmt.Sprintf(
+	if p.allRows, err = db.Prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ?`, cols, tbl)); err != nil {
 		return nil, err
 	}
-	if p.children, err = db.Prepare(fmt.Sprintf(
+	if p.children, err = db.Prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ? AND parent = ? ORDER BY %s`, cols, tbl, ord)); err != nil {
 		return nil, err
 	}
-	if p.byID, err = db.Prepare(fmt.Sprintf(
+	if p.byID, err = db.Prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ? AND id = ?`, cols, tbl)); err != nil {
 		return nil, err
 	}
 	if opts.Kind == encoding.Dewey {
-		if p.pathRange, err = db.Prepare(fmt.Sprintf(
+		if p.pathRange, err = db.Prepare(sqlgen.SQL(
 			`SELECT %s FROM %s WHERE doc = ? AND %s >= ? AND %s < ? ORDER BY %s`,
 			cols, tbl, ord, ord, ord)); err != nil {
 			return nil, err

@@ -12,6 +12,7 @@ import (
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -52,7 +53,7 @@ func New(db *sqldb.DB, opts encoding.Options) (*Shredder, error) {
 	if s.docByID, err = db.Prepare(`SELECT doc FROM docs WHERE doc = ?`); err != nil {
 		return nil, err
 	}
-	if s.deleteDoc, err = db.Prepare(fmt.Sprintf(`DELETE FROM %s WHERE doc = ?`, tbl)); err != nil {
+	if s.deleteDoc, err = db.Prepare(sqlgen.SQL(`DELETE FROM %s WHERE doc = ?`, tbl)); err != nil {
 		return nil, err
 	}
 	if s.deleteReg, err = db.Prepare(`DELETE FROM docs WHERE doc = ?`); err != nil {

@@ -6,6 +6,7 @@ import (
 	"ordxml/internal/core/dewey"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -118,7 +119,7 @@ func (m *Manager) insertDewey(doc int64, t node, mode Mode, frag *xmltree.Node) 
 // lastChildComponent returns the sibling ordinal of parent's last child, or
 // 0 when childless.
 func (m *Manager) lastChildComponent(doc, parent int64) (uint32, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ? AND parent = ? ORDER BY %s DESC LIMIT 1`,
 		m.ord, m.tbl, m.ord))
 	if err != nil {
@@ -138,7 +139,7 @@ func (m *Manager) lastChildComponent(doc, parent int64) (uint32, error) {
 // prevSiblingComponent returns the ordinal of the sibling immediately before
 // the anchor, or 0.
 func (m *Manager) prevSiblingComponent(doc, parent int64, anchorKey sqltypes.Value) (uint32, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT %s FROM %s WHERE doc = ? AND parent = ? AND %s < ? ORDER BY %s DESC LIMIT 1`,
 		m.ord, m.tbl, m.ord, m.ord))
 	if err != nil {
@@ -176,7 +177,7 @@ func (m *Manager) shiftDeweySiblings(doc, parent int64, from dewey.Path, delta u
 		}
 		highKey = sqldb.B(high)
 	}
-	sel, err := m.prepare(fmt.Sprintf(
+	sel, err := m.prepare(sqlgen.SQL(
 		`SELECT id, %s FROM %s WHERE doc = ? AND %s >= ? AND %s < ? ORDER BY %s DESC`,
 		m.ord, m.tbl, m.ord, m.ord, m.ord))
 	if err != nil {
@@ -186,7 +187,7 @@ func (m *Manager) shiftDeweySiblings(doc, parent int64, from dewey.Path, delta u
 	if err != nil {
 		return 0, err
 	}
-	upd, err := m.prepare(fmt.Sprintf(
+	upd, err := m.prepare(sqlgen.SQL(
 		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
 	if err != nil {
 		return 0, err
@@ -224,7 +225,7 @@ func (m *Manager) deleteDewey(doc int64, t node) (Stats, error) {
 		}
 		high = sqldb.B(succ)
 	}
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`DELETE FROM %s WHERE doc = ? AND %s >= ? AND %s < ?`, m.tbl, m.ord, m.ord))
 	if err != nil {
 		return Stats{}, err

@@ -1,9 +1,8 @@
 package update
 
 import (
-	"fmt"
-
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -132,7 +131,7 @@ func (m *Manager) successorAfterSubtree(doc int64, t node) (*node, error) {
 }
 
 func (m *Manager) nextSibling(doc int64, t node) (*node, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND parent = ? AND %s > ? ORDER BY %s LIMIT 1`,
 		m.ord, m.tbl, m.ord, m.ord))
 	if err != nil {
@@ -147,7 +146,7 @@ func (m *Manager) nextSibling(doc int64, t node) (*node, error) {
 }
 
 func (m *Manager) firstNonAttrChild(doc, parent int64) (*node, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND parent = ? AND kind <> 'attr' ORDER BY %s LIMIT 1`,
 		m.ord, m.tbl, m.ord))
 	if err != nil {
@@ -162,7 +161,7 @@ func (m *Manager) firstNonAttrChild(doc, parent int64) (*node, error) {
 }
 
 func (m *Manager) maxOrder(doc int64) (int64, error) {
-	stmt, err := m.prepare(fmt.Sprintf(`SELECT MAX(%s) FROM %s WHERE doc = ?`, m.ord, m.tbl))
+	stmt, err := m.prepare(sqlgen.SQL(`SELECT MAX(%s) FROM %s WHERE doc = ?`, m.ord, m.tbl))
 	if err != nil {
 		return 0, err
 	}
@@ -177,7 +176,7 @@ func (m *Manager) maxOrder(doc int64) (int64, error) {
 }
 
 func (m *Manager) maxOrderBelow(doc, below int64) (int64, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT MAX(%s) FROM %s WHERE doc = ? AND %s < ?`, m.ord, m.tbl, m.ord))
 	if err != nil {
 		return 0, err
@@ -196,7 +195,7 @@ func (m *Manager) maxOrderBelow(doc, below int64) (int64, error) {
 // from. Rows are rewritten in descending order so the unique (doc, gorder)
 // index never sees a transient collision.
 func (m *Manager) shiftGlobal(doc, from, delta int64) (int64, error) {
-	sel, err := m.prepare(fmt.Sprintf(
+	sel, err := m.prepare(sqlgen.SQL(
 		`SELECT id, %s FROM %s WHERE doc = ? AND %s >= ? ORDER BY %s DESC`,
 		m.ord, m.tbl, m.ord, m.ord))
 	if err != nil {
@@ -206,7 +205,7 @@ func (m *Manager) shiftGlobal(doc, from, delta int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	upd, err := m.prepare(fmt.Sprintf(
+	upd, err := m.prepare(sqlgen.SQL(
 		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
 	if err != nil {
 		return 0, err
@@ -227,7 +226,7 @@ func (m *Manager) deleteGlobal(doc int64, t node) (Stats, error) {
 	}
 	var n int
 	if succ == nil {
-		stmt, err := m.prepare(fmt.Sprintf(
+		stmt, err := m.prepare(sqlgen.SQL(
 			`DELETE FROM %s WHERE doc = ? AND %s >= ?`, m.tbl, m.ord))
 		if err != nil {
 			return Stats{}, err
@@ -237,7 +236,7 @@ func (m *Manager) deleteGlobal(doc int64, t node) (Stats, error) {
 			return Stats{}, err
 		}
 	} else {
-		stmt, err := m.prepare(fmt.Sprintf(
+		stmt, err := m.prepare(sqlgen.SQL(
 			`DELETE FROM %s WHERE doc = ? AND %s >= ? AND %s < ?`, m.tbl, m.ord, m.ord))
 		if err != nil {
 			return Stats{}, err

@@ -1,9 +1,8 @@
 package update
 
 import (
-	"fmt"
-
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -83,7 +82,7 @@ func (m *Manager) localAnchor(doc int64, t node, mode Mode) (*node, error) {
 }
 
 func (m *Manager) maxChildOrder(doc, parent int64) (int64, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT MAX(%s) FROM %s WHERE doc = ? AND parent = ?`, m.ord, m.tbl))
 	if err != nil {
 		return 0, err
@@ -99,7 +98,7 @@ func (m *Manager) maxChildOrder(doc, parent int64) (int64, error) {
 }
 
 func (m *Manager) maxChildOrderBelow(doc, parent, below int64) (int64, error) {
-	stmt, err := m.prepare(fmt.Sprintf(
+	stmt, err := m.prepare(sqlgen.SQL(
 		`SELECT MAX(%s) FROM %s WHERE doc = ? AND parent = ? AND %s < ?`, m.ord, m.tbl, m.ord))
 	if err != nil {
 		return 0, err
@@ -117,7 +116,7 @@ func (m *Manager) maxChildOrderBelow(doc, parent, below int64) (int64, error) {
 // shiftSiblings adds delta to the sibling order of every child of parent at
 // or after from, in descending order to respect the unique sibling index.
 func (m *Manager) shiftSiblings(doc, parent, from, delta int64) (int64, error) {
-	sel, err := m.prepare(fmt.Sprintf(
+	sel, err := m.prepare(sqlgen.SQL(
 		`SELECT id, %s FROM %s WHERE doc = ? AND parent = ? AND %s >= ? ORDER BY %s DESC`,
 		m.ord, m.tbl, m.ord, m.ord))
 	if err != nil {
@@ -127,7 +126,7 @@ func (m *Manager) shiftSiblings(doc, parent, from, delta int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	upd, err := m.prepare(fmt.Sprintf(
+	upd, err := m.prepare(sqlgen.SQL(
 		`UPDATE %s SET %s = ? WHERE doc = ? AND id = ?`, m.tbl, m.ord))
 	if err != nil {
 		return 0, err
@@ -143,12 +142,12 @@ func (m *Manager) shiftSiblings(doc, parent, from, delta int64) (int64, error) {
 // deleteLocal removes the subtree by walking children (the local encoding
 // has no subtree range).
 func (m *Manager) deleteLocal(doc int64, t node) (Stats, error) {
-	childSel, err := m.prepare(fmt.Sprintf(
+	childSel, err := m.prepare(sqlgen.SQL(
 		`SELECT id FROM %s WHERE doc = ? AND parent = ?`, m.tbl))
 	if err != nil {
 		return Stats{}, err
 	}
-	del, err := m.prepare(fmt.Sprintf(
+	del, err := m.prepare(sqlgen.SQL(
 		`DELETE FROM %s WHERE doc = ? AND id = ?`, m.tbl))
 	if err != nil {
 		return Stats{}, err

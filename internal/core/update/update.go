@@ -20,6 +20,7 @@ import (
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
 
@@ -88,15 +89,15 @@ func New(db *sqldb.DB, opts encoding.Options) (*Manager, error) {
 	m := &Manager{db: db, opts: opts, tbl: opts.NodesTable(), ord: opts.OrderColumn(),
 		stmts: map[string]*sqldb.Stmt{}}
 	var err error
-	if m.byID, err = db.Prepare(fmt.Sprintf(
+	if m.byID, err = db.Prepare(sqlgen.SQL(
 		`SELECT id, parent, kind, %s FROM %s WHERE doc = ? AND id = ?`, m.ord, m.tbl)); err != nil {
 		return nil, err
 	}
-	if m.maxID, err = db.Prepare(fmt.Sprintf(
+	if m.maxID, err = db.Prepare(sqlgen.SQL(
 		`SELECT MAX(id) FROM %s WHERE doc = ?`, m.tbl)); err != nil {
 		return nil, err
 	}
-	if m.insertNode, err = db.Prepare(fmt.Sprintf(
+	if m.insertNode, err = db.Prepare(sqlgen.SQL(
 		`INSERT INTO %s (doc, id, parent, kind, tag, value, %s) VALUES (?, ?, ?, ?, ?, ?, ?)`,
 		m.tbl, m.ord)); err != nil {
 		return nil, err
@@ -297,7 +298,7 @@ func (m *Manager) SetValue(doc, id int64, value string) error {
 	if t.kind == xmltree.Element {
 		return fmt.Errorf("node %d is an element; set the value of its text child", id)
 	}
-	upd, err := m.prepare(fmt.Sprintf(
+	upd, err := m.prepare(sqlgen.SQL(
 		`UPDATE %s SET value = ? WHERE doc = ? AND id = ?`, m.tbl))
 	if err != nil {
 		return err
@@ -315,7 +316,7 @@ func (m *Manager) Rename(doc, id int64, name string) error {
 	if t.kind == xmltree.Text {
 		return fmt.Errorf("node %d is a text node and has no name", id)
 	}
-	upd, err := m.prepare(fmt.Sprintf(
+	upd, err := m.prepare(sqlgen.SQL(
 		`UPDATE %s SET tag = ? WHERE doc = ? AND id = ?`, m.tbl))
 	if err != nil {
 		return err
