@@ -151,8 +151,10 @@ func (c *Checker) Document(doc int64) ([]string, error) {
 		c.checkGlobal(rows, report)
 	case encoding.Local:
 		c.checkLocal(rows, report)
-	default:
+	case encoding.Dewey:
 		c.checkDewey(rows, report)
+	default:
+		return nil, fmt.Errorf("check: unknown encoding kind %d", int(c.opts.Kind))
 	}
 	return problems, nil
 }

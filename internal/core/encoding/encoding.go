@@ -106,11 +106,13 @@ func (o Options) NodesTable() string {
 		return "xg_nodes"
 	case Local:
 		return "xl_nodes"
-	default:
+	case Dewey:
 		if o.DeweyAsText {
 			return "xs_nodes"
 		}
 		return "xd_nodes"
+	default:
+		panic(fmt.Sprintf("encoding: unknown kind %d", int(o.Kind)))
 	}
 }
 
@@ -121,8 +123,10 @@ func (o Options) OrderColumn() string {
 		return "gorder"
 	case Local:
 		return "lorder"
-	default:
+	case Dewey:
 		return "path"
+	default:
+		panic(fmt.Sprintf("encoding: unknown kind %d", int(o.Kind)))
 	}
 }
 

@@ -234,7 +234,7 @@ func (w *walker) insert(n *xmltree.Node, id, parentID int64, ordinal uint32, pat
 		orderKey = sqldb.I(w.gpos)
 	case encoding.Local:
 		orderKey = sqldb.I(int64(ordinal) * int64(w.s.opts.EffectiveGap()))
-	default:
+	case encoding.Dewey:
 		if w.s.opts.DeweyAsText {
 			orderKey = sqldb.S(path.PaddedString())
 		} else {
@@ -242,6 +242,8 @@ func (w *walker) insert(n *xmltree.Node, id, parentID int64, ordinal uint32, pat
 			w.pathBuf = path.AppendBytes(w.pathBuf)
 			orderKey = sqldb.B(w.pathBuf[off:len(w.pathBuf):len(w.pathBuf)])
 		}
+	default:
+		panic(fmt.Sprintf("shred: unknown encoding kind %d", int(w.s.opts.Kind)))
 	}
 	start := len(w.vals)
 	w.vals = append(w.vals,

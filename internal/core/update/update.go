@@ -186,8 +186,10 @@ func (m *Manager) InsertTree(doc, target int64, mode Mode, frag *xmltree.Node) (
 		stats, err = m.insertGlobal(doc, t, mode, frag)
 	case encoding.Local:
 		stats, err = m.insertLocal(doc, t, mode, frag)
-	default:
+	case encoding.Dewey:
 		stats, err = m.insertDewey(doc, t, mode, frag)
+	default:
+		return Stats{}, fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
 	}
 	if err != nil {
 		return stats, err
@@ -222,8 +224,10 @@ func (m *Manager) Delete(doc, id int64) (Stats, error) {
 		stats, err = m.deleteGlobal(doc, t)
 	case encoding.Local:
 		stats, err = m.deleteLocal(doc, t)
-	default:
+	case encoding.Dewey:
 		stats, err = m.deleteDewey(doc, t)
+	default:
+		return Stats{}, fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
 	}
 	if err != nil {
 		return stats, err
