@@ -283,8 +283,11 @@ func RunE7(itemsPerRegion, reps int) (Table, error) {
 		})
 		// Subtree: the namerica region.
 		hits, err := s.Query(id, "/site/regions/namerica")
-		if err != nil || len(hits) != 1 {
-			return t, fmt.Errorf("region lookup: %v, %v", hits, err)
+		if err != nil {
+			return t, fmt.Errorf("region lookup: %w", err)
+		}
+		if len(hits) != 1 {
+			return t, fmt.Errorf("region lookup: got %d hits, want 1", len(hits))
 		}
 		regionID := hits[0].ID
 		sub, err := s.Serialize(id, regionID)
