@@ -58,6 +58,8 @@ const helpText = `commands:
   rename <id> <name>                rename an element/attribute
   serialize [id]                    print the document (or subtree) as XML
   check                             verify the document's storage invariants
+  \check                            deep store-wide integrity check (all
+                                    documents, heap pages, B+tree indexes)
   stats                             storage and work-counter summary
   \explain <select ...>             show the SQL engine's physical plan
   \analyze <select ...>             run with EXPLAIN ANALYZE instrumentation
@@ -368,6 +370,15 @@ func (sh *shell) Execute(line string) (string, error) {
 		}
 		if len(problems) == 0 {
 			return "consistent", nil
+		}
+		return strings.Join(problems, "\n"), nil
+	case `\check`:
+		problems, err := sh.store.CheckIntegrity()
+		if err != nil {
+			return "", err
+		}
+		if len(problems) == 0 {
+			return "store consistent (all documents, heaps and indexes)", nil
 		}
 		return strings.Join(problems, "\n"), nil
 	case "serialize":

@@ -206,7 +206,9 @@ func TestRandomSessions(t *testing.T) {
 			if got != want {
 				t.Fatalf("seed %d %s: final document diverged", seed, s.name)
 			}
-			problems, err := s.store.Check(s.doc)
+			// Deep check: logical per-document invariants plus heap-page and
+			// B+tree structural invariants and index/heap agreement.
+			problems, err := s.store.CheckIntegrity()
 			if err != nil {
 				t.Fatal(err)
 			}

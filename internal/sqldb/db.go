@@ -51,6 +51,16 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 // Counters returns a snapshot of the engine work counters.
 func (db *DB) Counters() catalog.Snapshot { return db.cat.Counters.Snapshot() }
 
+// CheckIntegrity validates the physical invariants of every table in the
+// database — heap page structure, B+tree structure, and index/heap agreement
+// — and returns a description of each violation (nil for a healthy
+// database). It takes the database read lock for its full duration.
+func (db *DB) CheckIntegrity() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Validate()
+}
+
 // Exec runs a statement that returns no rows (DDL or DML) and reports the
 // number of rows affected (0 for DDL). DML plans are cached by SQL text, so
 // repeated Exec calls skip parse and plan entirely.

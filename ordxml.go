@@ -562,3 +562,16 @@ func (s *Store) Check(doc DocID) ([]string, error) {
 	}
 	return c.Document(doc)
 }
+
+// CheckIntegrity is the deep, store-wide integrity check. It validates the
+// physical storage invariants of every table — heap page structure, B+tree
+// key order, fill and balance, leaf chaining, and index/heap agreement —
+// then runs Check's logical document invariants for every stored document,
+// and sweeps for orphan node rows missing from the document registry. It
+// returns the list of violations; an empty list means the store is fully
+// consistent. Expect a full read of every table and index: this is a
+// diagnostic for tests, the shell's \check command, and post-crash triage,
+// not a hot path.
+func (s *Store) CheckIntegrity() ([]string, error) {
+	return check.Verify(s.db, s.opts)
+}
