@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: build test race lint check fuzz-smoke bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs go vet plus the project's own analyzers (encoding-dispatch
+# exhaustiveness, raw-SQL construction, span lifetime, error wrapping).
+# staticcheck runs too when it is on PATH; it is optional locally.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ordlint ./...
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
+
+# check runs the analyzer self-tests (each analyzer against its testdata).
+check:
+	$(GO) test ./internal/lint/...
+
+fuzz-smoke:
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/sqldb/sqlparse/
+	$(GO) test -fuzz FuzzFromBytes -fuzztime 10s ./internal/core/dewey/
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/core/xpath/
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/xmltree/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
