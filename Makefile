@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check fuzz-smoke bench
+.PHONY: build test race lint check fuzz-smoke bench torture
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,9 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# torture runs the crash-recovery harness with a longer session than the
+# default `go test` smoke: a child process is killed at every registered
+# failpoint and the store must recover to an acknowledged prefix.
+torture:
+	ORDXML_TORTURE_OPS=120 $(GO) test -run '^TestCrashTorture$$' -count=1 -v .

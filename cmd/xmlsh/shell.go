@@ -25,11 +25,16 @@ type shell struct {
 	doc   ordxml.DocID
 }
 
-// setStore swaps the active store (open/restore).
+// setStore swaps the active store (open/opendur/restore), releasing the
+// previous store's write-ahead log if it was durable.
 func (sh *shell) setStore(st *ordxml.Store) {
 	sh.mu.Lock()
+	old := sh.store
 	sh.store = st
 	sh.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
 }
 
 // currentStore returns the active store for concurrent readers (the debug
@@ -43,6 +48,8 @@ func (sh *shell) currentStore() *ordxml.Store {
 // helpText lists every command.
 const helpText = `commands:
   open <global|local|dewey> [gap]   start a fresh store
+  opendur <dir> [enc] [gap]         open a durable store (write-ahead logged,
+                                    crash-recovered from <dir>)
   load <file> [name]                load an XML file as the current document
   loadstr <xml>                     load inline XML
   docs                              list documents (switch with: use <id>)
@@ -63,7 +70,9 @@ const helpText = `commands:
   stats                             storage and work-counter summary
   \explain <select ...>             show the SQL engine's physical plan
   \analyze <select ...>             run with EXPLAIN ANALYZE instrumentation
-  \stats                            engine metrics (counters, latency histograms)
+  \stats                            engine metrics (counters, latency histograms;
+                                    includes WAL activity for durable stores)
+  \checkpoint                       snapshot a durable store and rotate its log
   \slow                             slow-query log
   trace <xpath>                     run a query; prints per-stage timings
   save <path>                       write a snapshot file
@@ -110,6 +119,38 @@ func (sh *shell) Execute(line string) (string, error) {
 		sh.setStore(store)
 		sh.doc = 0
 		return fmt.Sprintf("opened empty %s store", enc), nil
+	case "opendur":
+		if len(args) < 1 {
+			return "", fmt.Errorf("usage: opendur <dir> [global|local|dewey] [gap]")
+		}
+		enc := ordxml.Dewey
+		var err error
+		if len(args) > 1 {
+			if enc, err = ordxml.ParseEncoding(args[1]); err != nil {
+				return "", err
+			}
+		}
+		var gap uint64
+		if len(args) > 2 {
+			if gap, err = strconv.ParseUint(args[2], 10, 32); err != nil {
+				return "", fmt.Errorf("bad gap %q", args[2])
+			}
+		}
+		store, err := ordxml.OpenDurable(args[0], ordxml.Options{Encoding: enc, Gap: uint32(gap)})
+		if err != nil {
+			return "", err
+		}
+		sh.setStore(store)
+		sh.doc = 0
+		docs, err := store.Documents()
+		if err != nil {
+			return "", err
+		}
+		if len(docs) > 0 {
+			sh.doc = docs[0].ID
+		}
+		return fmt.Sprintf("opened durable %s store in %s (%d document(s) recovered)",
+			store.Encoding(), args[0], len(docs)), nil
 	case "restore":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: restore <path>")
@@ -214,7 +255,18 @@ func (sh *shell) Execute(line string) (string, error) {
 		}
 		return strings.TrimRight(text, "\n"), nil
 	case `\stats`:
-		return renderMetrics(sh.store.Metrics()), nil
+		out := renderMetrics(sh.store.Metrics())
+		if w, ok := sh.store.WALStats(); ok {
+			out = fmt.Sprintf("wal: %d records (%d bytes), %d fsyncs, %d rotations, last LSN %d, durable LSN %d, %d bytes on disk\n%s",
+				w.Records, w.Bytes, w.Fsyncs, w.Rotations, w.LastLSN, w.DurableLSN, w.SizeBytes, out)
+		}
+		return out, nil
+	case `\checkpoint`:
+		if err := sh.store.Checkpoint(); err != nil {
+			return "", err
+		}
+		w, _ := sh.store.WALStats()
+		return fmt.Sprintf("checkpoint complete (snapshot written, log rotated after LSN %d)", w.LastLSN), nil
 	case `\slow`:
 		slow := sh.store.SlowQueries()
 		if len(slow) == 0 {

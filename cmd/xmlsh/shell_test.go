@@ -149,3 +149,32 @@ func TestShellLoadFile(t *testing.T) {
 		t.Errorf("check = %q", out)
 	}
 }
+
+func TestShellDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	sh := &shell{}
+	run(t, sh, "opendur "+dir+" dewey")
+	run(t, sh, "loadstr <a><b>x</b></a>")
+	if out := run(t, sh, `\stats`); !strings.Contains(out, "wal: 1 records") ||
+		!strings.Contains(out, "last LSN 1") {
+		t.Errorf("\\stats lacks WAL summary: %q", out)
+	}
+	if out := run(t, sh, `\checkpoint`); !strings.Contains(out, "log rotated after LSN 1") {
+		t.Errorf("\\checkpoint = %q", out)
+	}
+	run(t, sh, "insert 2 after <c>y</c>")
+
+	// A fresh shell recovers the snapshot plus the post-checkpoint insert.
+	sh2 := &shell{}
+	if out := run(t, sh2, "opendur "+dir); !strings.Contains(out, "1 document(s) recovered") {
+		t.Errorf("opendur = %q", out)
+	}
+	if out := run(t, sh2, "serialize"); out != "<a><b>x</b><c>y</c></a>" {
+		t.Errorf("recovered doc = %q", out)
+	}
+	mustFail(t, sh2, "opendur")
+	// Memory stores refuse \checkpoint.
+	sh3 := &shell{}
+	run(t, sh3, "open global")
+	mustFail(t, sh3, `\checkpoint`)
+}

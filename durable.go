@@ -1,0 +1,400 @@
+package ordxml
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ordxml/internal/core/update"
+	"ordxml/internal/failpoint"
+	"ordxml/internal/obs"
+	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/wal"
+)
+
+// This file implements the durability subsystem: a durable store pairs the
+// in-memory engine with a write-ahead log of logical mutations and an
+// atomically-replaced snapshot file, in one directory:
+//
+//	<dir>/snapshot.db   last checkpoint (absent until the first Checkpoint)
+//	<dir>/wal.log       logical mutations since that checkpoint
+//
+// Every mutating Store entry point follows append-then-apply: the operation
+// is encoded as a WAL record and fsynced *before* it touches the engine, so
+// an operation that returned success is durable. Recovery = load the last
+// snapshot, replay every WAL record past the snapshot's LSN (recorded in
+// store_meta), truncate a torn tail, and finish with a deep integrity check.
+// Replay is deterministic because every record captures the operation's
+// logical inputs (names, node ids, XML text) and the engine's id and
+// order-key allocation is a pure function of store state.
+//
+// Checkpoint shrinks the log: snapshot to a temp file, fsync, rename over
+// snapshot.db, fsync the directory, then rotate the WAL. A crash between
+// rename and rotation is benign — replay skips records at or below the
+// snapshot's LSN.
+
+// WAL record kinds, one per logical mutation the public API can perform.
+const (
+	recLoad     byte = 1 // name, xml
+	recInsert   byte = 2 // doc, target, mode, fragment
+	recDelete   byte = 3 // doc, id
+	recSetValue byte = 4 // doc, id, value
+	recRename   byte = 5 // doc, id, name
+	recMove     byte = 6 // doc, id, target, mode
+	recDrop     byte = 7 // doc
+	recExec     byte = 8 // sql, row-encoded params
+)
+
+// Checkpoint failpoints (the WAL package registers its own for the
+// append/sync/rotate/replay paths).
+var (
+	fpCkptBeforeSnapshot = failpoint.New("checkpoint.before-snapshot")
+	fpCkptBeforeRename   = failpoint.New("checkpoint.before-rename")
+	fpCkptAfterRename    = failpoint.New("checkpoint.after-rename")
+)
+
+// Durable-store file names inside the store directory.
+const (
+	snapshotFile = "snapshot.db"
+	walFile      = "wal.log"
+)
+
+// durState is the durable half of a Store; nil for memory-only stores.
+type durState struct {
+	dir string
+	log *wal.Log
+	// mu serializes logged mutations and checkpoints so the WAL's record
+	// order always equals the apply order (replay correctness depends on it).
+	mu sync.Mutex
+
+	checkpoints *obs.Counter
+	ckptLat     *obs.Histogram
+	opErrors    *obs.Counter
+}
+
+// WALStats summarizes a durable store's log activity.
+type WALStats struct {
+	// Records and Bytes count WAL appends (framed bytes) since open.
+	Records int64
+	Bytes   int64
+	// Fsyncs counts log fsyncs (group commit can acknowledge several
+	// records per fsync).
+	Fsyncs int64
+	// Rotations counts completed checkpoint log rotations.
+	Rotations int64
+	// LastLSN is the highest assigned sequence number; DurableLSN the
+	// highest one fsynced.
+	LastLSN    uint64
+	DurableLSN uint64
+	// SizeBytes is the current log file size.
+	SizeBytes int64
+}
+
+// Durable reports whether the store was opened with OpenDurable.
+func (s *Store) Durable() bool { return s.dur != nil }
+
+// WALStats returns the write-ahead log's activity summary; ok is false for
+// memory-only stores.
+func (s *Store) WALStats() (st WALStats, ok bool) {
+	if s.dur == nil {
+		return WALStats{}, false
+	}
+	w := s.dur.log.Stats()
+	return WALStats{
+		Records:    w.Appends,
+		Bytes:      w.AppendedBytes,
+		Fsyncs:     w.Fsyncs,
+		Rotations:  w.Rotations,
+		LastLSN:    w.LastLSN,
+		DurableLSN: w.DurableLSN,
+		SizeBytes:  w.SizeBytes,
+	}, true
+}
+
+// OpenDurable opens (or creates) a durable store in dir. When dir holds an
+// earlier store, recovery runs: the last snapshot is loaded, the write-ahead
+// log is replayed past it (a torn final record is truncated away), and the
+// recovered store must pass the deep integrity check; opts are ignored in
+// that case — the snapshot's own encoding options win. When dir is fresh,
+// an empty store with opts is created.
+//
+// Close the store to release the log file; call Checkpoint periodically to
+// bound the log and recovery time.
+func OpenDurable(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("open durable store: %w", err)
+	}
+	snapPath := filepath.Join(dir, snapshotFile)
+	var s *Store
+	var snapLSN uint64
+	switch _, err := os.Stat(snapPath); {
+	case err == nil:
+		if s, err = OpenFile(snapPath); err != nil {
+			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
+		}
+		if snapLSN, err = readWALLSN(s.db); err != nil {
+			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		if s, err = Open(opts); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("open durable store %s: %w", dir, err)
+	}
+
+	lg, err := wal.Open(filepath.Join(dir, walFile), s.db.Registry())
+	if err != nil {
+		return nil, err
+	}
+	opErrors := s.db.Registry().Counter("wal.replay.op_errors")
+	if err := lg.Replay(snapLSN, func(rec wal.Record) error {
+		return s.applyRecord(rec, opErrors)
+	}); err != nil {
+		lg.Close()
+		return nil, fmt.Errorf("replay %s: %w", filepath.Join(dir, walFile), err)
+	}
+	lg.EnsureNextLSN(snapLSN + 1)
+
+	// Recovery ends with the deep integrity check: a store rebuilt from
+	// snapshot + log must be indistinguishable from one that never crashed.
+	problems, err := s.CheckIntegrity()
+	if err != nil {
+		lg.Close()
+		return nil, fmt.Errorf("post-recovery integrity check: %w", err)
+	}
+	if len(problems) > 0 {
+		lg.Close()
+		return nil, fmt.Errorf("post-recovery integrity check found %d violation(s): %s",
+			len(problems), strings.Join(problems, "; "))
+	}
+
+	reg := s.db.Registry()
+	s.dur = &durState{
+		dir:         dir,
+		log:         lg,
+		checkpoints: reg.Counter("wal.checkpoints"),
+		ckptLat:     reg.Histogram("wal.checkpoint.latency"),
+		opErrors:    opErrors,
+	}
+	return s, nil
+}
+
+// Close syncs and releases the write-ahead log. Memory-only stores have
+// nothing to release; Close is a no-op for them.
+func (s *Store) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.mu.Lock()
+	defer s.dur.mu.Unlock()
+	return s.dur.log.Close()
+}
+
+// Checkpoint writes an atomic snapshot of the store and rotates the
+// write-ahead log, bounding recovery to the log written after this call.
+// The snapshot records the log's high-water LSN so replay after a crash —
+// even one landing between the snapshot rename and the log rotation — never
+// re-applies an operation the snapshot already contains.
+func (s *Store) Checkpoint() error {
+	if s.dur == nil {
+		return fmt.Errorf("store is not durable (open it with OpenDurable)")
+	}
+	s.dur.mu.Lock()
+	defer s.dur.mu.Unlock()
+	start := time.Now()
+	if err := s.writeWALLSN(s.dur.log.LastLSN()); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fpCkptBeforeSnapshot.Hit(); err != nil {
+		return err
+	}
+	snapPath := filepath.Join(s.dur.dir, snapshotFile)
+	tmp, err := writeSnapshotTemp(s, snapPath)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fpCkptBeforeRename.Hit(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := wal.SyncDir(s.dur.dir); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fpCkptAfterRename.Hit(); err != nil {
+		return err
+	}
+	if err := s.dur.log.Rotate(); err != nil {
+		return fmt.Errorf("checkpoint: rotate log: %w", err)
+	}
+	s.dur.checkpoints.Inc()
+	s.dur.ckptLat.Observe(time.Since(start))
+	return nil
+}
+
+// writeSnapshotTemp writes a snapshot to a temp file next to path and
+// returns the temp name; the file is synced and closed, ready to rename.
+func writeSnapshotTemp(s *Store, path string) (string, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := s.Save(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return tmp, nil
+}
+
+// writeWALLSN upserts the log high-water mark into store_meta so snapshots
+// are self-describing about how much of the log they contain. The write is
+// deliberately not WAL-logged: it is checkpoint metadata, not a mutation.
+func (s *Store) writeWALLSN(lsn uint64) error {
+	v := strconv.FormatUint(lsn, 10)
+	n, err := s.db.Exec(`UPDATE store_meta SET v = ? WHERE k = ?`, sqldb.S(v), sqldb.S("wal_lsn"))
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		_, err = s.db.Exec(`INSERT INTO store_meta VALUES (?, ?)`, sqldb.S("wal_lsn"), sqldb.S(v))
+	}
+	return err
+}
+
+// readWALLSN reads the snapshot's log high-water mark (0 when the snapshot
+// predates any checkpoint or the key is absent).
+func readWALLSN(db *sqldb.DB) (uint64, error) {
+	res, err := db.Query(`SELECT v FROM store_meta WHERE k = ?`, sqldb.S("wal_lsn"))
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	lsn, err := strconv.ParseUint(res.Rows[0][0].Text(), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot meta wal_lsn: %w", err)
+	}
+	return lsn, nil
+}
+
+// logOp appends one operation record and makes it durable before the caller
+// applies it. For a durable store it returns with the operation mutex held
+// and hands back the release; callers run the apply under that lock so WAL
+// order equals apply order. For memory-only stores it is free.
+func (s *Store) logOp(kind byte, encode func(*wal.BodyWriter)) (unlock func(), err error) {
+	if s.dur == nil {
+		return func() {}, nil
+	}
+	s.dur.mu.Lock()
+	var w wal.BodyWriter
+	encode(&w)
+	if _, err := s.dur.log.AppendSync(kind, w.Finish()); err != nil {
+		s.dur.mu.Unlock()
+		return nil, fmt.Errorf("write-ahead log: %w", err)
+	}
+	return s.dur.mu.Unlock, nil
+}
+
+// applyRecord re-applies one replayed WAL record. Decode failures abort
+// recovery (the record passed its CRC, so a decode failure means a format
+// bug, not disk corruption). Apply failures are counted and skipped: the
+// live system logged the operation before discovering it was invalid, and
+// replaying the same failure on the same state is the correct outcome.
+func (s *Store) applyRecord(rec wal.Record, opErrors *obs.Counter) error {
+	r := wal.NewBodyReader(rec.Body)
+	var err error
+	switch rec.Kind {
+	case recLoad:
+		name, xml := r.String(), r.Bytes()
+		if r.Err() == nil {
+			_, err = s.applyLoad(name, xml)
+		}
+	case recInsert:
+		doc, target, mode, frag := r.Int(), r.Int(), r.String(), r.String()
+		if r.Err() == nil {
+			var m update.Mode
+			if m, err = update.ParseMode(mode); err != nil {
+				return fmt.Errorf("wal record lsn=%d: %w", rec.LSN, err)
+			}
+			_, err = s.manager.InsertXML(doc, target, m, frag)
+		}
+	case recDelete:
+		doc, id := r.Int(), r.Int()
+		if r.Err() == nil {
+			_, err = s.manager.Delete(doc, id)
+		}
+	case recSetValue:
+		doc, id, value := r.Int(), r.Int(), r.String()
+		if r.Err() == nil {
+			err = s.manager.SetValue(doc, id, value)
+		}
+	case recRename:
+		doc, id, name := r.Int(), r.Int(), r.String()
+		if r.Err() == nil {
+			err = s.manager.Rename(doc, id, name)
+		}
+	case recMove:
+		doc, id, target, mode := r.Int(), r.Int(), r.Int(), r.String()
+		if r.Err() == nil {
+			var m update.Mode
+			if m, err = update.ParseMode(mode); err != nil {
+				return fmt.Errorf("wal record lsn=%d: %w", rec.LSN, err)
+			}
+			_, err = s.moveTree(doc, id, target, m)
+		}
+	case recDrop:
+		doc := r.Int()
+		if r.Err() == nil {
+			err = s.shredder.DropDocument(doc)
+		}
+	case recExec:
+		sql, rowBytes := r.String(), r.Bytes()
+		if r.Err() == nil {
+			var params sqltypes.Row
+			if params, err = sqltypes.DecodeRow(rowBytes); err != nil {
+				return fmt.Errorf("wal record lsn=%d: decode params: %w", rec.LSN, err)
+			}
+			_, err = s.db.Exec(sql, params...)
+		}
+	default:
+		return fmt.Errorf("wal record lsn=%d: unknown kind %d (log written by a newer version?)", rec.LSN, rec.Kind)
+	}
+	if derr := r.Err(); derr != nil {
+		return fmt.Errorf("wal record lsn=%d kind=%d: %w", rec.LSN, rec.Kind, derr)
+	}
+	if err != nil {
+		opErrors.Inc()
+	}
+	return nil
+}
+
+// applyLoad shreds logged XML bytes; shared by the durable Load wrapper and
+// replay so both paths allocate ids identically.
+func (s *Store) applyLoad(name string, xml []byte) (DocID, error) {
+	return s.shredder.Load(name, bytes.NewReader(xml))
+}

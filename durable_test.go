@@ -1,0 +1,453 @@
+package ordxml
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ordxml/internal/failpoint"
+)
+
+// openDur opens a durable Dewey store in dir, failing the test on error.
+func openDur(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := OpenDurable(dir, Options{Encoding: Dewey})
+	if err != nil {
+		t.Fatalf("OpenDurable: %v", err)
+	}
+	return s
+}
+
+// fingerprint serializes every stored document into one comparable string.
+func fingerprint(t *testing.T, s *Store) string {
+	t.Helper()
+	docs, err := s.Documents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, d := range docs {
+		xml, err := s.SerializeDocument(d.ID)
+		if err != nil {
+			t.Fatalf("serialize doc %d: %v", d.ID, err)
+		}
+		fmt.Fprintf(&sb, "%d:%s:%s\n", d.ID, d.Name, xml)
+	}
+	return sb.String()
+}
+
+// mustIntact fails the test when the store has integrity violations.
+func mustIntact(t *testing.T, s *Store) {
+	t.Helper()
+	problems, err := s.CheckIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) > 0 {
+		t.Fatalf("integrity violations: %v", problems)
+	}
+}
+
+func TestOpenDurableFreshEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	if !s.Durable() {
+		t.Fatal("store not durable")
+	}
+	if st, ok := s.WALStats(); !ok || st.LastLSN != 0 {
+		t.Fatalf("fresh WAL stats = %+v, %v", st, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with an empty WAL and no snapshot.
+	s = openDur(t, dir)
+	defer s.Close()
+	docs, err := s.Documents()
+	if err != nil || len(docs) != 0 {
+		t.Fatalf("documents = %v, %v", docs, err)
+	}
+}
+
+func TestDurableRecoversWithoutCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.Query(doc, "/PLAY/ACT[1]/SCENE[1]/SPEECH[1]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if _, err := s.Insert(doc, hits[0].ID, After, "<SPEECH><SPEAKER>GHOST</SPEAKER></SPEECH>"); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, s)
+	st, _ := s.WALStats()
+	if st.Records != 2 || st.DurableLSN != 2 {
+		t.Fatalf("WAL stats = %+v", st)
+	}
+	s.Close()
+
+	// No checkpoint ever ran: recovery replays the whole log into an empty
+	// store.
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	mustIntact(t, s)
+}
+
+func TestDurableReplayEveryMutationKind(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := s.LoadString("scratch", "<R><A/></R>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert.
+	hits, err := s.Query(doc, "/PLAY/ACT[2]/SCENE[1]/SPEECH[1]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	speech := hits[0].ID
+	if _, err := s.Insert(doc, speech, Before, "<SPEECH><SPEAKER>YORICK</SPEAKER><LINE>alas</LINE></SPEECH>"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete.
+	hits, err = s.Query(doc, "/PLAY/ACT[1]/SCENE[1]/SPEECH[2]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if _, err := s.Delete(doc, hits[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	// SetValue and Rename.
+	hits, err = s.Query(doc, "/PLAY/TITLE/text()")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if err := s.SetValue(doc, hits[0].ID, "The Tragedy of Hamlet"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = s.Query(doc, "/PLAY/TITLE")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if err := s.Rename(doc, hits[0].ID, "HEADLINE"); err != nil {
+		t.Fatal(err)
+	}
+	// Move.
+	hits, err = s.Query(doc, "/PLAY/ACT[2]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	act2 := hits[0].ID
+	hits, err = s.Query(doc, "/PLAY/ACT[1]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if _, err := s.Move(doc, act2, hits[0].ID, Before); err != nil {
+		t.Fatal(err)
+	}
+	// Raw DML through the logged escape hatch.
+	if n, err := s.Exec(`INSERT INTO store_meta VALUES (?, ?)`, "test_marker", "survived"); err != nil || n != 1 {
+		t.Fatalf("exec: n=%d err=%v", n, err)
+	}
+	// Drop.
+	if err := s.Drop(scratch); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, s)
+	s.Close()
+
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	rows, err := s.SQL(`SELECT v FROM store_meta WHERE k = ?`, "test_marker")
+	if err != nil || len(rows.Values) != 1 || rows.Values[0][0] != "survived" {
+		t.Fatalf("exec record not replayed: %v, %v", rows, err)
+	}
+	mustIntact(t, s)
+}
+
+func TestDurableCheckpointBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.Query(doc, "/PLAY/ACT[1]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	if _, err := s.Insert(doc, hits[0].ID, LastChild, "<EPILOGUE/>"); err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, s)
+	st, _ := s.WALStats()
+	if st.Rotations != 1 {
+		t.Fatalf("rotations = %d", st.Rotations)
+	}
+	s.Close()
+
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	// Only the post-checkpoint insert replays, not the load.
+	if replayed := s.Metrics().Counters["wal.replay.records"]; replayed != 1 {
+		t.Fatalf("replayed %d records, want 1", replayed)
+	}
+	// LSNs continue past the checkpoint after recovery.
+	if _, err := s.Insert(doc, 1, LastChild, "<CODA/>"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.WALStats(); st.LastLSN != 3 {
+		t.Fatalf("post-recovery LSN = %d, want 3", st.LastLSN)
+	}
+	mustIntact(t, s)
+}
+
+func TestDurableTornTailDropsLastOp(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.Query(doc, "/PLAY/ACT[1]")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("query: %v, %v", hits, err)
+	}
+	want := fingerprint(t, s)
+	if _, err := s.Insert(doc, hits[0].ID, LastChild, "<LOST/>"); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Chop one byte off the log: the final record becomes a torn tail, as
+	// if the crash landed mid-write before the insert was acknowledged.
+	walPath := filepath.Join(dir, "wal.log")
+	st, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, st.Size()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	mustIntact(t, s)
+}
+
+func TestDurableInterruptedCheckpoint(t *testing.T) {
+	// An error injected at any checkpoint stage must leave a store that
+	// closes and recovers to exactly the pre-checkpoint state.
+	for _, fp := range []string{
+		"checkpoint.before-snapshot",
+		"checkpoint.before-rename",
+		"checkpoint.after-rename",
+		"wal.rotate.before",
+		"wal.rotate.before-rename",
+	} {
+		t.Run(fp, func(t *testing.T) {
+			failpoint.Reset()
+			t.Cleanup(failpoint.Reset)
+			dir := t.TempDir()
+			s := openDur(t, dir)
+			doc, err := s.LoadString("hamlet", testDoc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetValue(doc, 3, "renamed play"); err != nil {
+				t.Fatal(err)
+			}
+			want := fingerprint(t, s)
+			if err := failpoint.Arm(fp, failpoint.Error, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Checkpoint(); !errors.Is(err, failpoint.ErrInjected) {
+				t.Fatalf("checkpoint error = %v, want injected", err)
+			}
+			s.Close()
+
+			s = openDur(t, dir)
+			defer s.Close()
+			if got := fingerprint(t, s); got != want {
+				t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+			}
+			mustIntact(t, s)
+			// The store must still checkpoint cleanly afterwards.
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after recovery: %v", err)
+			}
+		})
+	}
+}
+
+func TestDurableFailedOpReplaysAsFailure(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The operation is logged before the engine discovers it is invalid;
+	// replay must re-fail it identically instead of aborting recovery.
+	if _, err := s.Insert(doc, 99999, LastChild, "<X/>"); err == nil {
+		t.Fatal("insert at a bogus target succeeded")
+	}
+	want := fingerprint(t, s)
+	s.Close()
+
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	if n := s.Metrics().Counters["wal.replay.op_errors"]; n != 1 {
+		t.Fatalf("replay op errors = %d, want 1", n)
+	}
+	mustIntact(t, s)
+}
+
+func TestDurableWALFailureRefusesMutations(t *testing.T) {
+	failpoint.Reset()
+	t.Cleanup(failpoint.Reset)
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	defer s.Close()
+	doc, err := s.LoadString("hamlet", testDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Arm("wal.sync.before-fsync", failpoint.Error, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetValue(doc, 3, "doomed"); !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// The log is fail-stop: every further mutation is refused, reads work.
+	if err := s.SetValue(doc, 3, "refused"); err == nil {
+		t.Fatal("mutation accepted after WAL failure")
+	}
+	if _, err := s.Query(doc, "/PLAY/TITLE"); err != nil {
+		t.Fatalf("read after WAL failure: %v", err)
+	}
+}
+
+func TestDurableConcurrentMutations(t *testing.T) {
+	dir := t.TempDir()
+	s := openDur(t, dir)
+	const writers, per = 4, 8
+	docs := make([]DocID, writers)
+	for i := range docs {
+		var err error
+		if docs[i], err = s.LoadString(fmt.Sprintf("doc-%d", i), "<R><A>seed</A></R>"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			doc := docs[w]
+			hits, err := s.Query(doc, "/R/A")
+			if err != nil || len(hits) != 1 {
+				errs <- fmt.Errorf("writer %d: query: %v, %v", w, hits, err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				if _, err := s.Insert(doc, hits[0].ID, After, fmt.Sprintf("<B n=%q/>", fmt.Sprint(i))); err != nil {
+					errs <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := fingerprint(t, s)
+	st, _ := s.WALStats()
+	if wantRecs := int64(writers*per + writers); st.Records != wantRecs || st.DurableLSN != uint64(wantRecs) {
+		t.Fatalf("WAL stats = %+v, want %d records", st, wantRecs)
+	}
+	s.Close()
+
+	s = openDur(t, dir)
+	defer s.Close()
+	if got := fingerprint(t, s); got != want {
+		t.Fatalf("recovered state differs:\n got %q\nwant %q", got, want)
+	}
+	mustIntact(t, s)
+}
+
+func TestMemoryStoreHasNoDurability(t *testing.T) {
+	s, err := Open(Options{Encoding: Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable() {
+		t.Fatal("memory store claims durability")
+	}
+	if _, ok := s.WALStats(); ok {
+		t.Fatal("memory store has WAL stats")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a memory store should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close on a memory store: %v", err)
+	}
+}
+
+func TestDurableReopenKeepsEncodingOptions(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDurable(dir, Options{Encoding: Local, Gap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadString("d", "<R/>"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Mismatched opts on reopen are ignored: the snapshot's encoding wins.
+	s, err = OpenDurable(dir, Options{Encoding: Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Encoding() != Local {
+		t.Fatalf("encoding after reopen = %v, want Local", s.Encoding())
+	}
+}

@@ -44,6 +44,17 @@ func (m Mode) String() string {
 	return [...]string{"first-child", "last-child", "before", "after"}[m]
 }
 
+// ParseMode reads a mode name as spelled by String. The WAL records insert
+// positions by name, so the two must stay inverse.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range []Mode{FirstChild, LastChild, Before, After} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("update: unknown insert mode %q", s)
+}
+
 // Stats reports the work an update performed.
 type Stats struct {
 	// RowsInserted is the size of the inserted subtree (0 for deletes).

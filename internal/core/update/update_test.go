@@ -458,3 +458,17 @@ func TestSetValueAndRename(t *testing.T) {
 		}
 	}
 }
+
+func TestParseMode(t *testing.T) {
+	for _, m := range []Mode{FirstChild, LastChild, Before, After} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "first", "FIRST-CHILD", "sibling"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) accepted", bad)
+		}
+	}
+}

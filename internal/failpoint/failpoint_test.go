@@ -1,0 +1,107 @@
+package failpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+var fpTest = New("test.point")
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	Reset()
+	for i := 0; i < 3; i++ {
+		if err := fpTest.Hit(); err != nil {
+			t.Fatalf("disarmed hit %d returned %v", i, err)
+		}
+	}
+}
+
+func TestErrorModeTriggersOnNthHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("test.point", Error, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := fpTest.Hit(); err != nil {
+			t.Fatalf("hit %d triggered early: %v", i, err)
+		}
+	}
+	err := fpTest.Hit()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("hit 3: want ErrInjected, got %v", err)
+	}
+	// Error mode disarms after triggering.
+	if err := fpTest.Hit(); err != nil {
+		t.Fatalf("hit after trigger should be nil, got %v", err)
+	}
+	if got := fpTest.Hits(); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+}
+
+func TestArmUnknownName(t *testing.T) {
+	if err := Arm("no.such.point", Error, 1); err == nil {
+		t.Fatal("arming an unregistered failpoint should fail")
+	}
+	if err := Disarm("no.such.point"); err == nil {
+		t.Fatal("disarming an unregistered failpoint should fail")
+	}
+}
+
+func TestNamesIncludesRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "test.point" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing test.point", Names())
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("a.b=crash, c.d=error@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := specs["a.b"]; s.Mode != Crash || s.After != 1 {
+		t.Fatalf("a.b = %+v", s)
+	}
+	if s := specs["c.d"]; s.Mode != Error || s.After != 5 {
+		t.Fatalf("c.d = %+v", s)
+	}
+	for _, bad := range []string{"nomode", "x=explode", "x=crash@0", "x=crash@z"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("spec %q should not parse", bad)
+		}
+	}
+	if specs, err := ParseSpecs(""); err != nil || len(specs) != 0 {
+		t.Fatalf("empty spec: %v %v", specs, err)
+	}
+}
+
+func TestArmOffDisarms(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("test.point", Error, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm("test.point", Off, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fpTest.Hit(); err != nil {
+		t.Fatalf("hit after disarm: %v", err)
+	}
+}
+
+func BenchmarkDisarmedHit(b *testing.B) {
+	Reset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fpTest.Hit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

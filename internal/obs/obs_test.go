@@ -166,3 +166,31 @@ func TestTraceStages(t *testing.T) {
 		t.Fatalf("total = %v", tr.Total())
 	}
 }
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3) // never lowers
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("gauge = %d, want 9", got)
+	}
+	// Concurrent high-water marking converges on the maximum.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int64(0); v <= 1000; v++ {
+				g.SetMax(v*8 + int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8007 {
+		t.Fatalf("gauge = %d, want 8007", got)
+	}
+}

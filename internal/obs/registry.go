@@ -47,6 +47,18 @@ func (g *Gauge) Set(v int64) { g.v.Store(v) }
 // Add adjusts the gauge by d.
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
+// SetMax raises the gauge to v if v is larger than the current value —
+// a lock-free high-water mark (e.g. the WAL's last assigned LSN under
+// concurrent appenders).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		old := g.v.Load()
+		if v <= old || g.v.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 
 	"ordxml/internal/sqldb/catalog"
@@ -14,15 +16,20 @@ import (
 // Snapshot persistence: Dump streams the whole database — schemas, rows
 // and index definitions — in a compact binary format; Load reads it back,
 // rebuilding indexes. The format is a snapshot, not a log: it captures a
-// point-in-time state (the engine has no WAL; see the package comment).
+// point-in-time state (the WAL in internal/wal logs the mutations between
+// snapshots; see ordxml.OpenDurable).
 //
 // Layout: magic, version, table count, then per table: name, columns,
 // row count, row payloads (sqltypes row codec), then per table its index
-// definitions. All strings and blobs are uvarint-length-prefixed.
+// definitions. All strings and blobs are uvarint-length-prefixed. Version 2
+// appends a checksum trailer — trailer magic plus the CRC32 (IEEE) of every
+// body byte before it — so Load detects truncated or corrupt snapshots
+// instead of misreading them. Version-1 snapshots (no trailer) still load.
 
 const (
 	persistMagic   = "ordxmlDB"
-	persistVersion = 1
+	persistVersion = 2
+	trailerMagic   = "ordxmlCK"
 )
 
 // WriteTo serializes the database. It takes the engine's read lock, so the
@@ -30,7 +37,8 @@ const (
 func (db *DB) Dump(w io.Writer) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	bw := bufio.NewWriter(w)
+	sum := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, sum))
 	out := &perr{w: bw}
 
 	out.bytes([]byte(persistMagic))
@@ -65,20 +73,33 @@ func (db *DB) Dump(w io.Writer) error {
 	if out.err != nil {
 		return out.err
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Trailer: written past the hashed body, directly to w.
+	var tr [len(trailerMagic) + 4]byte
+	copy(tr[:], trailerMagic)
+	binary.LittleEndian.PutUint32(tr[len(trailerMagic):], sum.Sum32())
+	_, err := w.Write(tr[:])
+	return err
 }
 
-// Load reads a snapshot produced by Dump into a fresh database.
+// Load reads a snapshot produced by Dump into a fresh database. For
+// version-2 snapshots the checksum trailer is verified: a truncated or
+// bit-flipped snapshot fails with a descriptive error instead of loading a
+// silently wrong database.
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
-	in := &pread{r: br}
+	in := &pread{r: br, sum: crc32.NewIEEE()}
 
 	magic := in.bytes(len(persistMagic))
 	if in.err == nil && string(magic) != persistMagic {
 		return nil, fmt.Errorf("not an ordxml database snapshot")
 	}
-	if v := in.uvarint(); in.err == nil && v != persistVersion {
-		return nil, fmt.Errorf("unsupported snapshot version %d", v)
+	version := in.uvarint()
+	if in.err == nil && version != 1 && version != persistVersion {
+		return nil, fmt.Errorf("unsupported snapshot version %d (this build reads versions 1 and %d)",
+			version, persistVersion)
 	}
 	db := Open()
 	nTables := in.uvarint()
@@ -155,6 +176,21 @@ func Load(r io.Reader) (*DB, error) {
 	if in.err != nil {
 		return nil, fmt.Errorf("snapshot read: %w", in.err)
 	}
+	if version >= 2 {
+		got := in.sum.Sum32() // body CRC; the trailer itself is not hashed
+		tr := in.bytes(len(trailerMagic) + 4)
+		if in.err != nil {
+			return nil, fmt.Errorf("snapshot is truncated (missing checksum trailer): %w", in.err)
+		}
+		if string(tr[:len(trailerMagic)]) != trailerMagic {
+			return nil, fmt.Errorf("snapshot is truncated or corrupt (bad checksum trailer magic %q)",
+				tr[:len(trailerMagic)])
+		}
+		if want := binary.LittleEndian.Uint32(tr[len(trailerMagic):]); want != got {
+			return nil, fmt.Errorf("snapshot checksum mismatch (corrupt snapshot: computed %08x, stored %08x)",
+				got, want)
+		}
+	}
 	for _, pi := range indexes {
 		if _, err := db.cat.CreateIndex(pi.name, pi.table, pi.cols, pi.unique); err != nil {
 			return nil, fmt.Errorf("rebuild index %s: %w", pi.name, err)
@@ -196,9 +232,13 @@ func (p *perr) blob(b []byte) {
 
 func (p *perr) str(s string) { p.blob([]byte(s)) }
 
-// pread is the matching sticky-error reader.
+// pread is the matching sticky-error reader. It maintains a running CRC of
+// the bytes it has consumed so Load can verify the trailer; uvarints are
+// hashed by re-encoding the value, which is exact because PutUvarint's
+// minimal encoding is the only one Dump ever writes.
 type pread struct {
 	r   *bufio.Reader
+	sum hash.Hash32
 	err error
 }
 
@@ -211,6 +251,7 @@ func (p *pread) bytes(n int) []byte {
 		p.err = err
 		return nil
 	}
+	p.sum.Write(out)
 	return out
 }
 
@@ -223,6 +264,8 @@ func (p *pread) uvarint() uint64 {
 		p.err = err
 		return 0
 	}
+	var buf [binary.MaxVarintLen64]byte
+	p.sum.Write(buf[:binary.PutUvarint(buf[:], v)])
 	return v
 }
 

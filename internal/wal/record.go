@@ -1,0 +1,172 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk format. The file starts with a fixed magic string; each record is
+// a frame:
+//
+//	u32 LE  payload length
+//	u32 LE  CRC32 (IEEE) of the payload
+//	payload = uvarint LSN, byte kind, kind-specific body
+//
+// The CRC covers the payload only; a torn frame header or payload is
+// detected by length/CRC and truncated away on open (see scan). LSNs within
+// one file increase by exactly 1, so a stale or misplaced record also fails
+// validation.
+
+const (
+	fileMagic = "ordxmlWAL1"
+	// frameHeader is the fixed per-record prefix: length + CRC.
+	frameHeader = 8
+	// maxRecord bounds a single record payload; larger lengths are treated
+	// as corruption rather than allocated.
+	maxRecord = 1 << 28
+)
+
+// Record is one logical mutation entry.
+type Record struct {
+	LSN  uint64
+	Kind byte
+	Body []byte
+}
+
+// appendFrame appends the framed encoding of one record to dst.
+func appendFrame(dst []byte, lsn uint64, kind byte, body []byte) []byte {
+	var lsnBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lsnBuf[:], lsn)
+	payloadLen := n + 1 + len(body)
+
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	crc := crc32.NewIEEE()
+	crc.Write(lsnBuf[:n])
+	crc.Write([]byte{kind})
+	crc.Write(body)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, lsnBuf[:n]...)
+	dst = append(dst, kind)
+	dst = append(dst, body...)
+	return dst
+}
+
+// decodePayload splits a verified payload into LSN, kind and body. The body
+// aliases payload.
+func decodePayload(payload []byte) (lsn uint64, kind byte, body []byte, err error) {
+	lsn, n := binary.Uvarint(payload)
+	if n <= 0 || n >= len(payload) {
+		return 0, 0, nil, fmt.Errorf("wal: bad record payload (no kind byte)")
+	}
+	return lsn, payload[n], payload[n+1:], nil
+}
+
+// BodyWriter builds a record body: a sequence of uvarint-framed fields.
+// Methods never fail; the result is read back with BodyReader.
+type BodyWriter struct {
+	b []byte
+}
+
+// Uint appends an unsigned integer field.
+func (w *BodyWriter) Uint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// Int appends a signed integer field.
+func (w *BodyWriter) Int(v int64) { w.b = binary.AppendVarint(w.b, v) }
+
+// Bytes appends a length-prefixed byte field.
+func (w *BodyWriter) Bytes(v []byte) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(v)))
+	w.b = append(w.b, v...)
+}
+
+// String appends a length-prefixed string field.
+func (w *BodyWriter) String(v string) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(v)))
+	w.b = append(w.b, v...)
+}
+
+// Finish returns the encoded body.
+func (w *BodyWriter) Finish() []byte { return w.b }
+
+// BodyReader decodes a record body written by BodyWriter. Errors are sticky:
+// after the first failure every accessor returns a zero value and Err
+// reports the failure.
+type BodyReader struct {
+	b   []byte
+	err error
+}
+
+// NewBodyReader wraps an encoded body.
+func NewBodyReader(b []byte) *BodyReader { return &BodyReader{b: b} }
+
+// Err returns the first decoding error, if any.
+func (r *BodyReader) Err() error { return r.err }
+
+func (r *BodyReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wal: truncated record body reading %s", what)
+	}
+}
+
+// Uint reads an unsigned integer field.
+func (r *BodyReader) Uint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("uint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Int reads a signed integer field.
+func (r *BodyReader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("int")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Bytes reads a byte field. The result is a copy.
+func (r *BodyReader) Bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	l, n := binary.Uvarint(r.b)
+	if n <= 0 || uint64(len(r.b)-n) < l {
+		r.fail("bytes")
+		return nil
+	}
+	out := make([]byte, l)
+	copy(out, r.b[n:n+int(l)])
+	r.b = r.b[n+int(l):]
+	return out
+}
+
+// String reads a string field.
+func (r *BodyReader) String() string {
+	if r.err != nil {
+		return ""
+	}
+	l, n := binary.Uvarint(r.b)
+	if n <= 0 || uint64(len(r.b)-n) < l {
+		r.fail("string")
+		return ""
+	}
+	out := string(r.b[n : n+int(l)])
+	r.b = r.b[n+int(l):]
+	return out
+}

@@ -33,6 +33,7 @@ import (
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
+	"ordxml/internal/wal"
 	"ordxml/internal/xmltree"
 )
 
@@ -120,6 +121,10 @@ const (
 	After      = update.After
 )
 
+// ParsePosition reads a position name as spelled by Position.String
+// ("first-child", "last-child", "before", "after").
+func ParsePosition(s string) (Position, error) { return update.ParseMode(s) }
+
 // UpdateReport describes the work an update performed.
 type UpdateReport struct {
 	// NewID is the inserted subtree root's node id (inserts only).
@@ -170,6 +175,10 @@ type Store struct {
 	publisher *publish.Publisher
 	evaluator *translate.Evaluator
 	manager   *update.Manager
+
+	// dur is the durability state for stores opened with OpenDurable; nil
+	// for memory-only stores. See durable.go.
+	dur *durState
 }
 
 // Open creates an empty store with its own embedded database.
@@ -195,18 +204,42 @@ func Open(opts Options) (*Store, error) {
 // Encoding returns the store's order encoding.
 func (s *Store) Encoding() Encoding { return Encoding(s.opts.Kind) }
 
-// Load parses an XML document from r and stores it.
+// Load parses an XML document from r and stores it. On a durable store the
+// raw document bytes are logged (and fsynced) before shredding, so the
+// reader is consumed fully up front.
 func (s *Store) Load(name string, r io.Reader) (DocID, error) {
-	return s.shredder.Load(name, r)
+	if s.dur == nil {
+		return s.shredder.Load(name, r)
+	}
+	xml, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	unlock, err := s.logOp(recLoad, func(w *wal.BodyWriter) {
+		w.String(name)
+		w.Bytes(xml)
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	return s.applyLoad(name, xml)
 }
 
 // LoadString stores a document held in a string.
 func (s *Store) LoadString(name, xml string) (DocID, error) {
-	return s.shredder.Load(name, strings.NewReader(xml))
+	return s.Load(name, strings.NewReader(xml))
 }
 
 // Drop removes a document.
-func (s *Store) Drop(doc DocID) error { return s.shredder.DropDocument(doc) }
+func (s *Store) Drop(doc DocID) error {
+	unlock, err := s.logOp(recDrop, func(w *wal.BodyWriter) { w.Int(doc) })
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return s.shredder.DropDocument(doc)
+}
 
 // Documents lists stored documents.
 func (s *Store) Documents() ([]DocInfo, error) {
@@ -314,12 +347,30 @@ func (s *Store) SerializeDocument(doc DocID) (string, error) {
 
 // Insert places an XML fragment relative to the target node.
 func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) (UpdateReport, error) {
+	unlock, err := s.logOp(recInsert, func(w *wal.BodyWriter) {
+		w.Int(doc)
+		w.Int(target)
+		w.String(pos.String())
+		w.String(fragment)
+	})
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	defer unlock()
 	st, err := s.manager.InsertXML(doc, target, pos, fragment)
 	return report(st), err
 }
 
 // Delete removes the subtree rooted at id.
 func (s *Store) Delete(doc DocID, id NodeID) (UpdateReport, error) {
+	unlock, err := s.logOp(recDelete, func(w *wal.BodyWriter) {
+		w.Int(doc)
+		w.Int(id)
+	})
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	defer unlock()
 	st, err := s.manager.Delete(doc, id)
 	return report(st), err
 }
@@ -407,13 +458,9 @@ func (s *Store) ExplainSQL(query string) (string, error) {
 // wall time per operator. Equivalent to running `EXPLAIN ANALYZE <query>`
 // through SQL.
 func (s *Store) ExplainAnalyzeSQL(query string, args ...any) (string, error) {
-	params := make([]sqltypes.Value, len(args))
-	for i, a := range args {
-		v, err := toValue(a)
-		if err != nil {
-			return "", fmt.Errorf("argument %d: %w", i+1, err)
-		}
-		params[i] = v
+	params, err := toValues(args)
+	if err != nil {
+		return "", err
 	}
 	return s.db.ExplainAnalyze(query, params...)
 }
@@ -452,13 +499,9 @@ type Rows struct {
 // for inspecting the shredded relations. Arguments bind to `?` placeholders
 // and may be int, int64, float64, string, []byte, bool or nil.
 func (s *Store) SQL(query string, args ...any) (*Rows, error) {
-	params := make([]sqltypes.Value, len(args))
-	for i, a := range args {
-		v, err := toValue(a)
-		if err != nil {
-			return nil, fmt.Errorf("argument %d: %w", i+1, err)
-		}
-		params[i] = v
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
 	}
 	res, err := s.db.Query(query, params...)
 	if err != nil {
@@ -473,6 +516,39 @@ func (s *Store) SQL(query string, args ...any) (*Rows, error) {
 		out.Values = append(out.Values, row)
 	}
 	return out, nil
+}
+
+// Exec runs a raw non-SELECT SQL statement against the underlying engine —
+// the mutating counterpart of SQL. On a durable store the statement and its
+// bound parameters are write-ahead logged, so raw DML survives crash
+// recovery like every API-level mutation. It returns the affected row count.
+func (s *Store) Exec(query string, args ...any) (int, error) {
+	params, err := toValues(args)
+	if err != nil {
+		return 0, err
+	}
+	unlock, err := s.logOp(recExec, func(w *wal.BodyWriter) {
+		w.String(query)
+		w.Bytes(sqltypes.EncodeRow(nil, params))
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	return s.db.Exec(query, params...)
+}
+
+// toValues binds Go arguments to SQL parameter values.
+func toValues(args []any) (sqltypes.Row, error) {
+	params := make(sqltypes.Row, len(args))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		params[i] = v
+	}
+	return params, nil
 }
 
 func toValue(a any) (sqltypes.Value, error) {
@@ -499,11 +575,29 @@ func toValue(a any) (sqltypes.Value, error) {
 // SetValue rewrites a text or attribute node's value in place (no order
 // keys change, so no renumbering under any encoding).
 func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
+	unlock, err := s.logOp(recSetValue, func(w *wal.BodyWriter) {
+		w.Int(doc)
+		w.Int(id)
+		w.String(value)
+	})
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	return s.manager.SetValue(doc, id, value)
 }
 
 // Rename changes an element tag or attribute name in place.
 func (s *Store) Rename(doc DocID, id NodeID, name string) error {
+	unlock, err := s.logOp(recRename, func(w *wal.BodyWriter) {
+		w.Int(doc)
+		w.Int(id)
+		w.String(name)
+	})
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	return s.manager.Rename(doc, id, name)
 }
 
@@ -513,6 +607,21 @@ func (s *Store) Rename(doc DocID, id NodeID, name string) error {
 // delete and insert costs. The returned NewID identifies the relocated
 // subtree root (node ids are not preserved across a move).
 func (s *Store) Move(doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
+	unlock, err := s.logOp(recMove, func(w *wal.BodyWriter) {
+		w.Int(doc)
+		w.Int(id)
+		w.Int(target)
+		w.String(pos.String())
+	})
+	if err != nil {
+		return UpdateReport{}, err
+	}
+	defer unlock()
+	return s.moveTree(doc, id, target, pos)
+}
+
+// moveTree is Move's engine-side body, shared with WAL replay.
+func (s *Store) moveTree(doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
 	if id == target {
 		return UpdateReport{}, fmt.Errorf("cannot move a node relative to itself")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 
 	"ordxml/internal/core/encoding"
@@ -12,6 +13,7 @@ import (
 	"ordxml/internal/core/translate"
 	"ordxml/internal/core/update"
 	"ordxml/internal/sqldb"
+	"ordxml/internal/wal"
 )
 
 // This file implements snapshot persistence for stores: Save streams the
@@ -94,25 +96,45 @@ func (s *Store) Save(w io.Writer) error {
 	return s.db.Dump(w)
 }
 
-// SaveFile writes a snapshot to path, replacing any existing file.
+// SaveFile writes a snapshot to path, replacing any existing file. The
+// replacement is atomic: the snapshot is written to a temporary file in the
+// same directory, synced, and renamed over path, so a crash mid-save leaves
+// either the old complete snapshot or the new one — never a partial file.
 func (s *Store) SaveFile(path string) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("save snapshot: %w", err)
 	}
 	if err := s.Save(f); err != nil {
-		f.Close()
-		return err
+		return fail(err)
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("save snapshot: %w", err)
+	}
+	return wal.SyncDir(filepath.Dir(path))
 }
 
 // OpenSnapshot restores a store from a snapshot produced by Save. The
-// encoding options travel with the snapshot.
+// encoding options travel with the snapshot. Truncated or corrupt snapshots
+// are rejected: the format carries a checksum trailer that Load verifies.
 func OpenSnapshot(r io.Reader) (*Store, error) {
 	db, err := sqldb.Load(r)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("open snapshot: %w", err)
 	}
 	iopts, err := readMeta(db)
 	if err != nil {
