@@ -4,6 +4,7 @@
 // Usage:
 //
 //	xmlbench [-exp E3] [-items 200] [-quick] [-json] [-stats]
+//	xmlbench -concurrency 1,4,8 [-duration 2s] [-concurrency-out BENCH_concurrency.json]
 //
 // Without -exp it runs every experiment. -quick shrinks workload sizes for a
 // fast smoke run; EXPERIMENTS.md records full-size results. -json emits one
@@ -11,6 +12,12 @@
 // stage_breakdown) on stdout instead of the aligned text tables. -stats
 // additionally runs the E3 query suite under stage tracing and reports where
 // each encoding spends its query time (parse/translate/exec/post/sort).
+//
+// -concurrency switches to the closed-loop concurrent-read benchmark: at
+// each listed goroutine count, that many readers cycle the E3 query mix
+// against a shared store for -duration, per encoding. The table goes to
+// stdout and the machine-readable report (throughput, latency quantiles,
+// speedup vs. the 1-goroutine baseline) is written to -concurrency-out.
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"ordxml/internal/bench"
 )
@@ -51,7 +60,18 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	asJSON := flag.Bool("json", false, "emit results as a JSON object instead of text tables")
 	stats := flag.Bool("stats", false, "also report the XPath pipeline stage breakdown over the E3 suite")
+	concurrency := flag.String("concurrency", "", "run the concurrent-read benchmark at these goroutine counts (e.g. 1,4,8)")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency level")
+	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "where -concurrency writes its JSON report")
 	flag.Parse()
+
+	if *concurrency != "" {
+		if err := runConcurrency(*concurrency, *items, *quick, *duration, *concOut); err != nil {
+			fmt.Fprintf(os.Stderr, "concurrency benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sizes := []int{50, 200, 800}
 	reps := 20
@@ -138,4 +158,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runConcurrency parses the goroutine-count list, runs the closed-loop
+// concurrent-read benchmark, prints the table and writes the JSON report.
+func runConcurrency(levels string, items int, quick bool, window time.Duration, outPath string) error {
+	var counts []int
+	for _, f := range strings.Split(levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -concurrency list %q: each entry must be a positive integer", levels)
+		}
+		counts = append(counts, n)
+	}
+	if quick {
+		if items > 50 {
+			items = 50
+		}
+		if window > 500*time.Millisecond {
+			window = 500 * time.Millisecond
+		}
+	}
+	rep, err := bench.RunConcurrency(items, counts, window)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.ConcurrencyTable(rep).String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
 }

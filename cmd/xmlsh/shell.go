@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -68,10 +69,13 @@ const helpText = `commands:
   \check                            deep store-wide integrity check (all
                                     documents, heap pages, B+tree indexes)
   stats                             storage and work-counter summary
+  parallel <n>                      set the query parallelism degree (1 = serial)
   \explain <select ...>             show the SQL engine's physical plan
   \analyze <select ...>             run with EXPLAIN ANALYZE instrumentation
+                                    (per-worker actuals labeled w0=, w1=, ...)
   \stats                            engine metrics (counters, latency histograms;
-                                    includes WAL activity for durable stores)
+                                    snapshot version/publishes, parallel queries,
+                                    WAL activity for durable stores)
   \checkpoint                       snapshot a durable store and rotate its log
   \slow                             slow-query log
   trace <xpath>                     run a query; prints per-stage timings
@@ -236,6 +240,16 @@ func (sh *shell) Execute(line string) (string, error) {
 		return fmt.Sprintf("storage: %d rows, %d pages, %d bytes\nwork: %d probes, %d scanned, %d ins, %d del, %d upd",
 			st.Rows, st.HeapPages, st.HeapBytes,
 			c.IndexProbes, c.RowsScanned, c.RowsInserted, c.RowsDeleted, c.RowsUpdated), nil
+	case "parallel":
+		if len(args) != 1 {
+			return "", fmt.Errorf("usage: parallel <n>")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 1 {
+			return "", fmt.Errorf("bad parallelism %q (want a positive integer)", args[0])
+		}
+		sh.store.SetParallelism(n)
+		return fmt.Sprintf("parallelism set to %d", sh.store.Parallelism()), nil
 	case `\explain`:
 		if rest == "" {
 			return "", fmt.Errorf(`usage: \explain <select ...>`)
@@ -253,9 +267,13 @@ func (sh *shell) Execute(line string) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return strings.TrimRight(text, "\n"), nil
+		return strings.TrimRight(labelWorkerRows(text), "\n"), nil
 	case `\stats`:
-		out := renderMetrics(sh.store.Metrics())
+		m := sh.store.Metrics()
+		out := fmt.Sprintf("snapshot: version %d, %d publishes; parallelism %d (%d parallel queries)\n%s",
+			m.Gauges["sqldb.view.version"], m.Counters["sqldb.view.publishes"],
+			sh.store.Parallelism(), m.Counters["sqldb.query.parallel"],
+			renderMetrics(m))
 		if w, ok := sh.store.WALStats(); ok {
 			out = fmt.Sprintf("wal: %d records (%d bytes), %d fsyncs, %d rotations, last LSN %d, durable LSN %d, %d bytes on disk\n%s",
 				w.Records, w.Bytes, w.Fsyncs, w.Rotations, w.LastLSN, w.DurableLSN, w.SizeBytes, out)
@@ -445,6 +463,23 @@ func (sh *shell) Execute(line string) (string, error) {
 	default:
 		return "", fmt.Errorf("unknown command %q (try: help)", cmd)
 	}
+}
+
+// workerRowsRE matches the engine's compact per-worker actuals annotation,
+// e.g. "workers rows=120/98/101/104".
+var workerRowsRE = regexp.MustCompile(`workers rows=([0-9]+(?:/[0-9]+)+)`)
+
+// labelWorkerRows expands the compact per-worker row breakdown into
+// explicitly labeled counts ("w0=120 w1=98 ...") for interactive reading.
+func labelWorkerRows(text string) string {
+	return workerRowsRE.ReplaceAllStringFunc(text, func(m string) string {
+		counts := strings.Split(strings.TrimPrefix(m, "workers rows="), "/")
+		parts := make([]string, len(counts))
+		for i, c := range counts {
+			parts[i] = fmt.Sprintf("w%d=%s", i, c)
+		}
+		return "workers " + strings.Join(parts, " ")
+	})
 }
 
 func parseID(args []string, i int, usage string) (int64, error) {

@@ -158,13 +158,19 @@ func generateTortureSession(t *testing.T, seed int64, nOps int) ([]tortureOp, []
 }
 
 // runTortureChild re-executes the test binary running only the child test,
-// with the given failpoint spec armed, and returns its exit code.
-func runTortureChild(t *testing.T, dir, spec string, recoverOnly bool) int {
+// with the given failpoint spec armed, and returns its exit code. With
+// readers > 0 the child also runs that many concurrent snapshot readers
+// alongside the update session, so the crash lands while reads are in
+// flight.
+func runTortureChild(t *testing.T, dir, spec string, recoverOnly bool, readers int) int {
 	t.Helper()
 	cmd := osexec.Command(os.Args[0], "-test.run=^TestCrashTortureChild$", "-test.count=1")
 	cmd.Env = append(os.Environ(),
 		"ORDXML_TORTURE_DIR="+dir,
 		failpoint.EnvVar+"="+spec)
+	if readers > 0 {
+		cmd.Env = append(cmd.Env, "ORDXML_TORTURE_READERS="+strconv.Itoa(readers))
+	}
 	if recoverOnly {
 		cmd.Env = append(cmd.Env, "ORDXML_TORTURE_RECOVER=1")
 	}
@@ -261,7 +267,7 @@ func TestCrashTorture(t *testing.T) {
 			if err := os.WriteFile(filepath.Join(dir, "ops.json"), opsJSON, 0o644); err != nil {
 				t.Fatal(err)
 			}
-			runTortureChild(t, dir, spec, false)
+			runTortureChild(t, dir, spec, false, 0)
 			verifyRecovered(t, dir, spec, countAcks(t, dir), fps)
 		})
 	}
@@ -275,15 +281,47 @@ func TestCrashTorture(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, "ops.json"), opsJSON, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if code := runTortureChild(t, dir, "wal.sync.after-fsync=crash@4", false); code == 0 {
+		if code := runTortureChild(t, dir, "wal.sync.after-fsync=crash@4", false, 0); code == 0 {
 			t.Fatal("first child did not crash")
 		}
 		acked := countAcks(t, dir)
-		if code := runTortureChild(t, dir, "wal.replay.record=crash@1", true); code == 0 {
+		if code := runTortureChild(t, dir, "wal.replay.record=crash@1", true, 0); code == 0 {
 			t.Fatal("recovery child did not crash (no records to replay?)")
 		}
 		verifyRecovered(t, dir, "wal.replay.record", acked, fps)
 	})
+}
+
+// TestCrashTortureConcurrentReaders repeats the WAL-failpoint rounds with
+// snapshot readers running inside the child while it crashes: lock-free
+// reads must neither corrupt the store nor change what recovery promises,
+// and the readers themselves must never observe a torn document.
+func TestCrashTortureConcurrentReaders(t *testing.T) {
+	if os.Getenv("ORDXML_TORTURE_DIR") != "" {
+		t.Skip("torture child process")
+	}
+	seed := int64(tortureEnvInt("ORDXML_TORTURE_SEED", 1))
+	nOps := tortureEnvInt("ORDXML_TORTURE_OPS", 24)
+	ops, fps := generateTortureSession(t, seed, nOps)
+	opsJSON, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{
+		"wal.sync.before-fsync=crash@5",
+		"wal.sync.after-fsync=crash@5",
+		"wal.append=crash@6",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "ops.json"), opsJSON, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			runTortureChild(t, dir, spec, false, 3)
+			verifyRecovered(t, dir, spec, countAcks(t, dir), fps)
+		})
+	}
 }
 
 // TestCrashTortureChild is the re-executed half of TestCrashTorture; it only
@@ -315,6 +353,26 @@ func TestCrashTortureChild(t *testing.T) {
 		t.Fatalf("torture child: %v", err)
 	}
 	defer ack.Close()
+	if n, _ := strconv.Atoi(os.Getenv("ORDXML_TORTURE_READERS")); n > 0 {
+		// Concurrent snapshot readers racing the update session right up to
+		// the crash. Serialization of a vanished document fails cleanly; a
+		// torn tree would fail inside the publisher with a structure error.
+		for r := 0; r < n; r++ {
+			go func() {
+				for {
+					docs, err := s.Documents()
+					if err != nil {
+						t.Errorf("torture reader: %v", err)
+						return
+					}
+					for _, d := range docs {
+						s.SerializeDocument(d.ID)
+						s.Query(d.ID, "/R/A")
+					}
+				}
+			}()
+		}
+	}
 	for i, op := range ops {
 		applyTortureOp(s, op) // a deterministic failure still completes the op
 		if _, err := fmt.Fprintf(ack, "%d\n", i); err != nil {

@@ -1,0 +1,161 @@
+package ordxml
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// parallelDoc builds a flat document big enough to clear the planner's
+// parallel row threshold (2048): 1+2*n nodes for n items.
+func parallelDoc(items int) string {
+	var b strings.Builder
+	b.WriteString("<catalog>")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&b, "<item>v%d</item>", i)
+	}
+	b.WriteString("</catalog>")
+	return b.String()
+}
+
+// parallelGoldenQueries are raw-SQL shapes that exercise every parallel
+// operator: a Gather under an aggregate, a Gather under a Sort, and a
+// partitioned hash join. All run against the Global encoding's node table.
+var parallelGoldenQueries = []struct {
+	id  string
+	sql string
+}{
+	{"agg-gather", `SELECT kind, COUNT(*) n FROM xg_nodes GROUP BY kind ORDER BY kind`},
+	{"sort-gather", `SELECT id FROM xg_nodes WHERE kind = 'text' ORDER BY value`},
+	{"partitioned-join", `SELECT COUNT(*) FROM xg_nodes a JOIN xg_nodes b ON a.id = b.parent`},
+}
+
+// workerRows matches the per-worker row breakdown of EXPLAIN ANALYZE. The
+// split of rows across workers depends on which worker claims which pages,
+// so the counts are normalized while the degree of parallelism (the number
+// of entries) is kept.
+var workerRows = regexp.MustCompile(`workers rows=[0-9]+(/[0-9]+)*`)
+
+func normalizeParallelAnalyze(s string) string {
+	s = normalizeAnalyze(s)
+	return workerRows.ReplaceAllStringFunc(s, func(m string) string {
+		n := strings.Count(m, "/") + 1
+		return "workers rows=" + strings.TrimSuffix(strings.Repeat("<n>/", n), "/")
+	})
+}
+
+// TestExplainParallelGolden locks the EXPLAIN and EXPLAIN ANALYZE output of
+// the parallel plans at parallelism 4, plus the serial fallback of the same
+// statements on a table below the row threshold. Regenerate with `go test
+// -run TestExplainParallelGolden -update`.
+func TestExplainParallelGolden(t *testing.T) {
+	section := func(out *strings.Builder, store *Store, label string) {
+		for _, q := range parallelGoldenQueries {
+			fmt.Fprintf(out, "== %s %s ==\n%s\n", label, q.id, q.sql)
+			plan, err := store.ExplainSQL(q.sql)
+			if err != nil {
+				t.Fatalf("%s %s explain: %v", label, q.id, err)
+			}
+			out.WriteString(plan)
+			analyzed, err := store.ExplainAnalyzeSQL(q.sql)
+			if err != nil {
+				t.Fatalf("%s %s analyze: %v", label, q.id, err)
+			}
+			out.WriteString("-- analyze\n")
+			out.WriteString(normalizeParallelAnalyze(analyzed))
+			out.WriteByte('\n')
+		}
+	}
+
+	big, err := Open(Options{Encoding: Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.LoadString("big", parallelDoc(1500)); err != nil {
+		t.Fatal(err)
+	}
+	big.SetParallelism(4)
+
+	small, err := Open(Options{Encoding: Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.LoadString("small", parallelDoc(20)); err != nil {
+		t.Fatal(err)
+	}
+	small.SetParallelism(4)
+
+	var out strings.Builder
+	section(&out, big, "parallel")
+	section(&out, small, "serial-fallback")
+	got := out.String()
+
+	path := filepath.Join("testdata", "explain_parallel.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeParallelActuals is the acceptance check: EXPLAIN ANALYZE
+// on a parallel plan must show the exchange operator with its worker count
+// and a per-worker actual-row breakdown, and the parallel plan must return
+// the same rows as the serial one.
+func TestExplainAnalyzeParallelActuals(t *testing.T) {
+	store, err := Open(Options{Encoding: Global})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.LoadString("big", parallelDoc(1500)); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT kind, COUNT(*) n FROM xg_nodes GROUP BY kind ORDER BY kind`
+	serial, err := store.SQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store.SetParallelism(4)
+	if got := store.Parallelism(); got != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", got)
+	}
+	analyzed, err := store.ExplainAnalyzeSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(analyzed, "Gather workers=4") {
+		t.Errorf("no exchange operator in analyze output:\n%s", analyzed)
+	}
+	if !workerRows.MatchString(analyzed) {
+		t.Errorf("no per-worker actuals in analyze output:\n%s", analyzed)
+	}
+
+	par, err := store.SQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(par.Values) != fmt.Sprint(serial.Values) {
+		t.Errorf("parallel result diverged:\nserial: %v\nparallel: %v", serial.Values, par.Values)
+	}
+
+	join := `SELECT COUNT(*) FROM xg_nodes a JOIN xg_nodes b ON a.id = b.parent`
+	analyzed, err = store.ExplainAnalyzeSQL(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(analyzed, "PartitionedHashJoin workers=4") {
+		t.Errorf("join did not partition:\n%s", analyzed)
+	}
+}

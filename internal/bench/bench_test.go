@@ -3,6 +3,7 @@ package bench
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // The harness itself must be trustworthy: run every experiment at a tiny
@@ -151,5 +152,30 @@ func TestE9Runs(t *testing.T) {
 	}
 	if len(tbl.Rows) != 3*3 {
 		t.Fatalf("E9 rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestConcurrencyBenchRuns(t *testing.T) {
+	rep, err := RunConcurrency(10, []int{1, 2}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Results); got != 6 { // 3 encodings × 2 levels
+		t.Fatalf("got %d results, want 6", got)
+	}
+	for _, r := range rep.Results {
+		if r.Queries <= 0 || r.QPS <= 0 {
+			t.Errorf("%s n=%d: no progress (queries=%d qps=%.1f)", r.Encoding, r.Goroutines, r.Queries, r.QPS)
+		}
+		if r.Goroutines == 1 && r.Speedup != 1 {
+			t.Errorf("%s baseline speedup = %v, want 1", r.Encoding, r.Speedup)
+		}
+		if r.P50US <= 0 || r.P99US < r.P50US {
+			t.Errorf("%s n=%d: bad quantiles p50=%v p99=%v", r.Encoding, r.Goroutines, r.P50US, r.P99US)
+		}
+	}
+	tbl := ConcurrencyTable(rep)
+	if len(tbl.Rows) != 6 || !strings.Contains(tbl.String(), "speedup") {
+		t.Errorf("table rendering off:\n%s", tbl.String())
 	}
 }

@@ -122,12 +122,23 @@ func attach(parent, child *xmltree.Node) {
 	parent.AddChild(child)
 }
 
-// Document reconstructs the whole document.
+// Document reconstructs the whole document. The reconstruction pins one
+// storage snapshot, so every row it reads — across however many statements
+// the encoding needs — comes from the same store version.
 func (p *Publisher) Document(doc int64) (*xmltree.Node, error) {
-	if p.opts.Kind == encoding.Local {
-		return p.documentLocal(doc)
+	return p.DocumentAt(nil, doc)
+}
+
+// DocumentAt reconstructs the document as of a pinned snapshot (nil pins the
+// current version).
+func (p *Publisher) DocumentAt(snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
+	if snap == nil {
+		snap = p.db.Snapshot()
 	}
-	res, err := p.allOrdered.Query(sqldb.I(doc))
+	if p.opts.Kind == encoding.Local {
+		return p.documentLocal(snap, doc)
+	}
+	res, err := p.allOrdered.QueryAt(snap, sqldb.I(doc))
 	if err != nil {
 		return nil, err
 	}
@@ -167,8 +178,8 @@ func buildPreOrder(rows []sqltypes.Row, rootParent int64) (*xmltree.Node, error)
 
 // documentLocal rebuilds from the local encoding: one unordered scan, then a
 // per-parent sibling sort.
-func (p *Publisher) documentLocal(doc int64) (*xmltree.Node, error) {
-	res, err := p.allRows.Query(sqldb.I(doc))
+func (p *Publisher) documentLocal(snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
+	res, err := p.allRows.QueryAt(snap, sqldb.I(doc))
 	if err != nil {
 		return nil, err
 	}
@@ -212,9 +223,18 @@ func (p *Publisher) documentLocal(doc int64) (*xmltree.Node, error) {
 }
 
 // Subtree reconstructs the subtree rooted at the node with the given
-// surrogate id.
+// surrogate id, against one pinned storage snapshot.
 func (p *Publisher) Subtree(doc, id int64) (*xmltree.Node, error) {
-	res, err := p.byID.Query(sqldb.I(doc), sqldb.I(id))
+	return p.SubtreeAt(nil, doc, id)
+}
+
+// SubtreeAt reconstructs a subtree as of a pinned snapshot (nil pins the
+// current version).
+func (p *Publisher) SubtreeAt(snap *sqldb.Snap, doc, id int64) (*xmltree.Node, error) {
+	if snap == nil {
+		snap = p.db.Snapshot()
+	}
+	res, err := p.byID.QueryAt(snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return nil, err
 	}
@@ -226,19 +246,19 @@ func (p *Publisher) Subtree(doc, id int64) (*xmltree.Node, error) {
 		return nil, err
 	}
 	if p.opts.Kind == encoding.Dewey {
-		return p.subtreeDewey(doc, rootRow)
+		return p.subtreeDewey(snap, doc, rootRow)
 	}
 	// Global and Local: recurse through the (doc, parent, order) index —
 	// there is no single range containing exactly the subtree.
 	node := rootRow.toNode()
-	if err := p.fillChildren(doc, rootRow.id, node); err != nil {
+	if err := p.fillChildren(snap, doc, rootRow.id, node); err != nil {
 		return nil, err
 	}
 	return node, nil
 }
 
-func (p *Publisher) fillChildren(doc, id int64, node *xmltree.Node) error {
-	res, err := p.children.Query(sqldb.I(doc), sqldb.I(id))
+func (p *Publisher) fillChildren(snap *sqldb.Snap, doc, id int64, node *xmltree.Node) error {
+	res, err := p.children.QueryAt(snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return err
 	}
@@ -249,7 +269,7 @@ func (p *Publisher) fillChildren(doc, id int64, node *xmltree.Node) error {
 		}
 		child := nr.toNode()
 		attach(node, child)
-		if err := p.fillChildren(doc, nr.id, child); err != nil {
+		if err := p.fillChildren(snap, doc, nr.id, child); err != nil {
 			return err
 		}
 	}
@@ -257,7 +277,7 @@ func (p *Publisher) fillChildren(doc, id int64, node *xmltree.Node) error {
 }
 
 // subtreeDewey extracts the subtree with one path-prefix range scan.
-func (p *Publisher) subtreeDewey(doc int64, rootRow nodeRow) (*xmltree.Node, error) {
+func (p *Publisher) subtreeDewey(snap *sqldb.Snap, doc int64, rootRow nodeRow) (*xmltree.Node, error) {
 	var low, high sqltypes.Value
 	if p.opts.DeweyAsText {
 		ps := rootRow.order.Text()
@@ -279,7 +299,7 @@ func (p *Publisher) subtreeDewey(doc int64, rootRow nodeRow) (*xmltree.Node, err
 		}
 		high = sqldb.B(succ)
 	}
-	res, err := p.pathRange.Query(sqldb.I(doc), low, high)
+	res, err := p.pathRange.QueryAt(snap, sqldb.I(doc), low, high)
 	if err != nil {
 		return nil, err
 	}

@@ -45,7 +45,7 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 	var bindings []binding
 	runOnce := func(params []sqltypes.Value, ctxID int64) error {
 		sp := r.trace.Start(StageExec)
-		res, err := stmt.Query(params...)
+		res, err := stmt.QueryAt(r.snap, params...)
 		sp.End()
 		if err != nil {
 			return err
@@ -320,7 +320,7 @@ func (r *run) fetchNode(doc, id int64) (NodeRef, bool, error) {
 	if ref, ok := r.nodeMemo[id]; ok {
 		return ref, ref.ID != 0, nil
 	}
-	res, err := r.nodeStmt.Query(sqldb.I(doc), sqldb.I(id))
+	res, err := r.nodeStmt.QueryAt(r.snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return NodeRef{}, false, err
 	}

@@ -115,11 +115,14 @@ func (m *evalMetrics) record(total time.Duration, tr *obs.Trace) {
 	}
 }
 
-// run is the per-query evaluation context: memoized point lookups (reset per
-// query so work counters stay honest), the generated SQL trace, and the
-// stage trace that feeds the pipeline histograms.
+// run is the per-query evaluation context: the pinned storage snapshot every
+// statement of the query reads (one XPath query = one consistent view, even
+// across the many SQL statements of a multi-segment path), memoized point
+// lookups (reset per query so work counters stay honest), the generated SQL
+// trace, and the stage trace that feeds the pipeline histograms.
 type run struct {
 	*Evaluator
+	snap       *sqldb.Snap
 	parentMemo map[int64]parentInfo
 	nodeMemo   map[int64]NodeRef
 	sqls       []string
@@ -174,9 +177,19 @@ func (e *Evaluator) LastSQL() []string {
 }
 
 // Query parses and evaluates an absolute XPath expression against one
-// document, returning matches in document order.
+// document, returning matches in document order. The whole evaluation runs
+// against one pinned storage snapshot, so concurrent updates are invisible
+// to a query in flight.
 func (e *Evaluator) Query(doc int64, path string) ([]NodeRef, error) {
-	refs, _, err := e.queryTraced(doc, path)
+	refs, _, err := e.queryTraced(doc, path, nil)
+	return refs, err
+}
+
+// QueryAt evaluates a path against an externally pinned snapshot, letting a
+// caller compose the query with other snapshot reads (e.g. value extraction)
+// at the same version.
+func (e *Evaluator) QueryAt(snap *sqldb.Snap, doc int64, path string) ([]NodeRef, error) {
+	refs, _, err := e.queryTraced(doc, path, snap)
 	return refs, err
 }
 
@@ -184,10 +197,10 @@ func (e *Evaluator) Query(doc int64, path string) ([]NodeRef, error) {
 // per-stage wall-time breakdown of this evaluation (parse, translate, exec,
 // post, sort). Stage durations also feed the xpath.stage.* histograms.
 func (e *Evaluator) QueryTraced(doc int64, path string) ([]NodeRef, []obs.Stage, error) {
-	return e.queryTraced(doc, path)
+	return e.queryTraced(doc, path, nil)
 }
 
-func (e *Evaluator) queryTraced(doc int64, path string) ([]NodeRef, []obs.Stage, error) {
+func (e *Evaluator) queryTraced(doc int64, path string, snap *sqldb.Snap) ([]NodeRef, []obs.Stage, error) {
 	tr := obs.NewTrace()
 	start := time.Now()
 	sp := tr.Start(StageParse)
@@ -196,7 +209,7 @@ func (e *Evaluator) queryTraced(doc int64, path string) ([]NodeRef, []obs.Stage,
 	if err != nil {
 		return nil, nil, err
 	}
-	refs, err := e.queryPath(doc, p, tr)
+	refs, err := e.queryPath(doc, p, tr, snap)
 	e.met.record(time.Since(start), tr)
 	if err != nil {
 		return nil, nil, err
@@ -208,14 +221,18 @@ func (e *Evaluator) queryTraced(doc int64, path string) ([]NodeRef, []obs.Stage,
 func (e *Evaluator) QueryPath(doc int64, p *xpath.Path) ([]NodeRef, error) {
 	tr := obs.NewTrace()
 	start := time.Now()
-	refs, err := e.queryPath(doc, p, tr)
+	refs, err := e.queryPath(doc, p, tr, nil)
 	e.met.record(time.Since(start), tr)
 	return refs, err
 }
 
-func (e *Evaluator) queryPath(doc int64, p *xpath.Path, tr *obs.Trace) ([]NodeRef, error) {
+func (e *Evaluator) queryPath(doc int64, p *xpath.Path, tr *obs.Trace, snap *sqldb.Snap) ([]NodeRef, error) {
+	if snap == nil {
+		snap = e.db.Snapshot()
+	}
 	r := &run{
 		Evaluator:  e,
+		snap:       snap,
 		parentMemo: map[int64]parentInfo{},
 		nodeMemo:   map[int64]NodeRef{},
 		trace:      tr,
@@ -369,7 +386,7 @@ func (r *run) parentOf(doc, id int64) (parentInfo, error) {
 	if info, ok := r.parentMemo[id]; ok {
 		return info, nil
 	}
-	res, err := r.parentStmt.Query(sqldb.I(doc), sqldb.I(id))
+	res, err := r.parentStmt.QueryAt(r.snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return parentInfo{}, err
 	}

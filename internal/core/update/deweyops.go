@@ -96,6 +96,7 @@ func (m *Manager) insertDewey(doc int64, t node, mode Mode, frag *xmltree.Node) 
 	}
 	rows := flattenFragment(frag)
 	paths := map[int64]dewey.Path{}
+	batch := make([]sqltypes.Row, 0, len(rows))
 	for i := range rows {
 		rows[i].id += base - 1
 		pid := rows[i].parent
@@ -108,9 +109,10 @@ func (m *Manager) insertDewey(doc int64, t node, mode Mode, frag *xmltree.Node) 
 			p = paths[pid].Child(rows[i].ordinal * gap)
 		}
 		paths[rows[i].id] = p
-		if err := m.insertRow(doc, rows[i], pid, m.keyOf(p)); err != nil {
-			return stats, err
-		}
+		batch = append(batch, m.buildRow(doc, rows[i], pid, m.keyOf(p)))
+	}
+	if err := m.insertRows(batch); err != nil {
+		return stats, err
 	}
 	stats.NewID = base
 	return stats, nil

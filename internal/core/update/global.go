@@ -2,6 +2,7 @@ package update
 
 import (
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
@@ -65,6 +66,7 @@ func (m *Manager) insertGlobal(doc int64, t node, mode Mode, frag *xmltree.Node)
 		return stats, err
 	}
 	rootParent := insertionParent(t, mode)
+	batch := make([]sqltypes.Row, 0, len(rows))
 	for i := range rows {
 		rows[i].id += base - 1
 		parentID := rows[i].parent
@@ -73,9 +75,10 @@ func (m *Manager) insertGlobal(doc int64, t node, mode Mode, frag *xmltree.Node)
 		} else {
 			parentID += base - 1
 		}
-		if err := m.insertRow(doc, rows[i], parentID, sqldb.I(positions[i])); err != nil {
-			return stats, err
-		}
+		batch = append(batch, m.buildRow(doc, rows[i], parentID, sqldb.I(positions[i])))
+	}
+	if err := m.insertRows(batch); err != nil {
+		return stats, err
 	}
 	stats.NewID = base
 	return stats, nil

@@ -2,6 +2,7 @@ package update
 
 import (
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/sqlgen"
 	"ordxml/internal/xmltree"
 )
@@ -49,6 +50,7 @@ func (m *Manager) insertLocal(doc int64, t node, mode Mode, frag *xmltree.Node) 
 		return stats, err
 	}
 	rows := flattenFragment(frag)
+	batch := make([]sqltypes.Row, 0, len(rows))
 	for i := range rows {
 		rows[i].id += base - 1
 		pid := rows[i].parent
@@ -59,9 +61,10 @@ func (m *Manager) insertLocal(doc int64, t node, mode Mode, frag *xmltree.Node) 
 		} else {
 			pid += base - 1
 		}
-		if err := m.insertRow(doc, rows[i], pid, sqldb.I(ord)); err != nil {
-			return stats, err
-		}
+		batch = append(batch, m.buildRow(doc, rows[i], pid, sqldb.I(ord)))
+	}
+	if err := m.insertRows(batch); err != nil {
+		return stats, err
 	}
 	stats.NewID = base
 	return stats, nil

@@ -76,7 +76,6 @@ type Manager struct {
 
 	byID        *sqldb.Stmt
 	maxID       *sqldb.Stmt
-	insertNode  *sqldb.Stmt
 	bumpDocSize *sqldb.Stmt
 	stmts       map[string]*sqldb.Stmt
 }
@@ -106,11 +105,6 @@ func New(db *sqldb.DB, opts encoding.Options) (*Manager, error) {
 	}
 	if m.maxID, err = db.Prepare(sqlgen.SQL(
 		`SELECT MAX(id) FROM %s WHERE doc = ?`, m.tbl)); err != nil {
-		return nil, err
-	}
-	if m.insertNode, err = db.Prepare(sqlgen.SQL(
-		`INSERT INTO %s (doc, id, parent, kind, tag, value, %s) VALUES (?, ?, ?, ?, ?, ?, ?)`,
-		m.tbl, m.ord)); err != nil {
 		return nil, err
 	}
 	if m.bumpDocSize, err = db.Prepare(`UPDATE docs SET nodes = nodes + ? WHERE doc = ?`); err != nil {
@@ -191,24 +185,30 @@ func (m *Manager) InsertTree(doc, target int64, mode Mode, frag *xmltree.Node) (
 		return Stats{}, fmt.Errorf("bad insert mode %d", mode)
 	}
 
+	// One view publication for the whole renumber+insert sequence: readers
+	// see the document before or after the insert, never mid-operation.
+	// Safe because every insert path issues its reads (anchors, max order,
+	// max id) before the writes whose effects those reads would observe.
 	var stats Stats
-	switch m.opts.Kind {
-	case encoding.Global:
-		stats, err = m.insertGlobal(doc, t, mode, frag)
-	case encoding.Local:
-		stats, err = m.insertLocal(doc, t, mode, frag)
-	case encoding.Dewey:
-		stats, err = m.insertDewey(doc, t, mode, frag)
-	default:
-		return Stats{}, fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
-	}
-	if err != nil {
-		return stats, err
-	}
-	if _, err := m.bumpDocSize.Exec(sqldb.I(stats.RowsInserted), sqldb.I(doc)); err != nil {
-		return stats, err
-	}
-	return stats, nil
+	err = m.db.Atomically(func() error {
+		var err error
+		switch m.opts.Kind {
+		case encoding.Global:
+			stats, err = m.insertGlobal(doc, t, mode, frag)
+		case encoding.Local:
+			stats, err = m.insertLocal(doc, t, mode, frag)
+		case encoding.Dewey:
+			stats, err = m.insertDewey(doc, t, mode, frag)
+		default:
+			return fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
+		}
+		if err != nil {
+			return err
+		}
+		_, err = m.bumpDocSize.Exec(sqldb.I(stats.RowsInserted), sqldb.I(doc))
+		return err
+	})
+	return stats, err
 }
 
 // nextID allocates fresh surrogate ids.
@@ -229,24 +229,31 @@ func (m *Manager) Delete(doc, id int64) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+	// Published as one view change even for the Local encoding's
+	// multi-statement recursion — a concurrent reader never sees a
+	// half-deleted subtree (e.g. an element whose text child is gone).
+	// The recursion reads each node's child list before deleting inside
+	// that subtree, so running it against the pre-delete view is exact.
 	var stats Stats
-	switch m.opts.Kind {
-	case encoding.Global:
-		stats, err = m.deleteGlobal(doc, t)
-	case encoding.Local:
-		stats, err = m.deleteLocal(doc, t)
-	case encoding.Dewey:
-		stats, err = m.deleteDewey(doc, t)
-	default:
-		return Stats{}, fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
-	}
-	if err != nil {
-		return stats, err
-	}
-	if _, err := m.bumpDocSize.Exec(sqldb.I(-stats.RowsDeleted), sqldb.I(doc)); err != nil {
-		return stats, err
-	}
-	return stats, nil
+	err = m.db.Atomically(func() error {
+		var err error
+		switch m.opts.Kind {
+		case encoding.Global:
+			stats, err = m.deleteGlobal(doc, t)
+		case encoding.Local:
+			stats, err = m.deleteLocal(doc, t)
+		case encoding.Dewey:
+			stats, err = m.deleteDewey(doc, t)
+		default:
+			return fmt.Errorf("update: unknown encoding kind %d", int(m.opts.Kind))
+		}
+		if err != nil {
+			return err
+		}
+		_, err = m.bumpDocSize.Exec(sqldb.I(-stats.RowsDeleted), sqldb.I(doc))
+		return err
+	})
+	return stats, err
 }
 
 // fragRows flattens a fragment in document order for insertion: each entry
@@ -283,8 +290,9 @@ func flattenFragment(frag *xmltree.Node) []fragRow {
 	return rows
 }
 
-// insertRow writes one new node row.
-func (m *Manager) insertRow(doc int64, fr fragRow, parentID int64, orderKey sqltypes.Value) error {
+// buildRow encodes one new node row in the node table's column order
+// (doc, id, parent, kind, tag, value, order key).
+func (m *Manager) buildRow(doc int64, fr fragRow, parentID int64, orderKey sqltypes.Value) sqltypes.Row {
 	parent := sqldb.Null()
 	if parentID != 0 {
 		parent = sqldb.I(parentID)
@@ -297,8 +305,18 @@ func (m *Manager) insertRow(doc int64, fr fragRow, parentID int64, orderKey sqlt
 	if fr.n.Kind != xmltree.Element {
 		value = sqldb.S(fr.n.Value)
 	}
-	_, err := m.insertNode.Exec(sqldb.I(doc), sqldb.I(fr.id), parent,
-		sqldb.S(fr.n.Kind.String()), tag, value, orderKey)
+	return sqltypes.Row{sqldb.I(doc), sqldb.I(fr.id), parent,
+		sqldb.S(fr.n.Kind.String()), tag, value, orderKey}
+}
+
+// insertRows writes a fragment's node rows in one bulk statement, so the
+// whole inserted subtree appears in a single published snapshot — concurrent
+// readers see the fragment entirely or not at all, never a partial subtree.
+func (m *Manager) insertRows(batch []sqltypes.Row) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	_, err := m.db.BulkInsert(m.tbl, batch)
 	return err
 }
 

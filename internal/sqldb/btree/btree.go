@@ -4,6 +4,14 @@
 // byte order equals SQL value order and every index scan is a byte-range
 // scan. Keys are unique; the index layer suffixes non-unique entries with the
 // RID to disambiguate.
+//
+// Mutations are copy-on-write against the most recently published Snapshot:
+// every node carries the epoch it was created in, and Insert/Delete clone any
+// node stamped in an earlier epoch before touching it (path copying, plus
+// siblings during rebalancing). A Snapshot is therefore an immutable root
+// that concurrent readers can traverse without locks while the tree keeps
+// changing; superseded nodes are reclaimed by the garbage collector once the
+// last Snapshot referencing them is dropped.
 package btree
 
 import (
@@ -33,8 +41,12 @@ type node struct {
 	children []*node
 	// rids is parallel to keys in leaves.
 	rids []heap.RID
-	// next links leaves for range scans.
-	next *node
+	// stamp is the tree epoch the node was created or cloned in. Nodes
+	// stamped before the current epoch may be shared with a published
+	// Snapshot and must be cloned before mutation. (Leaves carry no next
+	// pointer: a sideways link would force cloning the whole left leaf
+	// chain on every copy-on-write; iterators keep a descent stack instead.)
+	stamp uint64
 }
 
 func (n *node) leaf() bool { return n.children == nil }
@@ -57,8 +69,13 @@ func (n *node) search(k []byte) int {
 type Tree struct {
 	root *node
 	size int
+	// epoch advances each time a Snapshot is published; nodes stamped before
+	// the current epoch are frozen and cloned on write.
+	epoch uint64
+	// snap caches the last published Snapshot; mutations invalidate it.
+	snap *Snapshot
 	// NodeReads, when set, is incremented once per tree node visited by
-	// lookups, seeks and leaf-chain advances. The catalog points it at a
+	// lookups, seeks and iterator advances. The catalog points it at a
 	// shared engine counter; the nil check keeps the package dependency-free.
 	NodeReads *atomic.Int64
 }
@@ -78,9 +95,50 @@ func New() *Tree {
 // Len returns the number of entries.
 func (t *Tree) Len() int { return t.size }
 
+// clone returns a mutable copy of n stamped with the current epoch. Key and
+// payload bytes are shared (they are immutable); only the slice spines are
+// copied.
+func (t *Tree) clone(n *node) *node {
+	c := &node{stamp: t.epoch}
+	c.keys = append(make([][]byte, 0, len(n.keys)), n.keys...)
+	if n.children != nil {
+		c.children = append(make([]*node, 0, len(n.children)), n.children...)
+	}
+	if n.rids != nil {
+		c.rids = append(make([]heap.RID, 0, len(n.rids)), n.rids...)
+	}
+	return c
+}
+
+// writableChild returns child i of the (already writable) node n, cloning it
+// and relinking it into n first if it is frozen in an earlier epoch. Linking
+// a clone is harmless even if the operation later fails: the clone holds
+// identical content.
+func (t *Tree) writableChild(n *node, i int) *node {
+	c := n.children[i]
+	if c.stamp != t.epoch {
+		c = t.clone(c)
+		n.children[i] = c
+	}
+	return c
+}
+
+// writableRoot returns the root, cloned if frozen. The caller installs it
+// into t.root only once the mutation succeeds.
+func (t *Tree) writableRoot() *node {
+	if t.root.stamp != t.epoch {
+		return t.clone(t.root)
+	}
+	return t.root
+}
+
 // Get returns the RID stored under key.
 func (t *Tree) Get(key []byte) (heap.RID, bool) {
-	n := t.root
+	return get(t.root, key, t.NodeReads)
+}
+
+func get(root *node, key []byte, reads *atomic.Int64) (heap.RID, bool) {
+	n := root
 	visited := int64(1)
 	for !n.leaf() {
 		i := n.search(key)
@@ -90,7 +148,9 @@ func (t *Tree) Get(key []byte) (heap.RID, bool) {
 		n = n.children[i]
 		visited++
 	}
-	t.readNodes(visited)
+	if reads != nil {
+		reads.Add(visited)
+	}
 	i := n.search(key)
 	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		return n.rids[i], true
@@ -102,14 +162,18 @@ func (t *Tree) Get(key []byte) (heap.RID, bool) {
 func (t *Tree) Insert(key []byte, rid heap.RID) error {
 	k := make([]byte, len(key))
 	copy(k, key)
-	promoted, right, err := t.insert(t.root, k, rid)
+	t.snap = nil
+	root := t.writableRoot()
+	promoted, right, err := t.insert(root, k, rid)
 	if err != nil {
 		return err
 	}
+	t.root = root
 	if right != nil {
 		t.root = &node{
 			keys:     [][]byte{promoted},
-			children: []*node{t.root, right},
+			children: []*node{root, right},
+			stamp:    t.epoch,
 		}
 	}
 	t.size++
@@ -117,7 +181,7 @@ func (t *Tree) Insert(key []byte, rid heap.RID) error {
 }
 
 // insert descends to the leaf; on split it returns the promoted separator and
-// the new right sibling.
+// the new right sibling. n must already be writable (current epoch).
 func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) {
 	if n.leaf() {
 		i := n.search(key)
@@ -139,7 +203,7 @@ func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) 
 	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		i++
 	}
-	promoted, right, err := t.insert(n.children[i], key, rid)
+	promoted, right, err := t.insert(t.writableChild(n, i), key, rid)
 	if err != nil || right == nil {
 		return nil, nil, err
 	}
@@ -158,13 +222,12 @@ func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) 
 func (t *Tree) splitLeaf(n *node) ([]byte, *node, error) {
 	mid := len(n.keys) / 2
 	right := &node{
-		keys: append([][]byte(nil), n.keys[mid:]...),
-		rids: append([]heap.RID(nil), n.rids[mid:]...),
-		next: n.next,
+		keys:  append([][]byte(nil), n.keys[mid:]...),
+		rids:  append([]heap.RID(nil), n.rids[mid:]...),
+		stamp: t.epoch,
 	}
 	n.keys = n.keys[:mid:mid]
 	n.rids = n.rids[:mid:mid]
-	n.next = right
 	return right.keys[0], right, nil
 }
 
@@ -174,6 +237,7 @@ func (t *Tree) splitInterior(n *node) ([]byte, *node, error) {
 	right := &node{
 		keys:     append([][]byte(nil), n.keys[mid+1:]...),
 		children: append([]*node(nil), n.children[mid+1:]...),
+		stamp:    t.epoch,
 	}
 	n.keys = n.keys[:mid:mid]
 	n.children = n.children[: mid+1 : mid+1]
@@ -182,16 +246,20 @@ func (t *Tree) splitInterior(n *node) ([]byte, *node, error) {
 
 // Delete removes key.
 func (t *Tree) Delete(key []byte) error {
-	if err := t.delete(t.root, key); err != nil {
+	t.snap = nil
+	root := t.writableRoot()
+	if err := t.delete(root, key); err != nil {
 		return err
 	}
-	if !t.root.leaf() && len(t.root.keys) == 0 {
-		t.root = t.root.children[0]
+	t.root = root
+	if !root.leaf() && len(root.keys) == 0 {
+		t.root = root.children[0]
 	}
 	t.size--
 	return nil
 }
 
+// delete removes key from the subtree under the writable node n.
 func (t *Tree) delete(n *node, key []byte) error {
 	if n.leaf() {
 		i := n.search(key)
@@ -206,7 +274,7 @@ func (t *Tree) delete(n *node, key []byte) error {
 	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
 		i++
 	}
-	if err := t.delete(n.children[i], key); err != nil {
+	if err := t.delete(t.writableChild(n, i), key); err != nil {
 		return err
 	}
 	if len(n.children[i].keys) < minKeys {
@@ -216,12 +284,13 @@ func (t *Tree) delete(n *node, key []byte) error {
 }
 
 // rebalance fixes an underflowing child i of n by borrowing from or merging
-// with a sibling.
+// with a sibling. n and child i are writable; the sibling touched is cloned
+// here if frozen.
 func (t *Tree) rebalance(n *node, i int) {
 	child := n.children[i]
 	// Borrow from left sibling.
 	if i > 0 && len(n.children[i-1].keys) > minKeys {
-		left := n.children[i-1]
+		left := t.writableChild(n, i-1)
 		if child.leaf() {
 			last := len(left.keys) - 1
 			child.keys = append([][]byte{left.keys[last]}, child.keys...)
@@ -241,7 +310,7 @@ func (t *Tree) rebalance(n *node, i int) {
 	}
 	// Borrow from right sibling.
 	if i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys {
-		right := n.children[i+1]
+		right := t.writableChild(n, i+1)
 		if child.leaf() {
 			child.keys = append(child.keys, right.keys[0])
 			child.rids = append(child.rids, right.rids[0])
@@ -261,11 +330,11 @@ func (t *Tree) rebalance(n *node, i int) {
 	if i > 0 {
 		i-- // merge children[i] (left) and children[i+1] (the underflowing one)
 	}
-	left, right := n.children[i], n.children[i+1]
+	left := t.writableChild(n, i)
+	right := t.writableChild(n, i+1)
 	if left.leaf() {
 		left.keys = append(left.keys, right.keys...)
 		left.rids = append(left.rids, right.rids...)
-		left.next = right.next
 	} else {
 		left.keys = append(left.keys, n.keys[i])
 		left.keys = append(left.keys, right.keys...)
@@ -275,10 +344,58 @@ func (t *Tree) rebalance(n *node, i int) {
 	n.children = append(n.children[:i+1], n.children[i+2:]...)
 }
 
-// Iterator walks entries in ascending key order.
+// Snapshot is an immutable point-in-time view of a tree, safe for concurrent
+// lock-free traversal while the owning tree keeps changing.
+type Snapshot struct {
+	root  *node
+	size  int
+	reads *atomic.Int64
+}
+
+// Snapshot publishes the current tree as an immutable Snapshot and advances
+// the copy-on-write epoch. The result is cached: snapshotting an unmodified
+// tree returns the same Snapshot without copying anything. Snapshot must be
+// called from the writer side; the returned Snapshot itself is safe for
+// concurrent use.
+func (t *Tree) Snapshot() *Snapshot {
+	if t.snap == nil {
+		t.epoch++
+		t.snap = &Snapshot{root: t.root, size: t.size, reads: t.NodeReads}
+	}
+	return t.snap
+}
+
+// Len returns the number of entries in the snapshot.
+func (s *Snapshot) Len() int { return s.size }
+
+// Get returns the RID stored under key.
+func (s *Snapshot) Get(key []byte) (heap.RID, bool) {
+	return get(s.root, key, s.reads)
+}
+
+// Seek returns an iterator positioned at the first key >= start. A nil start
+// begins at the smallest key. end, when non-nil, is an exclusive upper bound.
+func (s *Snapshot) Seek(start, end []byte) *Iterator {
+	return seek(s.root, start, end, s.reads)
+}
+
+// ScanPrefix returns an iterator over all keys with the given prefix.
+func (s *Snapshot) ScanPrefix(prefix []byte) *Iterator {
+	return s.Seek(prefix, prefixSuccessor(prefix))
+}
+
+// iterFrame is one level of an iterator's descent stack: a node plus the
+// index of the key (leaf) or child (interior) the iterator is at.
+type iterFrame struct {
+	n *node
+	i int
+}
+
+// Iterator walks entries in ascending key order. It keeps the root-to-leaf
+// descent stack instead of following sideways leaf links, so it works over
+// copy-on-write snapshots whose leaves carry no next pointers.
 type Iterator struct {
-	n     *node
-	i     int
+	stack []iterFrame   // path from root (bottom) to current leaf (top)
 	end   []byte        // exclusive upper bound; nil = none
 	reads *atomic.Int64 // owning tree's node-read counter; may be nil
 }
@@ -286,7 +403,12 @@ type Iterator struct {
 // Seek returns an iterator positioned at the first key >= start. A nil start
 // begins at the smallest key. end, when non-nil, is an exclusive upper bound.
 func (t *Tree) Seek(start, end []byte) *Iterator {
-	n := t.root
+	return seek(t.root, start, end, t.NodeReads)
+}
+
+func seek(root *node, start, end []byte, reads *atomic.Int64) *Iterator {
+	it := &Iterator{end: end, reads: reads}
+	n := root
 	visited := int64(1)
 	for !n.leaf() {
 		i := 0
@@ -296,16 +418,19 @@ func (t *Tree) Seek(start, end []byte) *Iterator {
 				i++
 			}
 		}
+		it.stack = append(it.stack, iterFrame{n: n, i: i})
 		n = n.children[i]
 		visited++
 	}
-	t.readNodes(visited)
+	if reads != nil {
+		reads.Add(visited)
+	}
 	i := 0
 	if start != nil {
 		i = n.search(start)
 	}
-	it := &Iterator{n: n, i: i, end: end, reads: t.NodeReads}
-	it.skipExhausted()
+	it.stack = append(it.stack, iterFrame{n: n, i: i})
+	it.advance()
 	return it
 }
 
@@ -326,33 +451,66 @@ func prefixSuccessor(p []byte) []byte {
 	return nil
 }
 
-func (it *Iterator) skipExhausted() {
-	for it.n != nil && it.i >= len(it.n.keys) {
-		it.n = it.n.next
-		it.i = 0
-		if it.reads != nil && it.n != nil {
-			it.reads.Add(1)
+// advance moves the iterator to the next positioned leaf entry, popping
+// exhausted frames and descending into the leftmost path of the next
+// sibling subtree.
+func (it *Iterator) advance() {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		if top.n.leaf() {
+			if top.i < len(top.n.keys) {
+				return
+			}
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		top.i++
+		if top.i >= len(top.n.children) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		// Descend to the leftmost leaf of the next child subtree.
+		n := top.n.children[top.i]
+		visited := int64(1)
+		for !n.leaf() {
+			it.stack = append(it.stack, iterFrame{n: n, i: 0})
+			n = n.children[0]
+			visited++
+		}
+		it.stack = append(it.stack, iterFrame{n: n, i: 0})
+		if it.reads != nil {
+			it.reads.Add(visited)
 		}
 	}
 }
 
 // Valid reports whether the iterator is positioned on an entry.
 func (it *Iterator) Valid() bool {
-	if it.n == nil || it.i >= len(it.n.keys) {
+	if len(it.stack) == 0 {
 		return false
 	}
-	return it.end == nil || bytes.Compare(it.n.keys[it.i], it.end) < 0
+	top := it.stack[len(it.stack)-1]
+	if top.i >= len(top.n.keys) {
+		return false
+	}
+	return it.end == nil || bytes.Compare(top.n.keys[top.i], it.end) < 0
 }
 
 // Key returns the current key. Valid only while Valid() is true. The slice
 // aliases tree memory and must not be mutated.
-func (it *Iterator) Key() []byte { return it.n.keys[it.i] }
+func (it *Iterator) Key() []byte {
+	top := it.stack[len(it.stack)-1]
+	return top.n.keys[top.i]
+}
 
 // RID returns the current record id.
-func (it *Iterator) RID() heap.RID { return it.n.rids[it.i] }
+func (it *Iterator) RID() heap.RID {
+	top := it.stack[len(it.stack)-1]
+	return top.n.rids[top.i]
+}
 
 // Next advances the iterator.
 func (it *Iterator) Next() {
-	it.i++
-	it.skipExhausted()
+	it.stack[len(it.stack)-1].i++
+	it.advance()
 }

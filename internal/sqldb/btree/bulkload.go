@@ -49,7 +49,6 @@ func BulkLoad(items []Item) (*Tree, error) {
 	// places before its i-th child.
 	firsts := make([][]byte, 0, numLeaves)
 	idx := 0
-	var prev *node
 	for i := 0; i < numLeaves; i++ {
 		cnt := base
 		if i < extra {
@@ -72,10 +71,6 @@ func BulkLoad(items []Item) (*Tree, error) {
 			nd.rids[j] = items[idx].RID
 			idx++
 		}
-		if prev != nil {
-			prev.next = nd
-		}
-		prev = nd
 		level = append(level, nd)
 		firsts = append(firsts, nd.keys[0])
 	}

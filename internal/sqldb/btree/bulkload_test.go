@@ -162,37 +162,34 @@ func TestBulkLoadRejectsUnsorted(t *testing.T) {
 	}
 }
 
-// TestBulkLoadLeafChain checks the leaf sibling links that range iteration
-// depends on: every key must be reachable by walking leaf next pointers.
-func TestBulkLoadLeafChain(t *testing.T) {
+// TestBulkLoadIterationOrder checks the property range iteration depends on:
+// every key must be reachable by a full-range iterator, in strictly
+// ascending order, from well-formed leaves.
+func TestBulkLoadIterationOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	items := randomSortedItems(rng, 3000)
 	tr, err := BulkLoad(items)
 	if err != nil {
 		t.Fatal(err)
 	}
-	n := tr.root
-	for !n.leaf() {
-		n = n.children[0]
-	}
 	count := 0
 	var prev []byte
-	for ; n != nil; n = n.next {
-		if len(n.keys) == 0 {
-			t.Fatal("empty leaf in chain")
+	for it := tr.Seek(nil, nil); it.Valid(); it.Next() {
+		leaf := it.stack[len(it.stack)-1].n
+		if len(leaf.keys) == 0 {
+			t.Fatal("empty leaf reached by iterator")
 		}
-		if len(n.keys) > maxKeys {
-			t.Fatalf("overfull leaf: %d keys", len(n.keys))
+		if len(leaf.keys) > maxKeys {
+			t.Fatalf("overfull leaf: %d keys", len(leaf.keys))
 		}
-		for _, k := range n.keys {
-			if prev != nil && bytes.Compare(prev, k) >= 0 {
-				t.Fatalf("leaf chain out of order at %x", k)
-			}
-			prev = k
-			count++
+		k := it.Key()
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("iteration out of order at %x", k)
 		}
+		prev = append(prev[:0], k...)
+		count++
 	}
 	if count != len(items) {
-		t.Fatalf("leaf chain has %d keys, want %d", count, len(items))
+		t.Fatalf("iterator visited %d keys, want %d", count, len(items))
 	}
 }

@@ -22,7 +22,6 @@ const minFill = bulkFill / 2
 //     child i of an interior node n satisfies n.keys[i-1] <= key < n.keys[i]
 //     (equal separators descend right, matching the search convention);
 //   - balance: every leaf is at the same depth;
-//   - leaf chain: the next pointers link exactly the leaves, left to right;
 //   - size: Len() equals the total number of leaf keys.
 //
 // Validate is a diagnostic: it reads the whole tree and is not meant for hot
@@ -39,7 +38,6 @@ func (t *Tree) Validate() []string {
 	}
 
 	leafDepth := -1
-	var leaves []*node
 	total := 0
 	var walk func(n *node, depth int, lower, upper []byte)
 	walk = func(n *node, depth int, lower, upper []byte) {
@@ -69,7 +67,6 @@ func (t *Tree) Validate() []string {
 			} else if depth != leafDepth {
 				report("leaf at depth %d but first leaf at depth %d: tree unbalanced", depth, leafDepth)
 			}
-			leaves = append(leaves, n)
 			total += len(n.keys)
 			return
 		}
@@ -89,17 +86,6 @@ func (t *Tree) Validate() []string {
 		}
 	}
 	walk(t.root, 0, nil, nil)
-
-	// The next chain must thread exactly the in-order leaves.
-	for i, l := range leaves {
-		var want *node
-		if i+1 < len(leaves) {
-			want = leaves[i+1]
-		}
-		if l.next != want {
-			report("leaf %d of %d has a broken next link", i, len(leaves))
-		}
-	}
 	if total != t.size {
 		report("tree size %d but leaves hold %d keys", t.size, total)
 	}

@@ -474,27 +474,7 @@ func (t *Table) Scan(fn func(rid heap.RID, row sqltypes.Row) bool) error {
 // the equality prefix lies in [low, high] (nil bounds are open). fn receives
 // the RID; loading the row is the caller's choice.
 func (t *Table) IndexScan(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool, fn func(rid heap.RID) bool) {
-	prefix := ix.prefixFor(eq)
-	start := prefix
-	var end []byte
-	if low != nil {
-		start = sqltypes.EncodeKey(append([]byte{}, prefix...), *low)
-		if lowExcl {
-			// Skip all entries equal to low: successor of the encoded value
-			// within this column (works because keys are self-delimiting).
-			start = sqltypes.PrefixSuccessor(start)
-		}
-	}
-	if high != nil {
-		hk := sqltypes.EncodeKey(append([]byte{}, prefix...), *high)
-		if highExcl {
-			end = hk
-		} else {
-			end = sqltypes.PrefixSuccessor(hk)
-		}
-	} else {
-		end = sqltypes.PrefixSuccessor(prefix)
-	}
+	start, end := indexRange(ix, eq, low, high, lowExcl, highExcl)
 	it := ix.Tree.Seek(start, end)
 	for ; it.Valid(); it.Next() {
 		t.counters.IndexProbes.Add(1)
@@ -505,12 +485,34 @@ func (t *Table) IndexScan(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Va
 }
 
 // Catalog is the set of tables and indexes of one database.
+//
+// DDL is copy-on-write: every schema change replaces the tables map (and,
+// for index changes, the affected *Table) with fresh objects rather than
+// mutating the ones in place. Schema objects reachable from a published
+// View are therefore immutable, which is what lets readers plan and execute
+// against a View without holding any lock while DDL proceeds.
 type Catalog struct {
 	tables   map[string]*Table
 	Counters Counters
 	// version counts schema changes (DDL). Plan caches key their entries by
 	// it, so a CREATE/DROP TABLE/INDEX invalidates every cached plan.
 	version atomic.Uint64
+}
+
+// replaceTables swaps in a copy of the tables map with name remapped to t
+// (or removed when t is nil) and bumps the schema version.
+func (c *Catalog) replaceTables(name string, t *Table) {
+	m := make(map[string]*Table, len(c.tables)+1)
+	for n, old := range c.tables {
+		m[n] = old
+	}
+	if t == nil {
+		delete(m, name)
+	} else {
+		m[name] = t
+	}
+	c.tables = m
+	c.version.Add(1)
 }
 
 // Version returns the schema version counter, bumped by every DDL change.
@@ -543,8 +545,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		}
 		t.colIdx[col.Name] = i
 	}
-	c.tables[name] = t
-	c.version.Add(1)
+	c.replaceTables(name, t)
 	return t, nil
 }
 
@@ -553,8 +554,7 @@ func (c *Catalog) DropTable(name string) error {
 	if _, ok := c.tables[name]; !ok {
 		return fmt.Errorf("table %s does not exist", name)
 	}
-	delete(c.tables, name)
-	c.version.Add(1)
+	c.replaceTables(name, nil)
 	return nil
 }
 
@@ -618,7 +618,10 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 	}
 	tree.NodeReads = &c.Counters.BtreeNodeReads
 	ix.Tree = tree
-	t.Indexes = append(t.Indexes, ix)
+	// Replace the Indexes slice with a fresh copy rather than appending in
+	// place: published Views capture the old slice at snapshot time, so its
+	// backing array must never be written again.
+	t.Indexes = append(append([]*Index(nil), t.Indexes...), ix)
 	c.version.Add(1)
 	return ix, nil
 }
@@ -628,7 +631,12 @@ func (c *Catalog) DropIndex(name string) error {
 	for _, t := range c.tables {
 		for i, ix := range t.Indexes {
 			if ix.Name == name {
-				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				// Fresh slice for the same reason as CreateIndex: Views hold
+				// the old one.
+				keep := make([]*Index, 0, len(t.Indexes)-1)
+				keep = append(keep, t.Indexes[:i]...)
+				keep = append(keep, t.Indexes[i+1:]...)
+				t.Indexes = keep
 				c.version.Add(1)
 				return nil
 			}

@@ -6,16 +6,19 @@ import (
 	"ordxml/internal/sqldb/sqltypes"
 )
 
-// RowIter is a pull iterator over all live rows of a table. It snapshots the
-// RID list at creation, so callers that mutate the table while iterating see
-// a stable view.
+// RowIter is a pull iterator over all live rows of a table view. Over a
+// storage snapshot it streams pages directly; over live storage it snapshots
+// the RID list at creation, so callers that mutate the table while iterating
+// see a stable view.
 type RowIter struct {
-	t    *Table
+	t  *Table
+	it *heap.Iter // snapshot path
+	// live path
 	rids []heap.RID
 	pos  int
 }
 
-// RowIter returns an iterator over the table's rows in RID order.
+// RowIter returns an iterator over the table's live rows in RID order.
 func (t *Table) RowIter() *RowIter {
 	it := &RowIter{t: t, rids: make([]heap.RID, 0, t.RowCount())}
 	t.Heap.Scan(func(rid heap.RID, _ []byte) bool {
@@ -25,9 +28,36 @@ func (t *Table) RowIter() *RowIter {
 	return it
 }
 
+// RowIter returns an iterator over the view's rows in RID order.
+func (td *TableData) RowIter() *RowIter {
+	if td.heap != nil {
+		return &RowIter{t: td.t, it: td.heap.Iter()}
+	}
+	return td.t.RowIter()
+}
+
+// RowIterRange returns an iterator over rows on heap pages [lo, hi) — one
+// worker's share of a page-range partitioned parallel scan. Only snapshot
+// views support it; parallel plans never run against live storage.
+func (td *TableData) RowIterRange(lo, hi int) *RowIter {
+	return &RowIter{t: td.t, it: td.heap.IterRange(lo, hi)}
+}
+
 // Next returns the next row, or ok=false at the end. Rows deleted since the
 // snapshot are skipped.
 func (it *RowIter) Next() (heap.RID, sqltypes.Row, bool, error) {
+	if it.it != nil {
+		rid, data, ok := it.it.Next()
+		if !ok {
+			return heap.RID{}, nil, false, nil
+		}
+		row, err := sqltypes.DecodeRow(data)
+		if err != nil {
+			return heap.RID{}, nil, false, err
+		}
+		it.t.counters.RowsScanned.Add(1)
+		return rid, row, true, nil
+	}
 	for it.pos < len(it.rids) {
 		rid := it.rids[it.pos]
 		it.pos++
@@ -45,22 +75,17 @@ func (it *RowIter) Next() (heap.RID, sqltypes.Row, bool, error) {
 	return heap.RID{}, nil, false, nil
 }
 
-// IndexIter is a pull iterator over an index range.
-type IndexIter struct {
-	t  *Table
-	it *btree.Iterator
-}
-
-// IndexIter returns a pull iterator with the same range semantics as
-// IndexScan: an equality prefix over the leading index columns, then an
-// optional range on the next column.
-func (t *Table) IndexIter(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool) *IndexIter {
+// indexRange builds the [start, end) key range for an index scan: an
+// equality prefix over the leading index columns, then an optional residual
+// range on the next column (nil bounds are open).
+func indexRange(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool) (start, end []byte) {
 	prefix := ix.prefixFor(eq)
-	start := prefix
-	var end []byte
+	start = prefix
 	if low != nil {
 		start = sqltypes.EncodeKey(append([]byte{}, prefix...), *low)
 		if lowExcl {
+			// Skip all entries equal to low: successor of the encoded value
+			// within this column (works because keys are self-delimiting).
 			start = sqltypes.PrefixSuccessor(start)
 		}
 	}
@@ -74,7 +99,28 @@ func (t *Table) IndexIter(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Va
 	} else {
 		end = sqltypes.PrefixSuccessor(prefix)
 	}
+	return start, end
+}
+
+// IndexIter is a pull iterator over an index range.
+type IndexIter struct {
+	t  *Table
+	it *btree.Iterator
+}
+
+// IndexIter returns a pull iterator with the same range semantics as
+// IndexScan: an equality prefix over the leading index columns, then an
+// optional range on the next column.
+func (t *Table) IndexIter(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool) *IndexIter {
+	start, end := indexRange(ix, eq, low, high, lowExcl, highExcl)
 	return &IndexIter{t: t, it: ix.Tree.Seek(start, end)}
+}
+
+// IndexIter returns a pull iterator over the view's index data with the same
+// range semantics as Table.IndexIter.
+func (td *TableData) IndexIter(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Value, lowExcl, highExcl bool) *IndexIter {
+	start, end := indexRange(ix, eq, low, high, lowExcl, highExcl)
+	return &IndexIter{t: td.t, it: td.seekTree(ix, start, end)}
 }
 
 // Next returns the next matching RID, or ok=false at the end.

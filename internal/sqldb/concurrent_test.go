@@ -1,0 +1,271 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ordxml/internal/sqldb/sqltypes"
+)
+
+// concurrentFixture builds a table big enough to clear the parallel planner
+// threshold, with every row's v column set to 0.
+func concurrentFixture(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := Open()
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	batch := make([]sqltypes.Row, rows)
+	for i := range batch {
+		batch[i] = sqltypes.Row{I(int64(i)), I(0)}
+	}
+	if _, err := db.BulkInsert("t", batch); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestReaderRunsWhileWriteLockHeld is the no-store-wide-lock acceptance
+// test: a reader must complete while the engine's write lock is held for the
+// whole duration of the read. Holding db.mu directly stands in for the
+// longest possible mutation.
+func TestReaderRunsWhileWriteLockHeld(t *testing.T) {
+	db := concurrentFixture(t, 100)
+
+	db.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		res, err := db.Query(`SELECT COUNT(*) FROM t`)
+		if err == nil && res.Rows[0][0].Int() != 100 {
+			err = fmt.Errorf("count = %d, want 100", res.Rows[0][0].Int())
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("read under held write lock: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader blocked behind the write lock")
+	}
+	db.mu.Unlock()
+}
+
+// TestSnapshotReadsAreNotTorn drives one writer that atomically rewrites
+// every row's v to the same new value (one UPDATE statement = one published
+// view) against concurrent readers asserting MIN(v) == MAX(v). A reader that
+// mixed pages from different versions would observe a torn pair. Runs with
+// parallelism enabled so the parallel scan path reads snapshots too.
+func TestSnapshotReadsAreNotTorn(t *testing.T) {
+	const rows = 4096
+	db := concurrentFixture(t, rows)
+	db.SetParallelism(4)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := int64(1); !stop.Load(); k++ {
+			if _, err := db.Exec(`UPDATE t SET v = ?`, I(k)); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	readers := 4
+	var rg sync.WaitGroup
+	rg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 200; i++ {
+				res, err := db.Query(`SELECT MIN(v), MAX(v), COUNT(*) FROM t`)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				lo, hi, n := res.Rows[0][0].Int(), res.Rows[0][1].Int(), res.Rows[0][2].Int()
+				if lo != hi {
+					t.Errorf("torn read: min v=%d, max v=%d", lo, hi)
+					return
+				}
+				if n != rows {
+					t.Errorf("row count %d, want %d", n, rows)
+					return
+				}
+			}
+		}()
+	}
+	rg.Wait()
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestSnapshotRepeatableRead pins a Snap and checks it keeps serving the
+// version it was taken at while the live view moves on.
+func TestSnapshotRepeatableRead(t *testing.T) {
+	db := concurrentFixture(t, 10)
+
+	snap := db.Snapshot()
+	mustExec(t, db, `UPDATE t SET v = 7`)
+
+	res, err := snap.Query(`SELECT MAX(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 0 {
+		t.Errorf("pinned snapshot saw v=%d, want 0", got)
+	}
+	res, err = db.Query(`SELECT MAX(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 7 {
+		t.Errorf("live view saw v=%d, want 7", got)
+	}
+
+	// Prepared statements pin the same way.
+	stmt, err := db.Prepare(`SELECT MIN(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = stmt.QueryAt(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 0 {
+		t.Errorf("prepared QueryAt saw v=%d, want 0", got)
+	}
+}
+
+// TestSnapshotSeesDDL checks version-keyed plans across concurrent DDL: a
+// query planned before an index drop must not reuse the dropped index's
+// plan after the version bump.
+func TestSnapshotSeesDDL(t *testing.T) {
+	db := concurrentFixture(t, 100)
+	mustExec(t, db, `CREATE INDEX t_v ON t (v)`)
+	q := `SELECT COUNT(*) FROM t WHERE v = 0`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count = %d", res.Rows[0][0].Int())
+	}
+	mustExec(t, db, `DROP INDEX t_v`)
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("count after drop = %d", res.Rows[0][0].Int())
+	}
+}
+
+// TestSetParallelismInvalidatesPlans flips parallelism and checks cached
+// plans are rebuilt with the new setting (the cache is keyed by version,
+// which DDL bumps but SetParallelism does not — it must invalidate instead).
+func TestSetParallelismInvalidatesPlans(t *testing.T) {
+	db := concurrentFixture(t, 4096)
+	q := `SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v`
+
+	p, err := db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p, "Gather") {
+		t.Fatalf("serial plan already parallel:\n%s", p)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	db.SetParallelism(4)
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	p, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p, "Gather workers=4") {
+		t.Fatalf("plan not parallel after SetParallelism(4):\n%s", p)
+	}
+
+	db.SetParallelism(1)
+	p, err = db.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p, "Gather") {
+		t.Fatalf("plan still parallel after SetParallelism(1):\n%s", p)
+	}
+}
+
+// TestAtomicallyPublishesOnce checks that mutations inside an Atomically
+// window are invisible to readers until the window closes, then all appear
+// in one published view.
+func TestAtomicallyPublishesOnce(t *testing.T) {
+	db := concurrentFixture(t, 8)
+
+	inWindow := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- db.Atomically(func() error {
+			if _, err := db.Exec(`UPDATE t SET v = 1 WHERE id = 0`); err != nil {
+				return err
+			}
+			if _, err := db.Exec(`UPDATE t SET v = 1 WHERE id = 1`); err != nil {
+				return err
+			}
+			close(inWindow)
+			<-release
+			return nil
+		})
+	}()
+
+	<-inWindow
+	res, err := db.Query(`SELECT SUM(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 0 {
+		t.Errorf("reader saw %d mid-window, want 0", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(`SELECT SUM(v) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 2 {
+		t.Errorf("after window SUM(v) = %d, want 2", got)
+	}
+
+	// Nested windows publish at the outermost exit only — but they do
+	// publish: the inner window's write must be visible afterwards.
+	err = db.Atomically(func() error {
+		return db.Atomically(func() error {
+			_, err := db.Exec(`UPDATE t SET v = 7 WHERE id = 0`)
+			return err
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(`SELECT v FROM t WHERE id = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 7 {
+		t.Errorf("after nested windows v = %d, want 7 (nested Atomically never published)", got)
+	}
+}

@@ -4,21 +4,28 @@
 // assumes ("a relational database system"); the ordered-XML layer issues all
 // of its SQL through this package.
 //
-// Concurrency: a DB is safe for concurrent use; statements take a
-// reader/writer lock (queries share, DML/DDL are exclusive). There is no
-// transaction log or MVCC — the paper's experiments are single-user — but
-// every statement is applied atomically with respect to other statements.
+// Concurrency: a DB is safe for concurrent use. Mutating statements (DML and
+// DDL) serialize on the engine's write lock; after every mutation the engine
+// publishes an immutable catalog View (copy-on-write snapshots of every
+// table's heap and indexes) through an atomic pointer. Queries load that
+// pointer and plan + execute entirely against the snapshot with no lock
+// held, so readers never block behind writers and scale with cores. A
+// Snapshot() pins one View across multiple statements for repeatable reads.
+// Old snapshot versions are reclaimed by the garbage collector once the last
+// reader drops them.
 package sqldb
 
 import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/exec"
+	"ordxml/internal/sqldb/heap"
 	"ordxml/internal/sqldb/plan"
 	"ordxml/internal/sqldb/sqlparse"
 	"ordxml/internal/sqldb/sqltypes"
@@ -30,6 +37,17 @@ type DB struct {
 	cat     *catalog.Catalog
 	plans   *planCache
 	metrics *dbMetrics
+	// view is the last published catalog snapshot; queries load it with no
+	// lock held. Mutating statements republish it (cheap: unchanged tables
+	// reuse their cached storage snapshots).
+	view atomic.Pointer[catalog.View]
+	// workers is the session parallelism degree handed to the planner;
+	// 1 (the default) plans serially.
+	workers atomic.Int32
+	// atomicDepth > 0 defers view publication to the enclosing Atomically
+	// call, so a multi-statement operation appears to readers all at once.
+	atomicDepth atomic.Int32
+	publishes   *obs.Counter
 }
 
 // Result is re-exported for callers of Query.
@@ -39,8 +57,65 @@ type Result = exec.Result
 func Open() *DB {
 	reg := obs.NewRegistry()
 	db := &DB{cat: catalog.New(), plans: newPlanCache(reg), metrics: newDBMetrics(reg)}
+	db.workers.Store(1)
+	db.publishes = reg.Counter("sqldb.view.publishes")
+	reg.RegisterFunc("sqldb.view.version", func() int64 {
+		return int64(db.view.Load().Version())
+	})
 	db.registerStorageFuncs()
+	db.publish()
 	return db
+}
+
+// publish rebuilds and atomically installs the readers' catalog view. The
+// caller must hold the write lock (or be the only goroutine with the DB, as
+// in Open/Load). Inside an Atomically window publication is deferred to the
+// window's end — any skipped publish is covered by that final one, which
+// rebuilds the view from the live catalog.
+func (db *DB) publish() {
+	if db.atomicDepth.Load() > 0 {
+		return
+	}
+	db.view.Store(db.cat.BuildView())
+	db.publishes.Inc()
+}
+
+// Atomically runs fn — typically several mutating statements — and publishes
+// a single catalog view when it returns, so concurrent readers observe all
+// of fn's effects or none of them (statements before fn's first mutation
+// keep seeing the prior view). Statements inside fn read the view published
+// *before* the window: fn must issue its reads before the writes whose
+// effects they would observe, which every multi-statement operation in this
+// codebase already does. Nested calls publish once, at the outermost exit;
+// the publish happens even when fn fails, since a failed multi-statement
+// operation may have applied a prefix.
+func (db *DB) Atomically(fn func() error) error {
+	db.atomicDepth.Add(1)
+	err := fn()
+	if db.atomicDepth.Add(-1) == 0 {
+		db.mu.Lock()
+		db.publish()
+		db.mu.Unlock()
+	}
+	return err
+}
+
+// SetParallelism sets the worker count the planner may use for parallel
+// operators (Gather, PartitionedHashJoin); n <= 1 plans serially. Cached
+// plans embed the old setting, so the plan cache is invalidated.
+func (db *DB) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.workers.Store(int32(n))
+	db.plans.invalidate()
+}
+
+// Parallelism returns the current planner worker count.
+func (db *DB) Parallelism() int { return int(db.workers.Load()) }
+
+func (db *DB) planOpts() plan.Options {
+	return plan.Options{Workers: int(db.workers.Load())}
 }
 
 // Catalog exposes the live catalog (used by tests and the stats reporting in
@@ -74,6 +149,9 @@ func (db *DB) Exec(sql string, params ...sqltypes.Value) (int, error) {
 func (db *DB) exec(sql string, params []sqltypes.Value) (int, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	// Republish the readers' view even on error: a failed multi-row DML may
+	// have applied a prefix of its writes.
+	defer db.publish()
 	stmt, cached := db.plans.lookup(sql, db.cat.Version())
 	if cached != nil {
 		if isDMLPlan(cached) {
@@ -161,13 +239,15 @@ func (db *DB) createTable(s *sqlparse.CreateTable) error {
 	return nil
 }
 
-// Query runs a SELECT and materializes the result. Plans are cached by SQL
-// text and revalidated against the catalog version, so repeated queries skip
-// parse and plan. EXPLAIN and EXPLAIN ANALYZE statements are also accepted:
-// they return a single "plan" column with one row per plan line.
+// Query runs a SELECT and materializes the result. It takes no lock: the
+// query plans and executes against the last published catalog view, while
+// writers proceed concurrently. Plans are cached by SQL text and revalidated
+// against the catalog version, so repeated queries skip parse and plan.
+// EXPLAIN and EXPLAIN ANALYZE statements are also accepted: they return a
+// single "plan" column with one row per plan line.
 func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
 	start := time.Now()
-	res, err := db.query(sql, nil, params)
+	res, err := db.queryAt(db.view.Load(), sql, nil, params)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
@@ -176,27 +256,47 @@ func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
 	return res, err
 }
 
-func (db *DB) query(sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	node, ex, err := db.selectPlan(sql, preparsed)
+func (db *DB) queryAt(v *catalog.View, sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
+	node, ex, err := db.selectPlan(v, sql, preparsed)
 	if err != nil {
 		return nil, err
 	}
 	if ex != nil {
-		return db.runExplain(ex, params)
+		return db.runExplain(v, ex, params)
 	}
-	return exec.Run(node, params)
+	if planParallelism(node) > 0 {
+		db.metrics.parallelQ.Inc()
+	}
+	return exec.Run(node, params, v)
 }
 
-// selectPlan compiles (or fetches from the cache) the plan for a SELECT.
-// preparsed, when non-nil, is the already-parsed AST (prepared statements)
-// used on a cache miss. The caller holds at least the read lock, so the
-// catalog version cannot change between lookup and store. EXPLAIN statements
-// are returned unplanned (and are never cached): the caller runs them
-// through runExplain.
-func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, *sqlparse.Explain, error) {
-	ver := db.cat.Version()
+// planParallelism returns the widest worker count of any exchange operator
+// in the plan, or 0 for a serial plan.
+func planParallelism(n plan.Node) int {
+	w := 0
+	switch x := n.(type) {
+	case *plan.Gather:
+		w = x.Workers
+	case *plan.PartitionedHashJoin:
+		w = x.Workers
+	}
+	for _, c := range plan.Children(n) {
+		if cw := planParallelism(c); cw > w {
+			w = cw
+		}
+	}
+	return w
+}
+
+// selectPlan compiles (or fetches from the cache) the plan for a SELECT
+// against catalog view v. preparsed, when non-nil, is the already-parsed AST
+// (prepared statements) used on a cache miss. Plans are keyed by the view's
+// catalog version: a concurrent DDL publishes a newer version, so its
+// readers miss and replan rather than reuse schema objects that are not in
+// their view. EXPLAIN statements are returned unplanned (and are never
+// cached): the caller runs them through runExplain.
+func (db *DB) selectPlan(v *catalog.View, sql string, preparsed sqlparse.Statement) (plan.Node, *sqlparse.Explain, error) {
+	ver := v.Version()
 	stmt, cached := db.plans.lookup(sql, ver)
 	if cached != nil {
 		if node, ok := cached.(plan.Node); ok {
@@ -220,7 +320,7 @@ func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, *
 	if !ok {
 		return nil, nil, fmt.Errorf("Query requires a SELECT statement")
 	}
-	node, err := plan.PlanSelect(db.cat, sel)
+	node, err := plan.PlanSelectOpts(v, sel, db.planOpts())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -228,11 +328,11 @@ func (db *DB) selectPlan(sql string, preparsed sqlparse.Statement) (plan.Node, *
 	return node, nil, nil
 }
 
-// runExplain executes an EXPLAIN [ANALYZE] statement. The caller holds at
-// least the read lock. The result has one "plan" column with a row per line.
-func (db *DB) runExplain(ex *sqlparse.Explain, params []sqltypes.Value) (*Result, error) {
+// runExplain executes an EXPLAIN [ANALYZE] statement against view v, with no
+// lock held. The result has one "plan" column with a row per line.
+func (db *DB) runExplain(v *catalog.View, ex *sqlparse.Explain, params []sqltypes.Value) (*Result, error) {
 	if !ex.Analyze {
-		text, err := db.explainText(ex.Stmt)
+		text, err := db.explainText(v, ex.Stmt)
 		if err != nil {
 			return nil, err
 		}
@@ -242,12 +342,12 @@ func (db *DB) runExplain(ex *sqlparse.Explain, params []sqltypes.Value) (*Result
 	if !ok {
 		return nil, fmt.Errorf("EXPLAIN ANALYZE supports only SELECT statements")
 	}
-	node, err := plan.PlanSelect(db.cat, sel)
+	node, err := plan.PlanSelectOpts(v, sel, db.planOpts())
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, stats, err := exec.RunAnalyze(node, params)
+	res, stats, err := exec.RunAnalyze(node, params, v)
 	total := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -278,9 +378,7 @@ func (db *DB) ExplainAnalyze(sql string, params ...sqltypes.Value) (string, erro
 	if e, ok := stmt.(*sqlparse.Explain); ok {
 		stmt = e.Stmt
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	res, err := db.runExplain(&sqlparse.Explain{Stmt: stmt, Analyze: true}, params)
+	res, err := db.runExplain(db.view.Load(), &sqlparse.Explain{Stmt: stmt, Analyze: true}, params)
 	if err != nil {
 		return "", err
 	}
@@ -303,6 +401,7 @@ func (db *DB) BulkInsert(table string, rows []sqltypes.Row) (int, error) {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	defer db.publish()
 	t := db.cat.Table(table)
 	if t == nil {
 		return 0, fmt.Errorf("no such table %s", table)
@@ -322,15 +421,22 @@ func (db *DB) Explain(sql string, params ...sqltypes.Value) (string, error) {
 	if e, ok := stmt.(*sqlparse.Explain); ok {
 		stmt = e.Stmt
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.explainText(stmt)
+	return db.explainText(db.view.Load(), stmt)
 }
 
-// explainText formats the plan of a parsed statement. The caller holds at
-// least the read lock.
-func (db *DB) explainText(stmt sqlparse.Statement) (string, error) {
-	p, err := plan.Plan(db.cat, stmt)
+// explainText formats the plan of a parsed statement. SELECTs plan against
+// view v with the session's parallelism options (matching what Query runs);
+// DML plans against the live catalog under the read lock, matching Exec.
+func (db *DB) explainText(v *catalog.View, stmt sqlparse.Statement) (string, error) {
+	var p any
+	var err error
+	if sel, ok := stmt.(*sqlparse.Select); ok {
+		p, err = plan.PlanSelectOpts(v, sel, db.planOpts())
+	} else {
+		db.mu.RLock()
+		p, err = plan.Plan(db.cat, stmt)
+		db.mu.RUnlock()
+	}
 	if err != nil {
 		return "", err
 	}
@@ -379,21 +485,72 @@ func (s *Stmt) Exec(params ...sqltypes.Value) (int, error) {
 func (s *Stmt) exec(params []sqltypes.Value) (int, error) {
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
+	defer s.db.publish()
 	if _, cached := s.db.plans.lookup(s.sql, s.db.cat.Version()); cached != nil && isDMLPlan(cached) {
 		return runDML(cached, params)
 	}
 	return s.db.execParsed(s.sql, s.stmt, params)
 }
 
-// Query runs a prepared SELECT.
+// Query runs a prepared SELECT against the latest published view, with no
+// lock held.
 func (s *Stmt) Query(params ...sqltypes.Value) (*Result, error) {
+	return s.QueryAt(nil, params...)
+}
+
+// QueryAt runs a prepared SELECT against a pinned snapshot (nil means the
+// latest published view).
+func (s *Stmt) QueryAt(snap *Snap, params ...sqltypes.Value) (*Result, error) {
+	v := s.db.view.Load()
+	if snap != nil {
+		v = snap.v
+	}
 	start := time.Now()
-	res, err := s.db.query(s.sql, s.stmt, params)
+	res, err := s.db.queryAt(v, s.sql, s.stmt, params)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
 	}
 	s.db.metrics.recordQuery(s.sql, time.Since(start), rows, err)
+	return res, err
+}
+
+// Snap pins one published catalog view so several statements observe the
+// same snapshot — no writer, concurrent or otherwise, is visible through it.
+// A Snap is immutable and safe for concurrent use; dropping every reference
+// releases the underlying storage snapshots to the garbage collector.
+type Snap struct {
+	db *DB
+	v  *catalog.View
+}
+
+// Snapshot pins the current published view.
+func (db *DB) Snapshot() *Snap { return &Snap{db: db, v: db.view.Load()} }
+
+// TableStats reports a table's heap occupancy as of the last published view,
+// without locking (safe against concurrent writers). ok is false when the
+// table does not exist.
+func (db *DB) TableStats(name string) (st heap.Stats, ok bool) {
+	v := db.view.Load()
+	t := v.Table(name)
+	if t == nil {
+		return heap.Stats{}, false
+	}
+	return v.Data(t).HeapStats(), true
+}
+
+// Version reports the catalog version the snapshot was published at.
+func (s *Snap) Version() uint64 { return s.v.Version() }
+
+// Query runs a SELECT against the pinned snapshot.
+func (s *Snap) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	start := time.Now()
+	res, err := s.db.queryAt(s.v, sql, nil, params)
+	rows := 0
+	if res != nil {
+		rows = len(res.Rows)
+	}
+	s.db.metrics.recordQuery(sql, time.Since(start), rows, err)
 	return res, err
 }
 

@@ -6,6 +6,7 @@ package exec
 import (
 	"fmt"
 
+	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
 	"ordxml/internal/sqldb/heap"
 	"ordxml/internal/sqldb/plan"
@@ -37,95 +38,125 @@ func DecodeRIDInt(v int64) heap.RID {
 	return heap.RID{Page: uint32(v >> 16), Slot: uint16(v & 0xFFFF)}
 }
 
-// Build compiles a plan node into an operator tree.
-func Build(n plan.Node, params []sqltypes.Value) (Operator, error) {
-	return build(n, params, nil)
+// buildEnv carries the per-query execution context through operator
+// construction: the catalog view the query reads (nil means live storage,
+// the writer side), the optional instrumentation map, and — inside a Gather
+// worker subtree — the shared partition state and the worker's ordinal.
+type buildEnv struct {
+	view   *catalog.View
+	stats  map[plan.Node]*OpStats
+	shared *gatherShared
+	worker int
 }
 
-// build compiles one node (recursively). When stats is non-nil every operator
-// is wrapped with a stats decorator registered in the map under its plan node.
-func build(n plan.Node, params []sqltypes.Value, stats map[plan.Node]*OpStats) (Operator, error) {
-	op, err := buildOp(n, params, stats)
-	if err != nil || stats == nil {
+// data resolves the table's readable storage for this query.
+func (e buildEnv) data(t *catalog.Table) *catalog.TableData { return e.view.Data(t) }
+
+// Build compiles a plan node into an operator tree reading from view (nil
+// for live storage under the engine's write lock).
+func Build(n plan.Node, params []sqltypes.Value, view *catalog.View) (Operator, error) {
+	return build(n, params, buildEnv{view: view})
+}
+
+// build compiles one node (recursively). When env.stats is non-nil every
+// operator is wrapped with a stats decorator registered in the map under its
+// plan node (Gather workers carry their own maps, merged when the gather
+// drains).
+func build(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, error) {
+	op, err := buildOp(n, params, env)
+	if err != nil || env.stats == nil {
 		return op, err
 	}
 	st := &OpStats{}
-	stats[n] = st
+	env.stats[n] = st
 	return &statsOp{op: op, st: st}, nil
 }
 
-func buildOp(n plan.Node, params []sqltypes.Value, stats map[plan.Node]*OpStats) (Operator, error) {
+func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, error) {
 	switch x := n.(type) {
 	case *plan.SeqScan:
-		return newSeqScan(x, params), nil
+		return newSeqScan(x, params, env), nil
 	case *plan.IndexScan:
-		return newIndexScan(x, params), nil
+		return newIndexScan(x, params, env), nil
 	case *plan.Filter:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &filterOp{input: in, pred: x.Pred, env: &expr.Env{Params: params}}, nil
 	case *plan.Project:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &projectOp{input: in, exprs: x.Exprs, env: &expr.Env{Params: params}}, nil
 	case *plan.Trim:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &trimOp{input: in, keep: x.Keep}, nil
 	case *plan.Sort:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &sortOp{input: in, keys: x.Keys, env: &expr.Env{Params: params}}, nil
 	case *plan.Limit:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &limitOp{input: in, node: x, env: &expr.Env{Params: params}}, nil
 	case *plan.Distinct:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOp{input: in}, nil
 	case *plan.HashJoin:
-		l, err := build(x.Left, params, stats)
+		l, err := build(x.Left, params, env)
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(x.Right, params, stats)
+		r, err := build(x.Right, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &hashJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
 			rightWidth: len(x.Right.Schema())}, nil
+	case *plan.PartitionedHashJoin:
+		l, err := build(x.Left, params, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(x.Right, params, env)
+		if err != nil {
+			return nil, err
+		}
+		return &partHashJoinOp{node: x, left: l, right: r, params: params, env: env,
+			rightWidth: len(x.Right.Schema())}, nil
+	case *plan.Gather:
+		return &gatherOp{node: x, params: params, env: env}, nil
 	case *plan.IndexNLJoin:
-		l, err := build(x.Left, params, stats)
+		l, err := build(x.Left, params, env)
 		if err != nil {
 			return nil, err
 		}
-		return newIndexNLJoin(x, l, params), nil
+		return newIndexNLJoin(x, l, params, env), nil
 	case *plan.NLJoin:
-		l, err := build(x.Left, params, stats)
+		l, err := build(x.Left, params, env)
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(x.Right, params, stats)
+		r, err := build(x.Right, params, env)
 		if err != nil {
 			return nil, err
 		}
 		return &nlJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
 			rightWidth: len(x.Right.Schema())}, nil
 	case *plan.HashAggregate:
-		in, err := build(x.Input, params, stats)
+		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
@@ -135,9 +166,10 @@ func buildOp(n plan.Node, params []sqltypes.Value, stats map[plan.Node]*OpStats)
 	}
 }
 
-// Run executes a SELECT plan to completion.
-func Run(n plan.Node, params []sqltypes.Value) (*Result, error) {
-	op, err := Build(n, params)
+// Run executes a SELECT plan to completion against the given view (nil for
+// live storage).
+func Run(n plan.Node, params []sqltypes.Value, view *catalog.View) (*Result, error) {
+	op, err := Build(n, params, view)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +268,7 @@ type dmlMatch struct {
 }
 
 func collectDML(scan plan.Node, params []sqltypes.Value) ([]dmlMatch, error) {
-	op, err := Build(scan, params)
+	op, err := Build(scan, params, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@ type indexNLJoinOp struct {
 	node *plan.IndexNLJoin
 	left Operator
 	env  *expr.Env
+	data *catalog.TableData
 
 	leftRow sqltypes.Row
 	inner   *catalog.IndexIter
@@ -22,9 +23,9 @@ type indexNLJoinOp struct {
 	width   int // right width
 }
 
-func newIndexNLJoin(n *plan.IndexNLJoin, left Operator, params []sqltypes.Value) *indexNLJoinOp {
+func newIndexNLJoin(n *plan.IndexNLJoin, left Operator, params []sqltypes.Value, env buildEnv) *indexNLJoinOp {
 	return &indexNLJoinOp{node: n, left: left, env: &expr.Env{Params: params},
-		width: len(n.Table.Columns)}
+		data: env.data(n.Table), width: len(n.Table.Columns)}
 }
 
 func (j *indexNLJoinOp) Open() error {
@@ -90,7 +91,7 @@ func (j *indexNLJoinOp) openInner() (bool, error) {
 			high = v
 		}
 	}
-	j.inner = j.node.Table.IndexIter(j.node.Index, eq, low, high, j.node.LowExcl, j.node.HighExcl)
+	j.inner = j.data.IndexIter(j.node.Index, eq, low, high, j.node.LowExcl, j.node.HighExcl)
 	return true, nil
 }
 
@@ -115,7 +116,7 @@ func (j *indexNLJoinOp) Next() (sqltypes.Row, bool, error) {
 			j.inner = nil
 			continue
 		}
-		row, err := j.node.Table.Fetch(rid)
+		row, err := j.data.Fetch(rid)
 		if err != nil {
 			return nil, false, fmt.Errorf("index %s points at missing row: %w", j.node.Index.Name, err)
 		}

@@ -5,24 +5,41 @@ import (
 
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
+	"ordxml/internal/sqldb/heap"
 	"ordxml/internal/sqldb/plan"
 	"ordxml/internal/sqldb/sqltypes"
 )
 
-// seqScanOp streams every table row through the residual filters.
+// seqScanOp streams every table row through the residual filters. A parallel
+// scan (beneath a Gather) claims page ranges from the shared cursor instead
+// of iterating the whole heap, so the Gather's workers cover disjoint slices
+// of the table.
 type seqScanOp struct {
 	node *plan.SeqScan
 	env  *expr.Env
+	data *catalog.TableData
 	iter *catalog.RowIter
 	buf  sqltypes.Row
+
+	cursor *pageCursor // non-nil only for a partitioned parallel scan
+	done   bool
 }
 
-func newSeqScan(n *plan.SeqScan, params []sqltypes.Value) *seqScanOp {
-	return &seqScanOp{node: n, env: &expr.Env{Params: params}}
+func newSeqScan(n *plan.SeqScan, params []sqltypes.Value, env buildEnv) *seqScanOp {
+	s := &seqScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table)}
+	if n.Parallel && env.shared != nil && s.data.CanPartition() {
+		s.cursor = env.shared.pageCursor(n, s.data.Pages())
+	}
+	return s
 }
 
 func (s *seqScanOp) Open() error {
-	s.iter = s.node.Table.RowIter()
+	s.done = false
+	if s.cursor != nil {
+		s.iter = nil // ranges claimed lazily in Next
+	} else {
+		s.iter = s.data.RowIter()
+	}
 	width := len(s.node.Table.Columns)
 	if s.node.EmitRID {
 		width++
@@ -33,9 +50,27 @@ func (s *seqScanOp) Open() error {
 
 func (s *seqScanOp) Next() (sqltypes.Row, bool, error) {
 	for {
+		if s.iter == nil {
+			if s.cursor == nil || s.done {
+				return nil, false, nil
+			}
+			lo, hi, ok := s.cursor.claim()
+			if !ok {
+				s.done = true
+				return nil, false, nil
+			}
+			s.iter = s.data.RowIterRange(lo, hi)
+		}
 		rid, row, ok, err := s.iter.Next()
-		if err != nil || !ok {
+		if err != nil {
 			return nil, false, err
+		}
+		if !ok {
+			s.iter = nil
+			if s.cursor == nil {
+				return nil, false, nil
+			}
+			continue
 		}
 		copy(s.buf, row)
 		if s.node.EmitRID {
@@ -64,17 +99,29 @@ func passesAll(filters []expr.Expr, env *expr.Env) (bool, error) {
 	return true, nil
 }
 
-// indexScanOp streams rows matching an index range.
+// indexScanOp streams rows matching an index range. A parallel scan shares
+// one index cursor among the Gather's workers: each worker pulls RID batches
+// under the cursor's lock and performs the heap fetches concurrently.
 type indexScanOp struct {
 	node  *plan.IndexScan
 	env   *expr.Env
+	data  *catalog.TableData
 	iter  *catalog.IndexIter
 	empty bool
 	buf   sqltypes.Row
+
+	shared *gatherShared
+	cursor *ridCursor
+	batch  []heap.RID
+	pos    int
 }
 
-func newIndexScan(n *plan.IndexScan, params []sqltypes.Value) *indexScanOp {
-	return &indexScanOp{node: n, env: &expr.Env{Params: params}}
+func newIndexScan(n *plan.IndexScan, params []sqltypes.Value, env buildEnv) *indexScanOp {
+	s := &indexScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table)}
+	if n.Parallel && env.shared != nil {
+		s.shared = env.shared
+	}
+	return s
 }
 
 // bound evaluates a row-independent bound expression and coerces it to the
@@ -96,16 +143,17 @@ func (s *indexScanOp) bound(e expr.Expr, col int) (*sqltypes.Value, error) {
 	return &cv, nil
 }
 
-func (s *indexScanOp) Open() error {
+// openIter evaluates the scan bounds and opens the index iterator; a nil
+// result means no rows can match (a NULL bound).
+func (s *indexScanOp) openIter() (*catalog.IndexIter, error) {
 	eq := make([]sqltypes.Value, len(s.node.Eq))
 	for i, e := range s.node.Eq {
 		v, err := s.bound(e, i)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if v == nil {
-			s.empty = true
-			return nil
+			return nil, nil
 		}
 		eq[i] = *v
 	}
@@ -113,26 +161,49 @@ func (s *indexScanOp) Open() error {
 	if s.node.Low != nil {
 		v, err := s.bound(s.node.Low, len(eq))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if v == nil {
-			s.empty = true
-			return nil
+			return nil, nil
 		}
 		low = v
 	}
 	if s.node.High != nil {
 		v, err := s.bound(s.node.High, len(eq))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if v == nil {
-			s.empty = true
-			return nil
+			return nil, nil
 		}
 		high = v
 	}
-	s.iter = s.node.Table.IndexIter(s.node.Index, eq, low, high, s.node.LowExcl, s.node.HighExcl)
+	return s.data.IndexIter(s.node.Index, eq, low, high, s.node.LowExcl, s.node.HighExcl), nil
+}
+
+func (s *indexScanOp) Open() error {
+	s.empty = false
+	s.iter = nil
+	s.cursor = nil
+	s.batch = nil
+	s.pos = 0
+	if s.shared != nil {
+		cur, err := s.shared.ridCursor(s.node, s.openIter)
+		if err != nil {
+			return err
+		}
+		s.cursor = cur
+		s.batch = make([]heap.RID, 0, ridBatchSize)
+	} else {
+		it, err := s.openIter()
+		if err != nil {
+			return err
+		}
+		if it == nil {
+			s.empty = true
+		}
+		s.iter = it
+	}
 	width := len(s.node.Table.Columns)
 	if s.node.EmitRID {
 		width++
@@ -146,11 +217,25 @@ func (s *indexScanOp) Next() (sqltypes.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
-		rid, ok := s.iter.Next()
-		if !ok {
-			return nil, false, nil
+		var rid heap.RID
+		if s.cursor != nil {
+			if s.pos >= len(s.batch) {
+				s.batch = s.cursor.nextBatch(s.batch[:0])
+				s.pos = 0
+				if len(s.batch) == 0 {
+					return nil, false, nil
+				}
+			}
+			rid = s.batch[s.pos]
+			s.pos++
+		} else {
+			r, ok := s.iter.Next()
+			if !ok {
+				return nil, false, nil
+			}
+			rid = r
 		}
-		row, err := s.node.Table.Fetch(rid)
+		row, err := s.data.Fetch(rid)
 		if err != nil {
 			return nil, false, fmt.Errorf("index %s points at missing row: %w", s.node.Index.Name, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/plan"
 	"ordxml/internal/sqldb/sqltypes"
 )
@@ -17,6 +18,11 @@ type OpStats struct {
 	Rows  int64
 	Loops int64
 	Time  time.Duration
+	// Workers holds the per-worker breakdown for operators that ran under a
+	// Gather (one entry per worker, in worker order) or for a partitioned
+	// hash join (one entry per partition). For such operators the top-level
+	// Rows/Loops are sums across workers and Time is the slowest worker.
+	Workers []*OpStats
 }
 
 // statsOp decorates an operator, attributing wall time and row counts to its
@@ -50,19 +56,20 @@ func (s *statsOp) Close() { s.op.Close() }
 // BuildInstrumented compiles a plan into an operator tree where every node is
 // wrapped with a stats decorator. The returned map is keyed by plan node and
 // is filled in as the query executes.
-func BuildInstrumented(n plan.Node, params []sqltypes.Value) (Operator, map[plan.Node]*OpStats, error) {
+func BuildInstrumented(n plan.Node, params []sqltypes.Value, view *catalog.View) (Operator, map[plan.Node]*OpStats, error) {
 	stats := make(map[plan.Node]*OpStats)
-	op, err := build(n, params, stats)
+	op, err := build(n, params, buildEnv{view: view, stats: stats})
 	if err != nil {
 		return nil, nil, err
 	}
 	return op, stats, nil
 }
 
-// RunAnalyze executes a SELECT plan with per-operator instrumentation and
-// returns both the result and the collected stats.
-func RunAnalyze(n plan.Node, params []sqltypes.Value) (*Result, map[plan.Node]*OpStats, error) {
-	op, stats, err := BuildInstrumented(n, params)
+// RunAnalyze executes a SELECT plan with per-operator instrumentation
+// against the given view and returns both the result and the collected
+// stats.
+func RunAnalyze(n plan.Node, params []sqltypes.Value, view *catalog.View) (*Result, map[plan.Node]*OpStats, error) {
+	op, stats, err := BuildInstrumented(n, params, view)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,6 +98,11 @@ func RunAnalyze(n plan.Node, params []sqltypes.Value) (*Result, map[plan.Node]*O
 // each line, e.g.
 //
 //	SeqScan edge (actual rows=42 loops=1 time=17µs)
+//
+// Operators that ran across Gather workers (or join partitions) additionally
+// report each worker's row count:
+//
+//	SeqScan parallel edge (actual rows=42 loops=4 time=9µs) [workers rows=11/10/12/9]
 func FormatAnalyze(n plan.Node, stats map[plan.Node]*OpStats) string {
 	return plan.ExplainAnnotated(n, func(node plan.Node, b *strings.Builder) {
 		st := stats[node]
@@ -99,5 +111,15 @@ func FormatAnalyze(n plan.Node, stats map[plan.Node]*OpStats) string {
 		}
 		fmt.Fprintf(b, " (actual rows=%d loops=%d time=%s)",
 			st.Rows, st.Loops, st.Time.Round(time.Microsecond))
+		if len(st.Workers) > 0 {
+			b.WriteString(" [workers rows=")
+			for i, w := range st.Workers {
+				if i > 0 {
+					b.WriteByte('/')
+				}
+				fmt.Fprintf(b, "%d", w.Rows)
+			}
+			b.WriteByte(']')
+		}
 	})
 }

@@ -48,14 +48,25 @@ var ErrNotFound = errors.New("heap: record not found")
 
 type page struct {
 	buf []byte
+	// stamp is the heap epoch the page was allocated or cloned in. Pages
+	// stamped before the current epoch may be referenced by a published
+	// Snapshot and must be cloned (copy-on-write) before mutation.
+	stamp uint64
 }
 
-func newPage() *page {
-	p := &page{buf: make([]byte, PageSize)}
+func newPage(stamp uint64) *page {
+	p := &page{buf: make([]byte, PageSize), stamp: stamp}
 	p.setNumSlots(0)
 	p.setFreeStart(headerSize)
 	p.setFreeEnd(PageSize)
 	return p
+}
+
+// clone returns a mutable copy of the page stamped with the given epoch.
+func (p *page) clone(stamp uint64) *page {
+	c := &page{buf: make([]byte, PageSize), stamp: stamp}
+	copy(c.buf, p.buf)
+	return c
 }
 
 func (p *page) numSlots() int       { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
@@ -78,16 +89,34 @@ func (p *page) setSlot(i, off, length int) {
 	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
 }
 
+// deadSlot returns the index of a reusable dead slot, or -1.
+func (p *page) deadSlot() int {
+	for i := 0; i < p.numSlots(); i++ {
+		if _, l := p.slot(i); l == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// fits reports whether data would fit in the page (directly or after
+// compaction) without mutating it, so callers can probe a possibly
+// snapshot-shared page before paying for a copy-on-write clone.
+func (p *page) fits(data []byte) bool {
+	need := len(data)
+	if p.deadSlot() == -1 {
+		need += slotSize
+	}
+	if p.contiguousFree() >= need {
+		return true
+	}
+	return p.deadBytes() > 0 && p.compacted().contiguousFree() >= need
+}
+
 // insert places data in the page, reusing a dead slot when one exists.
 // It reports the slot used and whether the insert fit.
 func (p *page) insert(data []byte) (int, bool) {
-	slot := -1
-	for i := 0; i < p.numSlots(); i++ {
-		if _, l := p.slot(i); l == 0 {
-			slot = i
-			break
-		}
-	}
+	slot := p.deadSlot()
 	need := len(data)
 	if slot == -1 {
 		need += slotSize
@@ -163,13 +192,22 @@ func (p *page) compact() {
 	p.setFreeEnd(end)
 }
 
-// Heap is an append-friendly collection of slotted pages.
+// Heap is an append-friendly collection of slotted pages. Mutations are
+// copy-on-write against the most recently published Snapshot: pages stamped
+// in an earlier epoch are cloned before being written, so a Snapshot stays
+// immutable for as long as any reader holds it.
 type Heap struct {
 	pages    []*page
 	rowCount int
 	// insertHint is the page most recently found to have space; inserts try
 	// it first so bulk loads stay O(1) per row.
 	insertHint int
+	// epoch advances each time a Snapshot is published; pages stamped before
+	// the current epoch are frozen and cloned on write.
+	epoch uint64
+	// snap caches the last published Snapshot; mutations invalidate it, so
+	// snapshotting an unchanged heap costs one pointer load.
+	snap *Snapshot
 	// PageReads, when set, is incremented once per page accessed by reads
 	// (Get and Scan). The catalog points it at a shared engine counter; the
 	// nil check keeps the package dependency-free.
@@ -179,26 +217,46 @@ type Heap struct {
 // New returns an empty heap.
 func New() *Heap { return &Heap{} }
 
+// writable returns page pi, cloning it first if it is frozen in an earlier
+// epoch (and therefore possibly shared with a published Snapshot).
+func (h *Heap) writable(pi int) *page {
+	p := h.pages[pi]
+	if p.stamp != h.epoch {
+		p = p.clone(h.epoch)
+		h.pages[pi] = p
+	}
+	return p
+}
+
 // Insert stores data and returns its RID.
 func (h *Heap) Insert(data []byte) (RID, error) {
 	if len(data) > MaxRowSize {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
 	}
+	h.snap = nil
+	// Probe fit read-only before cloning: a full page must not trigger a
+	// wasted copy-on-write of 8 KiB.
+	tryPage := func(pi int) (int, bool) {
+		if !h.pages[pi].fits(data) {
+			return 0, false
+		}
+		return h.writable(pi).insert(data)
+	}
 	if h.insertHint < len(h.pages) {
-		if slot, ok := h.pages[h.insertHint].insert(data); ok {
+		if slot, ok := tryPage(h.insertHint); ok {
 			h.rowCount++
 			return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
 		}
 	}
 	// Try the last page, then allocate.
 	if n := len(h.pages); n > 0 && n-1 != h.insertHint {
-		if slot, ok := h.pages[n-1].insert(data); ok {
+		if slot, ok := tryPage(n - 1); ok {
 			h.insertHint = n - 1
 			h.rowCount++
 			return RID{Page: uint32(n - 1), Slot: uint16(slot)}, nil
 		}
 	}
-	p := newPage()
+	p := newPage(h.epoch)
 	h.pages = append(h.pages, p)
 	h.insertHint = len(h.pages) - 1
 	slot, ok := p.insert(data)
@@ -220,6 +278,7 @@ func (h *Heap) AppendBatch(payloads [][]byte) ([]RID, error) {
 			return nil, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(d))
 		}
 	}
+	h.snap = nil
 	rids := make([]RID, 0, len(payloads))
 	var p *page
 	pi := len(h.pages) - 1
@@ -228,9 +287,11 @@ func (h *Heap) AppendBatch(payloads [][]byte) ([]RID, error) {
 	}
 	for _, d := range payloads {
 		if p == nil || p.contiguousFree() < len(d)+slotSize {
-			p = newPage()
+			p = newPage(h.epoch)
 			h.pages = append(h.pages, p)
 			pi = len(h.pages) - 1
+		} else if p.stamp != h.epoch {
+			p = h.writable(pi)
 		}
 		slot := p.appendRecord(d)
 		rids = append(rids, RID{Page: uint32(pi), Slot: uint16(slot)})
@@ -268,11 +329,11 @@ func (h *Heap) Get(rid RID) ([]byte, error) {
 
 // Delete removes the record at rid.
 func (h *Heap) Delete(rid RID) error {
-	p, _, _, err := h.locate(rid)
-	if err != nil {
+	if _, _, _, err := h.locate(rid); err != nil {
 		return err
 	}
-	p.setSlot(int(rid.Slot), 0, 0)
+	h.snap = nil
+	h.writable(int(rid.Page)).setSlot(int(rid.Slot), 0, 0)
 	h.rowCount--
 	if int(rid.Page) < h.insertHint {
 		h.insertHint = int(rid.Page)
@@ -287,10 +348,13 @@ func (h *Heap) Update(rid RID, data []byte) (RID, error) {
 	if len(data) > MaxRowSize {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
 	}
-	p, off, l, err := h.locate(rid)
+	_, _, l, err := h.locate(rid)
 	if err != nil {
 		return RID{}, err
 	}
+	h.snap = nil
+	p := h.writable(int(rid.Page))
+	off, _ := p.slot(int(rid.Slot))
 	if len(data) <= l {
 		copy(p.buf[off:], data)
 		p.setSlot(int(rid.Slot), off, len(data))
@@ -308,10 +372,14 @@ func (h *Heap) Update(rid RID, data []byte) (RID, error) {
 }
 
 func (h *Heap) locate(rid RID) (*page, int, int, error) {
-	if int(rid.Page) >= len(h.pages) {
+	return locate(h.pages, rid)
+}
+
+func locate(pages []*page, rid RID) (*page, int, int, error) {
+	if int(rid.Page) >= len(pages) {
 		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
-	p := h.pages[rid.Page]
+	p := pages[rid.Page]
 	if int(rid.Slot) >= p.numSlots() {
 		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
@@ -325,9 +393,14 @@ func (h *Heap) locate(rid RID) (*page, int, int, error) {
 // Scan calls fn for every live record in RID order. The payload slice aliases
 // page memory; fn must not retain it. Scanning stops when fn returns false.
 func (h *Heap) Scan(fn func(rid RID, data []byte) bool) {
-	for pi, p := range h.pages {
-		if h.PageReads != nil {
-			h.PageReads.Add(1)
+	scanPages(h.pages, 0, len(h.pages), h.PageReads, fn)
+}
+
+func scanPages(pages []*page, lo, hi int, reads *atomic.Int64, fn func(rid RID, data []byte) bool) {
+	for pi := lo; pi < hi; pi++ {
+		p := pages[pi]
+		if reads != nil {
+			reads.Add(1)
 		}
 		for si := 0; si < p.numSlots(); si++ {
 			off, l := p.slot(si)
@@ -350,12 +423,137 @@ type Stats struct {
 
 // Stats returns occupancy counters.
 func (h *Heap) Stats() Stats {
-	s := Stats{Pages: len(h.pages), Rows: h.rowCount}
-	for _, p := range h.pages {
+	return pageStats(h.pages, h.rowCount)
+}
+
+func pageStats(pages []*page, rows int) Stats {
+	s := Stats{Pages: len(pages), Rows: rows}
+	for _, p := range pages {
 		for i := 0; i < p.numSlots(); i++ {
 			_, l := p.slot(i)
 			s.LiveBytes += l
 		}
 	}
 	return s
+}
+
+// Snapshot is an immutable point-in-time view of a heap. It shares page
+// memory with the heap via copy-on-write: the heap clones any frozen page
+// before mutating it, so a Snapshot can be read concurrently, without locks,
+// while the heap keeps changing. Old pages are reclaimed by the garbage
+// collector once the last Snapshot referencing them is dropped.
+type Snapshot struct {
+	pages []*page
+	rows  int
+	reads *atomic.Int64
+}
+
+// Snapshot publishes the current contents as an immutable Snapshot and
+// advances the copy-on-write epoch. The result is cached: snapshotting an
+// unmodified heap returns the same Snapshot without copying anything.
+// Snapshot must be called from the writer side (it is not safe to race with
+// mutations); the returned Snapshot itself is safe for concurrent use.
+func (h *Heap) Snapshot() *Snapshot {
+	if h.snap == nil {
+		h.epoch++
+		h.snap = &Snapshot{
+			pages: append([]*page(nil), h.pages...),
+			rows:  h.rowCount,
+			reads: h.PageReads,
+		}
+	}
+	return h.snap
+}
+
+// Rows returns the number of live records in the snapshot.
+func (s *Snapshot) Rows() int { return s.rows }
+
+// Pages returns the number of pages in the snapshot, for page-range
+// partitioned parallel scans.
+func (s *Snapshot) Pages() int { return len(s.pages) }
+
+// Get returns the payload stored at rid. The returned slice aliases
+// immutable snapshot memory and stays valid for the snapshot's lifetime.
+func (s *Snapshot) Get(rid RID) ([]byte, error) {
+	p, off, l, err := locate(s.pages, rid)
+	if err != nil {
+		return nil, err
+	}
+	if s.reads != nil {
+		s.reads.Add(1)
+	}
+	return p.buf[off : off+l], nil
+}
+
+// Scan calls fn for every live record in RID order, like Heap.Scan.
+func (s *Snapshot) Scan(fn func(rid RID, data []byte) bool) {
+	scanPages(s.pages, 0, len(s.pages), s.reads, fn)
+}
+
+// ScanRange scans only pages [lo, hi), the unit of work handed to one worker
+// of a parallel heap scan. Bounds are clamped to the snapshot.
+func (s *Snapshot) ScanRange(lo, hi int, fn func(rid RID, data []byte) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.pages) {
+		hi = len(s.pages)
+	}
+	scanPages(s.pages, lo, hi, s.reads, fn)
+}
+
+// Stats returns occupancy counters for the snapshot.
+func (s *Snapshot) Stats() Stats {
+	return pageStats(s.pages, s.rows)
+}
+
+// Iter is a pull iterator over a snapshot's live records in RID order.
+type Iter struct {
+	pages  []*page
+	pi, hi int // current page, exclusive page bound
+	si     int // next slot on the current page
+	reads  *atomic.Int64
+}
+
+// Iter returns a pull iterator over every live record.
+func (s *Snapshot) Iter() *Iter { return s.IterRange(0, len(s.pages)) }
+
+// IterRange returns a pull iterator over pages [lo, hi), clamped to the
+// snapshot — the unit of work handed to one worker of a parallel heap scan.
+func (s *Snapshot) IterRange(lo, hi int) *Iter {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.pages) {
+		hi = len(s.pages)
+	}
+	it := &Iter{pages: s.pages, pi: lo, hi: hi, reads: s.reads}
+	if lo < hi && it.reads != nil {
+		it.reads.Add(1)
+	}
+	return it
+}
+
+// Next returns the next live record, or ok=false at the end. The payload
+// aliases immutable snapshot memory and stays valid for the snapshot's
+// lifetime.
+func (it *Iter) Next() (RID, []byte, bool) {
+	for it.pi < it.hi {
+		p := it.pages[it.pi]
+		for it.si < p.numSlots() {
+			si := it.si
+			it.si++
+			off, l := p.slot(si)
+			if l == 0 {
+				continue
+			}
+			return RID{Page: uint32(it.pi), Slot: uint16(si)}, p.buf[off : off+l], true
+		}
+		it.pi++
+		it.si = 0
+		if it.pi < it.hi && it.reads != nil {
+			it.reads.Add(1)
+		}
+	}
+	return RID{}, nil, false
 }

@@ -196,6 +196,7 @@ func Load(r io.Reader) (*DB, error) {
 			return nil, fmt.Errorf("rebuild index %s: %w", pi.name, err)
 		}
 	}
+	db.publish()
 	return db, nil
 }
 

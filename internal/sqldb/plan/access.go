@@ -151,7 +151,7 @@ func buildAccess(e tableEntry, conjuncts []expr.Expr, orderHint []sqlparse.Order
 		ordered bool
 	}
 	best := choice{lowIdx: -1, highIdx: -1}
-	for _, ix := range t.Indexes {
+	for _, ix := range e.indexes {
 		ch := choice{ix: ix, lowIdx: -1, highIdx: -1}
 		usedCand := map[int]bool{}
 		// Longest equality prefix.
@@ -217,7 +217,7 @@ func buildAccess(e tableEntry, conjuncts []expr.Expr, orderHint []sqlparse.Order
 		// Pure order-driven index use: a full scan of an index whose prefix
 		// matches the order still beats an explicit sort.
 		if orderOK {
-			for _, ix := range t.Indexes {
+			for _, ix := range e.indexes {
 				if indexDeliversOrder(ix.Columns, orderCols) {
 					return &IndexScan{Table: t, Alias: alias, Index: ix, Filters: conjuncts}, true, nil
 				}

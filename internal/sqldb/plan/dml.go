@@ -8,8 +8,8 @@ import (
 	"ordxml/internal/sqldb/sqlparse"
 )
 
-func planInsert(cat *catalog.Catalog, s *sqlparse.Insert) (*InsertPlan, error) {
-	t := cat.Table(s.Table)
+func planInsert(pc Context, s *sqlparse.Insert) (*InsertPlan, error) {
+	t := pc.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("no such table %s", s.Table)
 	}
@@ -50,8 +50,8 @@ func planInsert(cat *catalog.Catalog, s *sqlparse.Insert) (*InsertPlan, error) {
 // planDMLScan builds the row-producing scan for UPDATE/DELETE: the table's
 // rows (with the hidden _rid column) filtered by the WHERE clause, using an
 // index when one matches.
-func planDMLScan(cat *catalog.Catalog, ref sqlparse.TableRef, where expr.Expr) (*catalog.Table, Node, error) {
-	t := cat.Table(ref.Table)
+func planDMLScan(pc Context, ref sqlparse.TableRef, where expr.Expr) (*catalog.Table, Node, error) {
+	t := pc.Table(ref.Table)
 	if t == nil {
 		return nil, nil, fmt.Errorf("no such table %s", ref.Table)
 	}
@@ -65,7 +65,7 @@ func planDMLScan(cat *catalog.Catalog, ref sqlparse.TableRef, where expr.Expr) (
 			}
 		}
 	}
-	entry := tableEntry{ref: ref, table: t}
+	entry := tableEntry{ref: ref, table: t, indexes: pc.TableIndexes(t)}
 	access, _, err := buildAccess(entry, conjuncts, nil)
 	if err != nil {
 		return nil, nil, err
@@ -79,8 +79,8 @@ func planDMLScan(cat *catalog.Catalog, ref sqlparse.TableRef, where expr.Expr) (
 	return t, access, nil
 }
 
-func planUpdate(cat *catalog.Catalog, s *sqlparse.Update) (*UpdatePlan, error) {
-	t, scan, err := planDMLScan(cat, s.Table, s.Where)
+func planUpdate(pc Context, s *sqlparse.Update) (*UpdatePlan, error) {
+	t, scan, err := planDMLScan(pc, s.Table, s.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +106,8 @@ func planUpdate(cat *catalog.Catalog, s *sqlparse.Update) (*UpdatePlan, error) {
 	return p, nil
 }
 
-func planDelete(cat *catalog.Catalog, s *sqlparse.Delete) (*DeletePlan, error) {
-	t, scan, err := planDMLScan(cat, s.Table, s.Where)
+func planDelete(pc Context, s *sqlparse.Delete) (*DeletePlan, error) {
+	t, scan, err := planDMLScan(pc, s.Table, s.Where)
 	if err != nil {
 		return nil, err
 	}

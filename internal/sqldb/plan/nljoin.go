@@ -162,7 +162,7 @@ func tryIndexNLJoin(left Node, e *tableEntry, perTable []int, cross []int,
 		score      int
 	}
 	var best *choice
-	for _, ix := range e.table.Indexes {
+	for _, ix := range e.indexes {
 		ch := choice{ix: ix, rangeExact: true}
 		usedCand := map[int]bool{}
 		for _, col := range ix.Columns {

@@ -8,19 +8,57 @@ import (
 	"ordxml/internal/sqldb/sqlparse"
 )
 
+// Context is the planner's window onto the schema: either the live
+// *catalog.Catalog (writer side, under the engine's write lock) or a
+// published *catalog.View (lock-free readers planning against a snapshot).
+// Planning must go through it rather than reading catalog objects directly,
+// because index lists and row counts may change under concurrent DDL/DML.
+type Context interface {
+	Table(name string) *catalog.Table
+	TableIndexes(t *catalog.Table) []*catalog.Index
+	TableRows(t *catalog.Table) int
+}
+
+// Options tunes planning. The zero value plans serially.
+type Options struct {
+	// Workers > 1 enables parallel operators (Gather, PartitionedHashJoin)
+	// where the plan shape allows and row estimates justify them.
+	Workers int
+	// MinRows is the estimated-row threshold below which a scan stays
+	// serial; 0 means DefaultMinParallelRows.
+	MinRows int
+}
+
+// DefaultMinParallelRows is the estimated input size below which spawning
+// workers costs more than it saves.
+const DefaultMinParallelRows = 2048
+
+func (o Options) minRows() int {
+	if o.MinRows > 0 {
+		return o.MinRows
+	}
+	return DefaultMinParallelRows
+}
+
 // Plan compiles a parsed statement into an executable plan. The result is a
 // Node for SELECT and one of InsertPlan/UpdatePlan/DeletePlan for DML; DDL
 // statements are handled directly by the engine facade and rejected here.
-func Plan(cat *catalog.Catalog, stmt sqlparse.Statement) (any, error) {
+func Plan(pc Context, stmt sqlparse.Statement) (any, error) {
+	return PlanOpts(pc, stmt, Options{})
+}
+
+// PlanOpts is Plan with planner options. DML plans are always serial; the
+// options only affect SELECT.
+func PlanOpts(pc Context, stmt sqlparse.Statement, opts Options) (any, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return PlanSelect(cat, s)
+		return PlanSelectOpts(pc, s, opts)
 	case *sqlparse.Insert:
-		return planInsert(cat, s)
+		return planInsert(pc, s)
 	case *sqlparse.Update:
-		return planUpdate(cat, s)
+		return planUpdate(pc, s)
 	case *sqlparse.Delete:
-		return planDelete(cat, s)
+		return planDelete(pc, s)
 	default:
 		return nil, fmt.Errorf("cannot plan %T", stmt)
 	}
@@ -30,6 +68,10 @@ func Plan(cat *catalog.Catalog, stmt sqlparse.Statement) (any, error) {
 type tableEntry struct {
 	ref   sqlparse.TableRef
 	table *catalog.Table
+	// indexes is the table's index list as of the planning context; access
+	// paths must use it instead of table.Indexes, which may change under
+	// concurrent DDL.
+	indexes []*catalog.Index
 	// leftOuter marks the table as the nullable side of a LEFT JOIN: WHERE
 	// predicates on it cannot be pushed below the join.
 	leftOuter bool
@@ -37,9 +79,14 @@ type tableEntry struct {
 	offset    int            // column offset in the combined schema
 }
 
-// PlanSelect compiles a SELECT statement.
-func PlanSelect(cat *catalog.Catalog, s *sqlparse.Select) (Node, error) {
-	entries, err := resolveTables(cat, s)
+// PlanSelect compiles a SELECT statement with default options.
+func PlanSelect(pc Context, s *sqlparse.Select) (Node, error) {
+	return PlanSelectOpts(pc, s, Options{})
+}
+
+// PlanSelectOpts compiles a SELECT statement.
+func PlanSelectOpts(pc Context, s *sqlparse.Select, opts Options) (Node, error) {
+	entries, err := resolveTables(pc, s)
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +168,11 @@ func PlanSelect(cat *catalog.Catalog, s *sqlparse.Select) (Node, error) {
 		root = &Filter{Input: root, Pred: andAll(residual)}
 	}
 
-	return planProjection(s, root, combined)
+	root, err = planProjection(s, root, combined)
+	if err != nil {
+		return nil, err
+	}
+	return parallelize(root, pc, opts), nil
 }
 
 // localConjuncts clones the given conjuncts rebased to a table-local layout
@@ -146,12 +197,12 @@ func shallowCopyWithoutOrder(s *sqlparse.Select) *sqlparse.Select {
 	return &c
 }
 
-func resolveTables(cat *catalog.Catalog, s *sqlparse.Select) ([]tableEntry, error) {
+func resolveTables(pc Context, s *sqlparse.Select) ([]tableEntry, error) {
 	var entries []tableEntry
 	seen := map[string]bool{}
 	offset := 0
 	add := func(ref sqlparse.TableRef, j *sqlparse.Join) error {
-		t := cat.Table(ref.Table)
+		t := pc.Table(ref.Table)
 		if t == nil {
 			return fmt.Errorf("no such table %s", ref.Table)
 		}
@@ -161,7 +212,7 @@ func resolveTables(cat *catalog.Catalog, s *sqlparse.Select) ([]tableEntry, erro
 		}
 		seen[name] = true
 		entries = append(entries, tableEntry{
-			ref: ref, table: t, join: j,
+			ref: ref, table: t, indexes: pc.TableIndexes(t), join: j,
 			leftOuter: j != nil && j.Kind == sqlparse.JoinLeft,
 			offset:    offset,
 		})

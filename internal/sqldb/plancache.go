@@ -13,6 +13,11 @@ import (
 // cap exists only to bound ad-hoc query churn.
 const planCacheCap = 512
 
+// planCacheShards splits the cache into independently locked shards so
+// concurrent readers on different statements never contend on one mutex.
+// Must be a power of two.
+const planCacheShards = 16
+
 // cacheEntry is one cached statement: the parsed AST plus the compiled plan
 // and the catalog version the plan was built against.
 type cacheEntry struct {
@@ -22,37 +27,57 @@ type cacheEntry struct {
 	plan    any // plan.Node for SELECT; *plan.InsertPlan etc. for DML
 }
 
-// planCache is an LRU map from SQL text to parsed statement + compiled plan.
-// Every lookup revalidates the entry against the current catalog version,
-// which DDL bumps — so CREATE/DROP TABLE/INDEX can never serve a stale plan.
-// A stale entry still yields its parsed AST (parsing is schema-independent),
-// so only planning repeats after DDL.
-//
-// Plans are shared across executions and across concurrent queries: plan
-// trees are read-only after planning (parameters bind at execution inside
-// the operator tree), which is what makes the cache safe under the engine's
-// reader lock.
-type planCache struct {
+// cacheShard is one independently locked LRU slice of the cache.
+type cacheShard struct {
 	mu    sync.Mutex
 	items map[string]*list.Element
 	lru   *list.List // front = most recently used
+}
+
+// planCache is a sharded LRU map from SQL text to parsed statement +
+// compiled plan. Every lookup revalidates the entry against the current
+// catalog version, which DDL bumps — so CREATE/DROP TABLE/INDEX can never
+// serve a stale plan. A stale entry still yields its parsed AST (parsing is
+// schema-independent), so only planning repeats after DDL.
+//
+// Plans are shared across executions and across concurrent queries: plan
+// trees are read-only after planning (parameters bind at execution inside
+// the operator tree), which is what makes the cache safe for the engine's
+// lock-free readers. Statements hash to shards by SQL text, so the hot
+// prepared statements of concurrent readers spread across
+// planCacheShards mutexes instead of serializing on one.
+type planCache struct {
+	shards [planCacheShards]cacheShard
 
 	// hits/misses live in the DB's metrics registry (sqldb.plancache.*) so
 	// cache behaviour shows up in Metrics() snapshots; PlanCacheStats reads
-	// them back for the legacy accessor.
+	// them back for the legacy accessor. obs counters are atomic, so the
+	// counts stay exact across shards.
 	hits   *obs.Counter
 	misses *obs.Counter
 }
 
 func newPlanCache(reg *obs.Registry) *planCache {
 	pc := &planCache{
-		items:  map[string]*list.Element{},
-		lru:    list.New(),
 		hits:   reg.Counter("sqldb.plancache.hits"),
 		misses: reg.Counter("sqldb.plancache.misses"),
 	}
+	for i := range pc.shards {
+		pc.shards[i].items = map[string]*list.Element{}
+		pc.shards[i].lru = list.New()
+	}
 	reg.RegisterFunc("sqldb.plancache.entries", func() int64 { return int64(pc.len()) })
 	return pc
+}
+
+// shardFor hashes the SQL text (FNV-1a) onto a shard.
+func (pc *planCache) shardFor(sql string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint32(sql[i])
+		h *= 16777619
+	}
+	return &pc.shards[h&(planCacheShards-1)]
 }
 
 // lookup returns the cached parse and plan for sql. plan is non-nil only
@@ -60,14 +85,15 @@ func newPlanCache(reg *obs.Registry) *planCache {
 // absent entry counts as a miss, returning the parsed statement when one is
 // cached so the caller can skip re-parsing.
 func (pc *planCache) lookup(sql string, ver uint64) (stmt sqlparse.Statement, plan any) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	el, ok := pc.items[sql]
+	sh := pc.shardFor(sql)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[sql]
 	if !ok {
 		pc.misses.Inc()
 		return nil, nil
 	}
-	pc.lru.MoveToFront(el)
+	sh.lru.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	if e.version != ver {
 		pc.misses.Inc()
@@ -78,28 +104,47 @@ func (pc *planCache) lookup(sql string, ver uint64) (stmt sqlparse.Statement, pl
 }
 
 // store records a freshly compiled plan, evicting the least recently used
-// entry past capacity.
+// entry of the shard past its share of the capacity.
 func (pc *planCache) store(sql string, stmt sqlparse.Statement, ver uint64, plan any) {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	if el, ok := pc.items[sql]; ok {
+	sh := pc.shardFor(sql)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[sql]; ok {
 		e := el.Value.(*cacheEntry)
 		e.stmt, e.version, e.plan = stmt, ver, plan
-		pc.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return
 	}
-	pc.items[sql] = pc.lru.PushFront(&cacheEntry{sql: sql, stmt: stmt, version: ver, plan: plan})
-	if pc.lru.Len() > planCacheCap {
-		oldest := pc.lru.Back()
-		pc.lru.Remove(oldest)
-		delete(pc.items, oldest.Value.(*cacheEntry).sql)
+	sh.items[sql] = sh.lru.PushFront(&cacheEntry{sql: sql, stmt: stmt, version: ver, plan: plan})
+	if sh.lru.Len() > planCacheCap/planCacheShards {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.items, oldest.Value.(*cacheEntry).sql)
+	}
+}
+
+// invalidate drops every cached plan (parsed ASTs included). Used when a
+// planner setting changes (SetParallelism) — version revalidation only
+// catches schema changes, not option changes.
+func (pc *planCache) invalidate() {
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		sh.items = map[string]*list.Element{}
+		sh.lru = list.New()
+		sh.mu.Unlock()
 	}
 }
 
 func (pc *planCache) len() int {
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
-	return pc.lru.Len()
+	n := 0
+	for i := range pc.shards {
+		sh := &pc.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // PlanCacheStats is a snapshot of the plan cache counters. A hit means a

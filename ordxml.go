@@ -165,8 +165,13 @@ func (c WorkCounters) Sub(prev WorkCounters) WorkCounters {
 }
 
 // Store is one ordered-XML store over an embedded relational database.
-// A Store is safe for concurrent readers; updates take the engine's writer
-// lock per statement.
+// A Store is safe for concurrent use: updates serialize on the engine's
+// writer lock per statement, while readers (Query, QueryValues, Serialize,
+// SQL) run lock-free against immutable storage snapshots the engine
+// publishes after every mutation. A multi-statement read — an XPath query's
+// segment pipeline, a document serialization, QueryValues' value extraction
+// — pins one snapshot for its whole run, so concurrent updates can never
+// tear its view of a document.
 type Store struct {
 	db   *sqldb.DB
 	opts encoding.Options
@@ -297,22 +302,25 @@ func (s *Store) renderOrderKey(v sqltypes.Value) string {
 }
 
 // QueryValues evaluates a query and returns the XPath string value of each
-// match (text content for elements).
+// match (text content for elements). The query and the per-element content
+// extraction share one pinned snapshot, so the values always belong to the
+// same store version as the match set.
 func (s *Store) QueryValues(doc DocID, xpathExpr string) ([]string, error) {
-	nodes, err := s.Query(doc, xpathExpr)
+	snap := s.db.Snapshot()
+	refs, err := s.evaluator.QueryAt(snap, doc, xpathExpr)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(nodes))
-	for i, n := range nodes {
-		if n.Kind == ElementNode {
-			sub, err := s.publisher.Subtree(doc, n.ID)
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		if kindOf(r.Kind) == ElementNode {
+			sub, err := s.publisher.SubtreeAt(snap, doc, r.ID)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = sub.TextContent()
 		} else {
-			out[i] = n.Value
+			out[i] = r.Value
 		}
 	}
 	return out, nil
@@ -383,6 +391,16 @@ func report(st update.Stats) UpdateReport {
 		RowsDeleted:    st.RowsDeleted,
 	}
 }
+
+// SetParallelism sets the number of workers the SQL planner may use for
+// parallel operators (exchange/Gather, partitioned hash join); 1 (the
+// default) plans serially. It only affects raw-SQL queries big enough to
+// clear the planner's row threshold — the XPath pipeline's generated
+// statements are indexed point and range lookups that stay serial.
+func (s *Store) SetParallelism(n int) { s.db.SetParallelism(n) }
+
+// Parallelism returns the current planner worker count.
+func (s *Store) Parallelism() int { return s.db.Parallelism() }
 
 // Counters returns the engine's cumulative work counters.
 func (s *Store) Counters() WorkCounters {
@@ -479,13 +497,13 @@ type StorageStats struct {
 	HeapBytes int
 }
 
-// Storage returns size statistics for the store's node table.
+// Storage returns size statistics for the store's node table, as of the last
+// published snapshot (safe against concurrent writers).
 func (s *Store) Storage() StorageStats {
-	t := s.db.Catalog().Table(s.opts.NodesTable())
-	if t == nil {
+	hs, ok := s.db.TableStats(s.opts.NodesTable())
+	if !ok {
 		return StorageStats{}
 	}
-	hs := t.Heap.Stats()
 	return StorageStats{Rows: hs.Rows, HeapPages: hs.Pages, HeapBytes: hs.LiveBytes}
 }
 
