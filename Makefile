@@ -28,6 +28,7 @@ fuzz-smoke:
 	$(GO) test -fuzz FuzzFromBytes -fuzztime 10s ./internal/core/dewey/
 	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/core/xpath/
 	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/xmltree/
+	$(GO) test -fuzz FuzzVerifyPage -fuzztime 10s ./internal/sqldb/pagefile/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

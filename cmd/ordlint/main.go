@@ -1,8 +1,10 @@
 // Command ordlint is the engine's static-analysis suite: a multichecker
-// bundling the four project analyzers
+// bundling the project analyzers
 //
 //	exhaustenc — dispatch on an order-encoding kind must cover Global, Local
 //	             and Dewey or fail loudly in its default
+//	pinpair    — every buffer-pool pin (Fetch/Alloc/Pin) must be released
+//	             on all paths
 //	rawsql     — SQL text may not be assembled with Sprintf/concatenation
 //	             outside the designated SQL-generation packages
 //	spanfinish — every obs span started must be finished on all paths
@@ -40,6 +42,7 @@ import (
 
 	"ordxml/internal/lint/exhaustenc"
 	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/pinpair"
 	"ordxml/internal/lint/rawsql"
 	"ordxml/internal/lint/spanfinish"
 	"ordxml/internal/lint/wraperr"
@@ -47,6 +50,7 @@ import (
 
 var analyzers = []*framework.Analyzer{
 	exhaustenc.Analyzer,
+	pinpair.Analyzer,
 	rawsql.Analyzer,
 	spanfinish.Analyzer,
 	wraperr.Analyzer,

@@ -18,6 +18,12 @@
 // against a shared store for -duration, per encoding. The table goes to
 // stdout and the machine-readable report (throughput, latency quantiles,
 // speedup vs. the 1-goroutine baseline) is written to -concurrency-out.
+//
+// -pool switches to the buffer-pool benchmark: at each listed frame count,
+// the catalog document is loaded into a disk-paged durable store and the
+// load, query (hit ratio, evictions) and full-vs-incremental checkpoint
+// costs are measured, per encoding. The table goes to stdout and the JSON
+// report is written to -pool-out.
 package main
 
 import (
@@ -63,11 +69,20 @@ func main() {
 	concurrency := flag.String("concurrency", "", "run the concurrent-read benchmark at these goroutine counts (e.g. 1,4,8)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency level")
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "where -concurrency writes its JSON report")
+	pool := flag.String("pool", "", "run the buffer-pool benchmark at these frame counts (e.g. 32,256,1024)")
+	poolOut := flag.String("pool-out", "BENCH_bufpool.json", "where -pool writes its JSON report")
 	flag.Parse()
 
 	if *concurrency != "" {
 		if err := runConcurrency(*concurrency, *items, *quick, *duration, *concOut); err != nil {
 			fmt.Fprintf(os.Stderr, "concurrency benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pool != "" {
+		if err := runPool(*pool, *items, *quick, *poolOut); err != nil {
+			fmt.Fprintf(os.Stderr, "buffer-pool benchmark failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -184,6 +199,40 @@ func runConcurrency(levels string, items int, quick bool, window time.Duration, 
 		return err
 	}
 	fmt.Println(bench.ConcurrencyTable(rep).String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
+}
+
+// runPool parses the frame-count list, runs the buffer-pool benchmark,
+// prints the table and writes the JSON report.
+func runPool(levels string, items int, quick bool, outPath string) error {
+	var frames []int
+	for _, f := range strings.Split(levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -pool list %q: each entry must be a positive integer", levels)
+		}
+		frames = append(frames, n)
+	}
+	reps := 10
+	if quick {
+		if items > 50 {
+			items = 50
+		}
+		reps = 2
+	}
+	rep, err := bench.RunPool(items, frames, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.PoolTable(rep).String())
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -49,8 +49,9 @@ func (sh *shell) currentStore() *ordxml.Store {
 // helpText lists every command.
 const helpText = `commands:
   open <global|local|dewey> [gap]   start a fresh store
-  opendur <dir> [enc] [gap]         open a durable store (write-ahead logged,
-                                    crash-recovered from <dir>)
+  opendur <dir> [enc] [gap] [pool]  open a durable store (write-ahead logged,
+                                    crash-recovered from <dir>; a pool frame
+                                    count selects the disk-paged tier)
   load <file> [name]                load an XML file as the current document
   loadstr <xml>                     load inline XML
   docs                              list documents (switch with: use <id>)
@@ -75,7 +76,8 @@ const helpText = `commands:
                                     (per-worker actuals labeled w0=, w1=, ...)
   \stats                            engine metrics (counters, latency histograms;
                                     snapshot version/publishes, parallel queries,
-                                    WAL activity for durable stores)
+                                    WAL activity and buffer-pool hit/eviction
+                                    figures for durable stores)
   \checkpoint                       snapshot a durable store and rotate its log
   \slow                             slow-query log
   trace <xpath>                     run a query; prints per-stage timings
@@ -125,7 +127,7 @@ func (sh *shell) Execute(line string) (string, error) {
 		return fmt.Sprintf("opened empty %s store", enc), nil
 	case "opendur":
 		if len(args) < 1 {
-			return "", fmt.Errorf("usage: opendur <dir> [global|local|dewey] [gap]")
+			return "", fmt.Errorf("usage: opendur <dir> [global|local|dewey] [gap] [poolframes]")
 		}
 		enc := ordxml.Dewey
 		var err error
@@ -140,7 +142,15 @@ func (sh *shell) Execute(line string) (string, error) {
 				return "", fmt.Errorf("bad gap %q", args[2])
 			}
 		}
-		store, err := ordxml.OpenDurable(args[0], ordxml.Options{Encoding: enc, Gap: uint32(gap)})
+		var frames int
+		if len(args) > 3 {
+			if frames, err = strconv.Atoi(args[3]); err != nil || frames < 1 {
+				return "", fmt.Errorf("bad pool frame count %q", args[3])
+			}
+		}
+		store, err := ordxml.OpenDurable(args[0], ordxml.Options{
+			Encoding: enc, Gap: uint32(gap), BufferPoolFrames: frames,
+		})
 		if err != nil {
 			return "", err
 		}
@@ -153,8 +163,12 @@ func (sh *shell) Execute(line string) (string, error) {
 		if len(docs) > 0 {
 			sh.doc = docs[0].ID
 		}
-		return fmt.Sprintf("opened durable %s store in %s (%d document(s) recovered)",
-			store.Encoding(), args[0], len(docs)), nil
+		tier := "full-snapshot"
+		if store.Pooled() {
+			tier = "disk-paged"
+		}
+		return fmt.Sprintf("opened durable %s store in %s (%s tier, %d document(s) recovered)",
+			store.Encoding(), args[0], tier, len(docs)), nil
 	case "restore":
 		if len(args) != 1 {
 			return "", fmt.Errorf("usage: restore <path>")
@@ -277,6 +291,14 @@ func (sh *shell) Execute(line string) (string, error) {
 		if w, ok := sh.store.WALStats(); ok {
 			out = fmt.Sprintf("wal: %d records (%d bytes), %d fsyncs, %d rotations, last LSN %d, durable LSN %d, %d bytes on disk\n%s",
 				w.Records, w.Bytes, w.Fsyncs, w.Rotations, w.LastLSN, w.DurableLSN, w.SizeBytes, out)
+		}
+		if p, ok := sh.store.PoolStats(); ok {
+			hitPct := 0.0
+			if acc := p.Hits + p.Misses; acc > 0 {
+				hitPct = 100 * float64(p.Hits) / float64(acc)
+			}
+			out = fmt.Sprintf("bufpool: %d/%d frames resident (%d dirty, %d pinned), %.1f%% hit ratio (%d hits, %d misses), %d evictions, %d dirty flushes\n%s",
+				p.Resident, p.Capacity, p.Dirty, p.Pinned, hitPct, p.Hits, p.Misses, p.Evictions, p.DirtyFlushes, out)
 		}
 		return out, nil
 	case `\checkpoint`:

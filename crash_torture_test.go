@@ -162,12 +162,13 @@ func generateTortureSession(t *testing.T, seed int64, nOps int) ([]tortureOp, []
 // readers > 0 the child also runs that many concurrent snapshot readers
 // alongside the update session, so the crash lands while reads are in
 // flight.
-func runTortureChild(t *testing.T, dir, spec string, recoverOnly bool, readers int) int {
+func runTortureChild(t *testing.T, dir, spec string, recoverOnly bool, readers int, extraEnv ...string) int {
 	t.Helper()
 	cmd := osexec.Command(os.Args[0], "-test.run=^TestCrashTortureChild$", "-test.count=1")
 	cmd.Env = append(os.Environ(),
 		"ORDXML_TORTURE_DIR="+dir,
 		failpoint.EnvVar+"="+spec)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	if readers > 0 {
 		cmd.Env = append(cmd.Env, "ORDXML_TORTURE_READERS="+strconv.Itoa(readers))
 	}
@@ -324,6 +325,65 @@ func TestCrashTortureConcurrentReaders(t *testing.T) {
 	}
 }
 
+// TestCrashTorturePaged repeats the torture rounds against the buffer-pooled
+// durable tier with a pool small enough that the session evicts constantly.
+// The crash points cover the paged-specific windows: a dirty-page flush, an
+// eviction under memory pressure, and each step of the incremental-checkpoint
+// protocol (before the pool flush, between flush and manifest install, and
+// after the manifest is installed but before the allocator commits).
+func TestCrashTorturePaged(t *testing.T) {
+	if os.Getenv("ORDXML_TORTURE_DIR") != "" {
+		t.Skip("torture child process")
+	}
+	seed := int64(tortureEnvInt("ORDXML_TORTURE_SEED", 1))
+	nOps := tortureEnvInt("ORDXML_TORTURE_OPS", 24)
+	ops, fps := generateTortureSession(t, seed, nOps)
+	opsJSON, err := json.Marshal(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	poolEnv := "ORDXML_TORTURE_POOL=8"
+	specs := []string{
+		"bufpool.flush=crash@1",
+		"bufpool.flush=crash@5",
+		"bufpool.evict=crash@1",
+		"bufpool.evict=crash@20",
+		"checkpoint.paged.before-flush=crash@1",
+		"checkpoint.paged.before-meta=crash@1",
+		"checkpoint.paged.after-meta=crash@1",
+		"wal.sync.after-fsync=crash@5",
+	}
+	for _, spec := range specs {
+		t.Run(spec, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "ops.json"), opsJSON, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			runTortureChild(t, dir, spec, false, 0, poolEnv)
+			// verifyRecovered reopens without a pool option: pages.db on disk
+			// makes recovery pick the paged tier on its own.
+			verifyRecovered(t, dir, spec, countAcks(t, dir), fps)
+		})
+	}
+
+	// Crash mid-replay on a paged store, then recover for real.
+	t.Run("wal.replay.record", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "ops.json"), opsJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code := runTortureChild(t, dir, "wal.sync.after-fsync=crash@4", false, 0, poolEnv); code == 0 {
+			t.Fatal("first child did not crash")
+		}
+		acked := countAcks(t, dir)
+		if code := runTortureChild(t, dir, "wal.replay.record=crash@1", true, 0, poolEnv); code == 0 {
+			t.Fatal("recovery child did not crash (no records to replay?)")
+		}
+		verifyRecovered(t, dir, "wal.replay.record", acked, fps)
+	})
+}
+
 // TestCrashTortureChild is the re-executed half of TestCrashTorture; it only
 // runs when the harness points it at a session directory.
 func TestCrashTortureChild(t *testing.T) {
@@ -331,7 +391,13 @@ func TestCrashTortureChild(t *testing.T) {
 	if dir == "" {
 		t.Skip("crash-torture child (spawned by TestCrashTorture)")
 	}
-	s, err := OpenDurable(filepath.Join(dir, "store"), Options{Encoding: Dewey})
+	opts := Options{Encoding: Dewey}
+	// ORDXML_TORTURE_POOL switches the child to the buffer-pooled durable
+	// tier with that many frames — small values force evictions mid-session.
+	if n, _ := strconv.Atoi(os.Getenv("ORDXML_TORTURE_POOL")); n > 0 {
+		opts.BufferPoolFrames = n
+	}
+	s, err := OpenDurable(filepath.Join(dir, "store"), opts)
 	if err != nil {
 		t.Fatalf("torture child: open: %v", err)
 	}

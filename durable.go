@@ -2,9 +2,7 @@ package ordxml
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -12,34 +10,54 @@ import (
 	"sync"
 	"time"
 
+	"ordxml/internal/core/encoding"
 	"ordxml/internal/core/update"
 	"ordxml/internal/failpoint"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/bufpool"
+	"ordxml/internal/sqldb/pagefile"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/wal"
 )
 
 // This file implements the durability subsystem: a durable store pairs the
-// in-memory engine with a write-ahead log of logical mutations and an
-// atomically-replaced snapshot file, in one directory:
+// engine with a write-ahead log of logical mutations and an atomically-
+// replaced checkpoint, in one directory. Two storage tiers share the same
+// WAL protocol:
 //
-//	<dir>/snapshot.db   last checkpoint (absent until the first Checkpoint)
+// All-RAM (default):
+//
+//	<dir>/snapshot.db   full-database snapshot from the last Checkpoint
+//	<dir>/wal.log       logical mutations since that checkpoint
+//
+// Buffer-pooled (Options.BufferPoolFrames > 0): storage pages through a
+// fixed-capacity pool over an on-disk page file, so the dataset may exceed
+// RAM and checkpoints are incremental — only pages dirtied since the last
+// checkpoint are written, plus a small manifest of page references:
+//
+//	<dir>/pages.db      8 KiB-page file holding every heap and index page
+//	<dir>/meta.db       checkpoint manifest (schema + page references)
 //	<dir>/wal.log       logical mutations since that checkpoint
 //
 // Every mutating Store entry point follows append-then-apply: the operation
 // is encoded as a WAL record and fsynced *before* it touches the engine, so
-// an operation that returned success is durable. Recovery = load the last
-// snapshot, replay every WAL record past the snapshot's LSN (recorded in
-// store_meta), truncate a torn tail, and finish with a deep integrity check.
-// Replay is deterministic because every record captures the operation's
-// logical inputs (names, node ids, XML text) and the engine's id and
-// order-key allocation is a pure function of store state.
+// an operation that returned success is durable. The pool enforces
+// WAL-before-data independently: a dirty page cannot reach pages.db before
+// the log is durable through the page's recorded LSN. Recovery = load the
+// last checkpoint, replay every WAL record past the checkpoint's LSN
+// (recorded in store_meta), truncate a torn tail, and finish with a deep
+// integrity check. Replay is deterministic because every record captures the
+// operation's logical inputs (names, node ids, XML text) and the engine's id
+// and order-key allocation is a pure function of store state.
 //
-// Checkpoint shrinks the log: snapshot to a temp file, fsync, rename over
-// snapshot.db, fsync the directory, then rotate the WAL. A crash between
-// rename and rotation is benign — replay skips records at or below the
-// snapshot's LSN.
+// Checkpoint shrinks the log. All-RAM: snapshot to a temp file, fsync,
+// rename over snapshot.db, fsync the directory, rotate the WAL. Pooled:
+// serialize changed index nodes to fresh pages (shadow paging — checkpoint-
+// referenced pages are never overwritten), flush the pool's dirty frames,
+// sync pages.db, atomically install the manifest, commit the pool's
+// allocator, rotate the WAL. A crash between install and rotation is benign
+// in both tiers — replay skips records at or below the checkpoint's LSN.
 
 // WAL record kinds, one per logical mutation the public API can perform.
 const (
@@ -54,18 +72,30 @@ const (
 )
 
 // Checkpoint failpoints (the WAL package registers its own for the
-// append/sync/rotate/replay paths).
+// append/sync/rotate/replay paths; the buffer pool registers bufpool.flush
+// and bufpool.evict).
 var (
 	fpCkptBeforeSnapshot = failpoint.New("checkpoint.before-snapshot")
 	fpCkptBeforeRename   = failpoint.New("checkpoint.before-rename")
 	fpCkptAfterRename    = failpoint.New("checkpoint.after-rename")
+
+	fpPagedBeforeFlush = failpoint.New("checkpoint.paged.before-flush")
+	fpPagedBeforeMeta  = failpoint.New("checkpoint.paged.before-meta")
+	fpPagedAfterMeta   = failpoint.New("checkpoint.paged.after-meta")
 )
 
 // Durable-store file names inside the store directory.
 const (
 	snapshotFile = "snapshot.db"
 	walFile      = "wal.log"
+	pagesFile    = "pages.db"
+	metaFile     = "meta.db"
 )
+
+// DefaultPoolFrames is the buffer-pool capacity OpenDurable uses when a
+// paged store is reopened without an explicit BufferPoolFrames (8 MiB of
+// 8 KiB pages).
+const DefaultPoolFrames = 1024
 
 // durState is the durable half of a Store; nil for memory-only stores.
 type durState struct {
@@ -74,6 +104,11 @@ type durState struct {
 	// mu serializes logged mutations and checkpoints so the WAL's record
 	// order always equals the apply order (replay correctness depends on it).
 	mu sync.Mutex
+
+	// pool and pf are the buffer-pooled tier; nil for all-RAM stores.
+	pool     *bufpool.Pool
+	pf       *pagefile.File
+	metaPath string
 
 	checkpoints *obs.Counter
 	ckptLat     *obs.Histogram
@@ -98,8 +133,38 @@ type WALStats struct {
 	SizeBytes int64
 }
 
+// PoolStats summarizes a pooled store's buffer-pool activity.
+type PoolStats struct {
+	// Hits and Misses count payload lookups served from memory vs faulted
+	// from the page file; Evictions counts frames dropped to stay within
+	// capacity and DirtyFlushes pages written to the file.
+	Hits, Misses, Evictions, DirtyFlushes int64
+	// Resident, Dirty and Pinned are point-in-time frame gauges.
+	Resident, Dirty, Pinned int64
+	// Capacity is the configured frame budget.
+	Capacity int
+}
+
 // Durable reports whether the store was opened with OpenDurable.
 func (s *Store) Durable() bool { return s.dur != nil }
+
+// Pooled reports whether the store's storage pages through a buffer pool.
+func (s *Store) Pooled() bool { return s.dur != nil && s.dur.pool != nil }
+
+// PoolStats returns the buffer pool's activity summary; ok is false for
+// stores without a buffer pool.
+func (s *Store) PoolStats() (st PoolStats, ok bool) {
+	if s.dur == nil || s.dur.pool == nil {
+		return PoolStats{}, false
+	}
+	p := s.dur.pool.Stats()
+	return PoolStats{
+		Hits: p.Hits, Misses: p.Misses, Evictions: p.Evictions,
+		DirtyFlushes: p.DirtyFlushes,
+		Resident:     p.Resident, Dirty: p.Dirty, Pinned: p.Pinned,
+		Capacity: p.Capacity,
+	}, true
+}
 
 // WALStats returns the write-ahead log's activity summary; ok is false for
 // memory-only stores.
@@ -120,67 +185,127 @@ func (s *Store) WALStats() (st WALStats, ok bool) {
 }
 
 // OpenDurable opens (or creates) a durable store in dir. When dir holds an
-// earlier store, recovery runs: the last snapshot is loaded, the write-ahead
-// log is replayed past it (a torn final record is truncated away), and the
-// recovered store must pass the deep integrity check; opts are ignored in
-// that case — the snapshot's own encoding options win. When dir is fresh,
-// an empty store with opts is created.
+// earlier store, recovery runs: the last checkpoint is loaded (full snapshot
+// or paged manifest, whichever tier the store was created with), the
+// write-ahead log is replayed past it (a torn final record is truncated
+// away), and the recovered store must pass the deep integrity check; the
+// encoding options in opts are ignored in that case — the checkpoint's own
+// win. When dir is fresh, an empty store with opts is created; a positive
+// opts.BufferPoolFrames selects the buffer-pooled tier (see Options).
 //
-// Close the store to release the log file; call Checkpoint periodically to
-// bound the log and recovery time.
+// Close the store to release the log and page files; call Checkpoint
+// periodically to bound the log and recovery time.
 func OpenDurable(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("open durable store: %w", err)
 	}
+	pagesPath := filepath.Join(dir, pagesFile)
+	metaPath := filepath.Join(dir, metaFile)
 	snapPath := filepath.Join(dir, snapshotFile)
-	var s *Store
-	var snapLSN uint64
-	switch _, err := os.Stat(snapPath); {
-	case err == nil:
+
+	var (
+		s       *Store
+		snapLSN uint64
+		pool    *bufpool.Pool
+		pf      *pagefile.File
+	)
+	fail := func(err error) (*Store, error) {
+		if pf != nil {
+			pf.Close()
+		}
+		return nil, err
+	}
+	switch {
+	case fileExists(pagesPath):
+		// Paged store. The page file existing with no manifest means a crash
+		// before the first checkpoint finished: nothing in pages.db is
+		// durable yet, so recovery is a fresh store plus a full WAL replay.
+		var err error
+		if pf, err = pagefile.Open(pagesPath); err != nil {
+			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
+		}
+		pool = bufpool.New(pf, poolFrames(opts))
+		if fileExists(metaPath) {
+			if s, err = openPagedManifest(metaPath, pool); err != nil {
+				return fail(fmt.Errorf("open durable store %s: %w", dir, err))
+			}
+			if snapLSN, err = readWALLSN(s.db); err != nil {
+				return fail(fmt.Errorf("open durable store %s: %w", dir, err))
+			}
+		} else if s, err = openPagedFresh(pool, opts); err != nil {
+			return fail(err)
+		}
+	case fileExists(snapPath):
+		// Legacy all-RAM store with a full snapshot.
+		var err error
 		if s, err = OpenFile(snapPath); err != nil {
 			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
 		}
 		if snapLSN, err = readWALLSN(s.db); err != nil {
 			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
 		}
-	case errors.Is(err, fs.ErrNotExist):
+	case opts.BufferPoolFrames > 0:
+		var err error
+		if pf, err = pagefile.Create(pagesPath); err != nil {
+			return nil, fmt.Errorf("open durable store %s: %w", dir, err)
+		}
+		pool = bufpool.New(pf, poolFrames(opts))
+		if s, err = openPagedFresh(pool, opts); err != nil {
+			return fail(err)
+		}
+	default:
+		var err error
 		if s, err = Open(opts); err != nil {
 			return nil, err
 		}
-	default:
-		return nil, fmt.Errorf("open durable store %s: %w", dir, err)
 	}
 
 	lg, err := wal.Open(filepath.Join(dir, walFile), s.db.Registry())
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	opErrors := s.db.Registry().Counter("wal.replay.op_errors")
 	if err := lg.Replay(snapLSN, func(rec wal.Record) error {
 		return s.applyRecord(rec, opErrors)
 	}); err != nil {
 		lg.Close()
-		return nil, fmt.Errorf("replay %s: %w", filepath.Join(dir, walFile), err)
+		return fail(fmt.Errorf("replay %s: %w", filepath.Join(dir, walFile), err))
 	}
 	lg.EnsureNextLSN(snapLSN + 1)
+	if pool != nil {
+		// WAL-before-data: flushed pages carry the log position current when
+		// they were dirtied, and the log must be durable through it first.
+		// Wired after replay — replay holds the log's lock, and pages dirtied
+		// by replay need no guard because their records are already on disk.
+		pool.CurrentLSN = lg.LastLSN
+		pool.EnsureDurable = func(lsn uint64) error {
+			if lg.DurableLSN() >= lsn {
+				return nil
+			}
+			return lg.Sync()
+		}
+	}
 
 	// Recovery ends with the deep integrity check: a store rebuilt from
-	// snapshot + log must be indistinguishable from one that never crashed.
+	// checkpoint + log must be indistinguishable from one that never crashed.
 	problems, err := s.CheckIntegrity()
 	if err != nil {
 		lg.Close()
-		return nil, fmt.Errorf("post-recovery integrity check: %w", err)
+		return fail(fmt.Errorf("post-recovery integrity check: %w", err))
 	}
 	if len(problems) > 0 {
 		lg.Close()
-		return nil, fmt.Errorf("post-recovery integrity check found %d violation(s): %s",
-			len(problems), strings.Join(problems, "; "))
+		return fail(fmt.Errorf("post-recovery integrity check found %d violation(s): %s",
+			len(problems), strings.Join(problems, "; ")))
 	}
 
 	reg := s.db.Registry()
 	s.dur = &durState{
 		dir:         dir,
 		log:         lg,
+		pool:        pool,
+		pf:          pf,
+		metaPath:    metaPath,
 		checkpoints: reg.Counter("wal.checkpoints"),
 		ckptLat:     reg.Histogram("wal.checkpoint.latency"),
 		opErrors:    opErrors,
@@ -188,22 +313,76 @@ func OpenDurable(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// Close syncs and releases the write-ahead log. Memory-only stores have
-// nothing to release; Close is a no-op for them.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// poolFrames resolves the pool capacity for a paged store.
+func poolFrames(opts Options) int {
+	if opts.BufferPoolFrames > 0 {
+		return opts.BufferPoolFrames
+	}
+	return DefaultPoolFrames
+}
+
+// openPagedFresh creates an empty store whose storage pages through pool.
+func openPagedFresh(pool *bufpool.Pool, opts Options) (*Store, error) {
+	iopts, err := internalOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	return bootstrapStore(sqldb.OpenPooled(pool), iopts)
+}
+
+// openPagedManifest opens the store a checkpoint manifest describes, over
+// pool. Table data stays on disk and faults in on first touch.
+func openPagedManifest(path string, pool *bufpool.Pool) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := sqldb.LoadPaged(f, pool)
+	if err != nil {
+		return nil, err
+	}
+	iopts, err := readMeta(db)
+	if err != nil {
+		return nil, err
+	}
+	if !encoding.Installed(db, iopts) {
+		return nil, fmt.Errorf("manifest lacks the %s node table", iopts.Kind)
+	}
+	return newStoreOn(db, iopts)
+}
+
+// Close syncs and releases the write-ahead log and, for pooled stores, the
+// page file. Memory-only stores have nothing to release; Close is a no-op
+// for them.
 func (s *Store) Close() error {
 	if s.dur == nil {
 		return nil
 	}
 	s.dur.mu.Lock()
 	defer s.dur.mu.Unlock()
-	return s.dur.log.Close()
+	err := s.dur.log.Close()
+	if s.dur.pf != nil {
+		if cerr := s.dur.pf.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
-// Checkpoint writes an atomic snapshot of the store and rotates the
-// write-ahead log, bounding recovery to the log written after this call.
-// The snapshot records the log's high-water LSN so replay after a crash —
-// even one landing between the snapshot rename and the log rotation — never
-// re-applies an operation the snapshot already contains.
+// Checkpoint makes the store's current state durable without the log and
+// rotates the write-ahead log, bounding recovery to the log written after
+// this call. All-RAM stores write a full atomic snapshot; pooled stores
+// checkpoint incrementally — only pages dirtied since the last checkpoint
+// are flushed, followed by a small manifest install. Either way the
+// checkpoint records the log's high-water LSN, so replay after a crash —
+// even one landing between the checkpoint install and the log rotation —
+// never re-applies an operation the checkpoint already contains.
 func (s *Store) Checkpoint() error {
 	if s.dur == nil {
 		return fmt.Errorf("store is not durable (open it with OpenDurable)")
@@ -214,6 +393,26 @@ func (s *Store) Checkpoint() error {
 	if err := s.writeWALLSN(s.dur.log.LastLSN()); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	var err error
+	if s.dur.pool != nil {
+		err = s.checkpointPaged()
+	} else {
+		err = s.checkpointSnapshot()
+	}
+	if err != nil {
+		return err
+	}
+	if err := s.dur.log.Rotate(); err != nil {
+		return fmt.Errorf("checkpoint: rotate log: %w", err)
+	}
+	s.dur.checkpoints.Inc()
+	s.dur.ckptLat.Observe(time.Since(start))
+	return nil
+}
+
+// checkpointSnapshot is the all-RAM tier's checkpoint body: full snapshot to
+// a temp file, fsync, atomic rename over snapshot.db.
+func (s *Store) checkpointSnapshot() error {
 	if err := fpCkptBeforeSnapshot.Hit(); err != nil {
 		return err
 	}
@@ -233,15 +432,77 @@ func (s *Store) Checkpoint() error {
 	if err := wal.SyncDir(s.dur.dir); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := fpCkptAfterRename.Hit(); err != nil {
+	return fpCkptAfterRename.Hit()
+}
+
+// checkpointPaged is the pooled tier's incremental checkpoint body:
+//
+//  1. serialize changed index nodes to fresh pages and build the manifest
+//     (shadow paging — pages the previous checkpoint references are never
+//     overwritten, so a crash anywhere below leaves it intact);
+//  2. flush every dirty frame and sync the page file;
+//  3. install the manifest atomically (temp + fsync + rename + dir sync);
+//  4. commit the pool's allocator: pages the old checkpoint no longer
+//     references become reusable.
+func (s *Store) checkpointPaged() error {
+	if err := fpPagedBeforeFlush.Hit(); err != nil {
 		return err
 	}
-	if err := s.dur.log.Rotate(); err != nil {
-		return fmt.Errorf("checkpoint: rotate log: %w", err)
+	var manifest bytes.Buffer
+	if err := s.db.DumpPaged(&manifest); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
 	}
-	s.dur.checkpoints.Inc()
-	s.dur.ckptLat.Observe(time.Since(start))
+	if err := s.dur.pool.FlushAll(); err != nil {
+		return fmt.Errorf("checkpoint: flush pool: %w", err)
+	}
+	if err := s.dur.pf.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync page file: %w", err)
+	}
+	if err := fpPagedBeforeMeta.Hit(); err != nil {
+		return err
+	}
+	tmp, err := writeFileTemp(s.dur.metaPath, manifest.Bytes())
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, s.dur.metaPath); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := wal.SyncDir(s.dur.dir); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := fpPagedAfterMeta.Hit(); err != nil {
+		return err
+	}
+	s.dur.pool.CommitCheckpoint()
 	return nil
+}
+
+// writeFileTemp writes data to a synced temp file next to path and returns
+// the temp name, ready to rename.
+func writeFileTemp(path string, data []byte) (string, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	tmp := f.Name()
+	fail := func(err error) (string, error) {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	return tmp, nil
 }
 
 // writeSnapshotTemp writes a snapshot to a temp file next to path and

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ordxml"
+)
+
+// Buffer-pool benchmark: the paper's experiments all run against an in-RAM
+// store; this suite measures what the disk-paged tier costs and buys. For
+// each pool size it opens a durable store with that many frames, loads the
+// catalog document (write path under eviction pressure), takes a first
+// checkpoint (full: every page is dirty), runs the E3 query mix (read path:
+// hit ratio, faults), then applies one point update and checkpoints again
+// (incremental: only the dirtied page path flushes).
+
+// PoolResult is one (encoding, frames) cell of the buffer-pool benchmark,
+// serialized into BENCH_bufpool.json.
+type PoolResult struct {
+	Encoding     string  `json:"encoding"`
+	Frames       int     `json:"frames"`
+	LoadMS       float64 `json:"load_ms"`
+	QueryMS      float64 `json:"query_suite_ms"`
+	HitPct       float64 `json:"hit_pct"`
+	Evictions    int64   `json:"evictions"`
+	FullCkptMS   float64 `json:"full_ckpt_ms"`
+	FullFlushes  int64   `json:"full_ckpt_flushes"`
+	IncrCkptMS   float64 `json:"incr_ckpt_ms"`
+	IncrFlushes  int64   `json:"incr_ckpt_flushes"`
+	HeapPages    int     `json:"heap_pages"`
+	ResidentPeak int64   `json:"resident_frames"`
+}
+
+// PoolReport is the top-level shape of BENCH_bufpool.json.
+type PoolReport struct {
+	SchemaVersion  int          `json:"schema_version"`
+	ItemsPerRegion int          `json:"items_per_region"`
+	QueryMix       string       `json:"query_mix"`
+	Results        []PoolResult `json:"results"`
+}
+
+// RunPool measures the paged tier at each pool size, per encoding. reps is
+// how many times the query suite is cycled for the read measurement.
+func RunPool(itemsPerRegion int, frames []int, reps int) (PoolReport, error) {
+	rep := PoolReport{
+		SchemaVersion:  1,
+		ItemsPerRegion: itemsPerRegion,
+		QueryMix:       "E3 Q1-Q9",
+	}
+	doc := CatalogDoc(itemsPerRegion)
+	xml := doc.String()
+	suite := QuerySuite(itemsPerRegion)
+	for _, cfg := range Encodings() {
+		for _, n := range frames {
+			r, err := runPoolCell(cfg, xml, suite, n, reps)
+			if err != nil {
+				return rep, fmt.Errorf("%s frames=%d: %w", cfg.Name, n, err)
+			}
+			r.Encoding = cfg.Name
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, nil
+}
+
+func runPoolCell(cfg Config, xml string, suite []QuerySpec, frames, reps int) (PoolResult, error) {
+	dir, err := os.MkdirTemp("", "xmlbench-pool-*")
+	if err != nil {
+		return PoolResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	opts := cfg.Opts
+	opts.BufferPoolFrames = frames
+	s, err := ordxml.OpenDurable(dir, opts)
+	if err != nil {
+		return PoolResult{}, err
+	}
+	defer s.Close()
+	r := PoolResult{Frames: frames}
+
+	t0 := time.Now()
+	id, err := s.LoadString("bench", xml)
+	if err != nil {
+		return r, err
+	}
+	r.LoadMS = ms(time.Since(t0))
+	r.HeapPages = s.Storage().HeapPages
+
+	t0 = time.Now()
+	if err := s.Checkpoint(); err != nil {
+		return r, err
+	}
+	r.FullCkptMS = ms(time.Since(t0))
+	ps, _ := s.PoolStats()
+	r.FullFlushes = ps.DirtyFlushes
+	preHits, preMisses := ps.Hits, ps.Misses
+
+	t0 = time.Now()
+	for i := 0; i < reps; i++ {
+		for _, q := range suite {
+			if _, err := s.QueryValues(id, q.XPath); err != nil {
+				return r, fmt.Errorf("%s: %w", q.ID, err)
+			}
+		}
+	}
+	r.QueryMS = ms(time.Since(t0))
+	ps, _ = s.PoolStats()
+	if acc := (ps.Hits - preHits) + (ps.Misses - preMisses); acc > 0 {
+		r.HitPct = 100 * float64(ps.Hits-preHits) / float64(acc)
+	}
+	r.Evictions = ps.Evictions
+	r.ResidentPeak = ps.Resident
+
+	// One point update, then the incremental checkpoint.
+	hits, err := s.Query(id, "/site/regions/namerica/item[1]")
+	if err != nil || len(hits) == 0 {
+		return r, fmt.Errorf("update target: %v", err)
+	}
+	if err := s.Rename(id, hits[0].ID, "itemx"); err != nil {
+		return r, err
+	}
+	t0 = time.Now()
+	if err := s.Checkpoint(); err != nil {
+		return r, err
+	}
+	r.IncrCkptMS = ms(time.Since(t0))
+	ps, _ = s.PoolStats()
+	r.IncrFlushes = ps.DirtyFlushes - r.FullFlushes
+	return r, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// PoolTable renders a report as an aligned text table.
+func PoolTable(rep PoolReport) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Buffer pool: paged tier, %s, %d items/region", rep.QueryMix, rep.ItemsPerRegion),
+		Note:   "full ckpt = first checkpoint (all pages dirty); incr ckpt = after one point update",
+		Header: []string{"encoding", "frames", "heap_pages", "load_ms", "query_ms", "hit_pct", "evict", "full_ckpt_ms", "full_flush", "incr_ckpt_ms", "incr_flush"},
+	}
+	for _, r := range rep.Results {
+		t.Rows = append(t.Rows, []string{
+			r.Encoding,
+			fmt.Sprintf("%d", r.Frames),
+			fmt.Sprintf("%d", r.HeapPages),
+			fmt.Sprintf("%.1f", r.LoadMS),
+			fmt.Sprintf("%.1f", r.QueryMS),
+			fmt.Sprintf("%.1f", r.HitPct),
+			fmt.Sprintf("%d", r.Evictions),
+			fmt.Sprintf("%.1f", r.FullCkptMS),
+			fmt.Sprintf("%d", r.FullFlushes),
+			fmt.Sprintf("%.1f", r.IncrCkptMS),
+			fmt.Sprintf("%d", r.IncrFlushes),
+		})
+	}
+	return t
+}

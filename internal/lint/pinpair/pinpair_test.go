@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/pinpair"
+)
+
+func TestPinPair(t *testing.T) {
+	framework.RunTest(t, pinpair.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,32 @@
+// Package bufpool is a miniature stand-in for the engine's buffer pool: the
+// pinpair analyzer recognizes frame values structurally (a named type Frame
+// in a package named bufpool), so this double triggers it without importing
+// the engine.
+package bufpool
+
+type PageID uint32
+
+type Frame struct {
+	id   PageID
+	pins int
+	data []byte
+}
+
+type Pool struct{}
+
+func (p *Pool) Fetch(id PageID) *Frame { return &Frame{id: id} }
+
+func (p *Pool) Alloc() (*Frame, error) { return &Frame{}, nil }
+
+func (f *Frame) Pin() []byte {
+	f.pins++
+	return f.data
+}
+
+func (f *Frame) Unpin() { f.pins-- }
+
+func (f *Frame) Bytes() []byte { return f.data }
+
+func (f *Frame) MarkDirty() []byte { return f.data }
+
+func (f *Frame) ID() PageID { return f.id }

@@ -1,9 +1,9 @@
-// Package btree implements an in-memory B+tree mapping byte-string keys to
-// heap record ids. It is the index structure of the relational engine: keys
-// are produced by the order-preserving sqltypes key codec, so lexicographic
-// byte order equals SQL value order and every index scan is a byte-range
-// scan. Keys are unique; the index layer suffixes non-unique entries with the
-// RID to disambiguate.
+// Package btree implements a B+tree mapping byte-string keys to heap record
+// ids. It is the index structure of the relational engine: keys are produced
+// by the order-preserving sqltypes key codec, so lexicographic byte order
+// equals SQL value order and every index scan is a byte-range scan. Keys are
+// unique; the index layer suffixes non-unique entries with the RID to
+// disambiguate.
 //
 // Mutations are copy-on-write against the most recently published Snapshot:
 // every node carries the epoch it was created in, and Insert/Delete clone any
@@ -12,6 +12,14 @@
 // that concurrent readers can traverse without locks while the tree keeps
 // changing; superseded nodes are reclaimed by the garbage collector once the
 // last Snapshot referencing them is dropped.
+//
+// Trees are in-RAM by default. A pooled tree (Restore, or AdoptFrom on a
+// fresh build) additionally pages itself to a buffer pool: WritePages
+// serializes every node changed since the last call to fresh page-file pages
+// (shadow paging — existing pages are never overwritten), and restored trees
+// start as a single root stub whose nodes materialize lazily from their
+// pages on first touch, so a tree larger than the pool faults in only what a
+// query actually visits. See pageio.go.
 package btree
 
 import (
@@ -19,6 +27,7 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/heap"
 )
 
@@ -34,6 +43,15 @@ var ErrDuplicate = errors.New("btree: duplicate key")
 // ErrNotFound is returned when deleting or fetching an absent key.
 var ErrNotFound = errors.New("btree: key not found")
 
+// ErrKeyTooLarge is returned for keys that could not be serialized into a
+// single tree page.
+var ErrKeyTooLarge = errors.New("btree: key larger than a tree page")
+
+// MaxKeySize is the largest key Insert and BulkLoad accept: one key must fit
+// a serialized one-key node (page payload minus node header and per-entry
+// overhead, with slack for the interior layout).
+const MaxKeySize = bufpool.PayloadSize - 16
+
 type node struct {
 	// keys has len <= maxKeys (transiently maxKeys+1 before a split).
 	keys [][]byte
@@ -47,8 +65,19 @@ type node struct {
 	// pointer: a sideways link would force cloning the whole left leaf
 	// chain on every copy-on-write; iterators keep a descent stack instead.)
 	stamp uint64
+	// pid is the page-file page holding this node's serialized image, or 0
+	// if the node has changed since it was last written (WritePages assigns
+	// a fresh page — shadow paging). Stubs (lazy != nil) always have pid != 0.
+	pid bufpool.PageID
+	// lazy, when non-nil, means keys/children/rids may not be populated yet:
+	// the node is a stub created from a parent's child-pid list and
+	// materializes from its page on first touch. Never reset to nil — ensure
+	// goes through lazy.once so concurrent snapshot readers race safely.
+	lazy *lazyNode
 }
 
+// leaf reports whether the node is a leaf. The node must be materialized
+// (ensure called) first: stubs keep children nil until they load.
 func (n *node) leaf() bool { return n.children == nil }
 
 // search returns the index of the first key >= k.
@@ -78,6 +107,22 @@ type Tree struct {
 	// lookups, seeks and iterator advances. The catalog points it at a
 	// shared engine counter; the nil check keeps the package dependency-free.
 	NodeReads *atomic.Int64
+	// pool backs pooled trees; nil means a pure in-RAM tree.
+	pool *bufpool.Pool
+	// freed collects page ids superseded by committed copy-on-write since
+	// the last WritePages; they return to the pool's allocator there. A pid
+	// joins this list only after the mutation that superseded its node
+	// succeeds, and cloning materializes the node in place, so no snapshot
+	// reader — nor the live tree, if the mutation fails — can fault the page
+	// again.
+	freed []bufpool.PageID
+	// pendingFree stages pids superseded during the mutation in flight. A
+	// failed mutation against a frozen root discards the whole cloned path,
+	// leaving t.root referencing the original nodes, so their pids must not
+	// reach freed (releasing them would let WritePages hand checkpoint-live
+	// pages back to the allocator). installRoot commits this list on
+	// success; abortMutation resolves it on failure.
+	pendingFree []bufpool.PageID
 }
 
 // readNodes bumps the read counter by n visited nodes.
@@ -97,8 +142,11 @@ func (t *Tree) Len() int { return t.size }
 
 // clone returns a mutable copy of n stamped with the current epoch. Key and
 // payload bytes are shared (they are immutable); only the slice spines are
-// copied.
+// copied. The clone has no page yet (pid 0): WritePages gives changed nodes
+// fresh pages. Cloning materializes n, so once a node is superseded its
+// in-memory content — not its page — serves any snapshot still holding it.
 func (t *Tree) clone(n *node) *node {
+	n.ensure()
 	c := &node{stamp: t.epoch}
 	c.keys = append(make([][]byte, 0, len(n.keys)), n.keys...)
 	if n.children != nil {
@@ -110,26 +158,73 @@ func (t *Tree) clone(n *node) *node {
 	return c
 }
 
+// freePid stages a superseded page id for release once the mutation in
+// flight commits (it reaches the allocator at the next WritePages after
+// that). Only call for nodes that were just cloned (and are therefore
+// materialized).
+func (t *Tree) freePid(pid bufpool.PageID) {
+	if t.pool != nil && pid != 0 {
+		t.pendingFree = append(t.pendingFree, pid)
+	}
+}
+
+// commitFreed moves the pids staged by the current mutation onto the freed
+// list, scheduling their release at the next WritePages.
+func (t *Tree) commitFreed() {
+	t.freed = append(t.freed, t.pendingFree...)
+	t.pendingFree = t.pendingFree[:0]
+}
+
+// abortMutation resolves pendingFree after a failed Insert or Delete, given
+// the root the mutation ran against. If that root was a clone (the tree was
+// frozen by a snapshot), the clone and every node linked into it are
+// discarded and t.root still references the originals — their pids must
+// stay live, so the staged ids are dropped. If the mutation ran in place on
+// the live root, clones relinked during the descent remain reachable and
+// their originals really are superseded, so the staged ids are committed.
+func (t *Tree) abortMutation(root *node) {
+	if root == t.root {
+		t.commitFreed()
+		return
+	}
+	t.pendingFree = t.pendingFree[:0]
+}
+
 // writableChild returns child i of the (already writable) node n, cloning it
 // and relinking it into n first if it is frozen in an earlier epoch. Linking
 // a clone is harmless even if the operation later fails: the clone holds
-// identical content.
+// identical content (and the superseded page would be rewritten by the next
+// WritePages anyway).
 func (t *Tree) writableChild(n *node, i int) *node {
 	c := n.children[i]
 	if c.stamp != t.epoch {
-		c = t.clone(c)
-		n.children[i] = c
+		nc := t.clone(c)
+		t.freePid(c.pid)
+		n.children[i] = nc
+		c = nc
 	}
 	return c
 }
 
 // writableRoot returns the root, cloned if frozen. The caller installs it
-// into t.root only once the mutation succeeds.
+// into t.root (and releases the old root's page) only once the mutation
+// succeeds.
 func (t *Tree) writableRoot() *node {
 	if t.root.stamp != t.epoch {
 		return t.clone(t.root)
 	}
 	return t.root
+}
+
+// installRoot publishes the successfully mutated root, releasing the
+// superseded root's page if the mutation started by cloning it, and commits
+// every pid the mutation staged for release.
+func (t *Tree) installRoot(root *node) {
+	if root != t.root {
+		t.freePid(t.root.pid)
+	}
+	t.root = root
+	t.commitFreed()
 }
 
 // Get returns the RID stored under key.
@@ -139,6 +234,7 @@ func (t *Tree) Get(key []byte) (heap.RID, bool) {
 
 func get(root *node, key []byte, reads *atomic.Int64) (heap.RID, bool) {
 	n := root
+	n.ensure()
 	visited := int64(1)
 	for !n.leaf() {
 		i := n.search(key)
@@ -146,6 +242,7 @@ func get(root *node, key []byte, reads *atomic.Int64) (heap.RID, bool) {
 			i++ // interior separator equal to key: key lives in right subtree
 		}
 		n = n.children[i]
+		n.ensure()
 		visited++
 	}
 	if reads != nil {
@@ -160,15 +257,19 @@ func get(root *node, key []byte, reads *atomic.Int64) (heap.RID, bool) {
 
 // Insert adds key -> rid. The key bytes are copied.
 func (t *Tree) Insert(key []byte, rid heap.RID) error {
+	if len(key) > MaxKeySize {
+		return ErrKeyTooLarge
+	}
 	k := make([]byte, len(key))
 	copy(k, key)
 	t.snap = nil
 	root := t.writableRoot()
 	promoted, right, err := t.insert(root, k, rid)
 	if err != nil {
+		t.abortMutation(root)
 		return err
 	}
-	t.root = root
+	t.installRoot(root)
 	if right != nil {
 		t.root = &node{
 			keys:     [][]byte{promoted},
@@ -194,7 +295,7 @@ func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) 
 		n.rids = append(n.rids, heap.RID{})
 		copy(n.rids[i+1:], n.rids[i:])
 		n.rids[i] = rid
-		if len(n.keys) > maxKeys {
+		if overfull(n) {
 			return t.splitLeaf(n)
 		}
 		return nil, nil, nil
@@ -213,10 +314,18 @@ func (t *Tree) insert(n *node, key []byte, rid heap.RID) ([]byte, *node, error) 
 	n.children = append(n.children, nil)
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = right
-	if len(n.keys) > maxKeys {
+	if overfull(n) {
 		return t.splitInterior(n)
 	}
 	return nil, nil, nil
+}
+
+// overfull reports whether a node must split: above the fan-out bound, or
+// (with at least two keys, so a split is possible) too large to serialize
+// comfortably into a page. The byte bound is a safety valve for long keys;
+// typical key sizes hit maxKeys long before it.
+func overfull(n *node) bool {
+	return len(n.keys) > maxKeys || (len(n.keys) > 1 && nodeBytes(n) > nodeByteBudget)
 }
 
 func (t *Tree) splitLeaf(n *node) ([]byte, *node, error) {
@@ -249,10 +358,13 @@ func (t *Tree) Delete(key []byte) error {
 	t.snap = nil
 	root := t.writableRoot()
 	if err := t.delete(root, key); err != nil {
+		t.abortMutation(root)
 		return err
 	}
-	t.root = root
+	t.installRoot(root)
 	if !root.leaf() && len(root.keys) == 0 {
+		// The emptied interior root collapses away; it was writable (pid 0),
+		// so there is no page to release.
 		t.root = root.children[0]
 	}
 	t.size--
@@ -288,6 +400,13 @@ func (t *Tree) delete(n *node, key []byte) error {
 // here if frozen.
 func (t *Tree) rebalance(n *node, i int) {
 	child := n.children[i]
+	// Sibling fill checks read frozen siblings, which may be stubs.
+	if i > 0 {
+		n.children[i-1].ensure()
+	}
+	if i < len(n.children)-1 {
+		n.children[i+1].ensure()
+	}
 	// Borrow from left sibling.
 	if i > 0 && len(n.children[i-1].keys) > minKeys {
 		left := t.writableChild(n, i-1)
@@ -326,22 +445,43 @@ func (t *Tree) rebalance(n *node, i int) {
 		}
 		return
 	}
-	// Merge with a sibling.
-	if i > 0 {
-		i-- // merge children[i] (left) and children[i+1] (the underflowing one)
+	// Merge with a sibling. Byte-budget splits (long keys) leave nodes near
+	// nodeByteBudget with few keys; recombining two such nodes could build
+	// one that no longer serializes into a page, wedging every subsequent
+	// WritePages. mergeChildren therefore refuses any merge whose result
+	// would exceed the byte budget — checked before cloning anything — and
+	// the underflowing child tries its other neighbor, or simply stays
+	// underfull by key count (it is byte-heavy, so the page is well used).
+	if i > 0 && t.mergeChildren(n, i-1) {
+		return
 	}
-	left := t.writableChild(n, i)
-	right := t.writableChild(n, i+1)
+	if i < len(n.children)-1 {
+		t.mergeChildren(n, i)
+	}
+}
+
+// mergeChildren merges children li and li+1 of the writable node n, pulling
+// down the separator between them when they are interior. It reports whether
+// the merge happened: a merge whose result would serialize above
+// nodeByteBudget is skipped. Both children must be materialized (rebalance
+// ensures the siblings it touches).
+func (t *Tree) mergeChildren(n *node, li int) bool {
+	if mergedNodeBytes(n, li) > nodeByteBudget {
+		return false
+	}
+	left := t.writableChild(n, li)
+	right := t.writableChild(n, li+1)
 	if left.leaf() {
 		left.keys = append(left.keys, right.keys...)
 		left.rids = append(left.rids, right.rids...)
 	} else {
-		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, n.keys[li])
 		left.keys = append(left.keys, right.keys...)
 		left.children = append(left.children, right.children...)
 	}
-	n.keys = append(n.keys[:i], n.keys[i+1:]...)
-	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	n.keys = append(n.keys[:li], n.keys[li+1:]...)
+	n.children = append(n.children[:li+1], n.children[li+2:]...)
+	return true
 }
 
 // Snapshot is an immutable point-in-time view of a tree, safe for concurrent
@@ -409,6 +549,7 @@ func (t *Tree) Seek(start, end []byte) *Iterator {
 func seek(root *node, start, end []byte, reads *atomic.Int64) *Iterator {
 	it := &Iterator{end: end, reads: reads}
 	n := root
+	n.ensure()
 	visited := int64(1)
 	for !n.leaf() {
 		i := 0
@@ -420,6 +561,7 @@ func seek(root *node, start, end []byte, reads *atomic.Int64) *Iterator {
 		}
 		it.stack = append(it.stack, iterFrame{n: n, i: i})
 		n = n.children[i]
+		n.ensure()
 		visited++
 	}
 	if reads != nil {
@@ -471,10 +613,12 @@ func (it *Iterator) advance() {
 		}
 		// Descend to the leftmost leaf of the next child subtree.
 		n := top.n.children[top.i]
+		n.ensure()
 		visited := int64(1)
 		for !n.leaf() {
 			it.stack = append(it.stack, iterFrame{n: n, i: 0})
 			n = n.children[0]
+			n.ensure()
 			visited++
 		}
 		it.stack = append(it.stack, iterFrame{n: n, i: 0})

@@ -35,14 +35,25 @@ func BulkLoad(items []Item) (*Tree, error) {
 
 	// Leaf level: distribute the items evenly over the minimum number of
 	// leaves with at most bulkFill keys each, so no leaf ends up with a
-	// tiny remainder. Key copies share one arena allocation.
+	// tiny remainder. Key copies share one arena allocation. With long keys
+	// the leaf count grows further so every leaf stays within the page-size
+	// byte budget (assuming roughly uniform key sizes; WritePages rejects
+	// pathological skew explicitly).
 	n := len(items)
 	total := 0
+	entryBytes := 0
 	for i := range items {
+		if len(items[i].Key) > MaxKeySize {
+			return nil, ErrKeyTooLarge
+		}
 		total += len(items[i].Key)
+		entryBytes += 2 + len(items[i].Key) + 6
 	}
 	arena := make([]byte, 0, total)
 	numLeaves := (n + bulkFill - 1) / bulkFill
+	if byBytes := (entryBytes + nodeByteBudget - 1) / nodeByteBudget; byBytes > numLeaves {
+		numLeaves = byBytes
+	}
 	base, extra := n/numLeaves, n%numLeaves
 	level := make([]*node, 0, numLeaves)
 	// firsts[i] is the smallest key under level[i] — the separator a parent

@@ -1,0 +1,671 @@
+// Package bufpool implements a fixed-capacity buffer pool over a page file:
+// the layer that lets heap and B+tree storage exceed RAM. Callers hold
+// *Frame handles; a frame's payload may or may not be resident. Access
+// follows fetch→pin→use→unpin: Pin (or Pool.Fetch/Alloc) returns the
+// payload bytes and takes a pin reference, Unpin drops it. The pool keeps at
+// most its configured number of frames resident, evicting clean unpinned
+// frames with a clock sweep when a fault or allocation would exceed the
+// capacity.
+//
+// Two properties make lock-free readers (the engine's published storage
+// snapshots) safe above this layer:
+//
+//   - Eviction drops the pool's reference to a payload buffer; it never
+//     recycles the memory. A reader that obtained the bytes before the
+//     eviction keeps reading valid, immutable memory and the garbage
+//     collector reclaims it when the last reference drops — the same
+//     lifetime rule the engine already uses for snapshots.
+//   - A frame's payload is dropped only when the frame is clean, and a frame
+//     becomes clean only after its payload has been fully written to the
+//     page file. A fault therefore never observes a torn or stale page: any
+//     frame with a nil payload has its exact bytes on disk.
+//
+// Writes are single-threaded above this package (the engine's writer lock),
+// so dirty-page bookkeeping needs no cross-writer coordination: MarkDirty,
+// Alloc, FlushAll and the dirty half of eviction run only on the writer
+// side. Reader-side faults evict clean frames only.
+//
+// The pool also owns page-id allocation with shadow-paging semantics: page
+// slots referenced by the last durable checkpoint (the "durable set") are
+// never handed out again until a later checkpoint commits without them, so
+// a crash at any moment leaves the previous checkpoint's pages intact on
+// disk. FreeID routes superseded ids to a pending list when they are still
+// checkpoint-referenced; CommitCheckpoint drains it.
+package bufpool
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ordxml/internal/failpoint"
+	"ordxml/internal/obs"
+	"ordxml/internal/sqldb/pagefile"
+)
+
+// PageID identifies a page slot in the underlying page file.
+type PageID = pagefile.PageID
+
+// PayloadSize is the usable byte size of every frame payload.
+const PayloadSize = pagefile.PayloadSize
+
+// Failpoints on the flush and eviction paths; the crash-torture harness
+// kills the process here to prove recovery copes with partial flushes.
+var (
+	fpFlush = failpoint.New("bufpool.flush")
+	fpEvict = failpoint.New("bufpool.evict")
+)
+
+// Frame is the handle to one logical page. Unpooled frames (NewFrame) hold
+// their payload forever — the in-RAM mode with zero eviction machinery —
+// while pool-backed frames fault their payload in from the page file on
+// demand.
+type Frame struct {
+	pool *Pool  // nil for unpooled in-RAM frames
+	id   PageID // 0 for unpooled frames
+	// data points at the resident payload, or nil when evicted. The payload
+	// buffer is never reused after eviction: readers holding the slice keep
+	// valid memory, and faulting allocates a fresh buffer.
+	data atomic.Pointer[[]byte]
+	pins atomic.Int32
+	// dirty marks payload bytes newer than the page file. Set and cleared on
+	// the writer side under the frame's shard lock; read by evicting readers.
+	dirty atomic.Bool
+	// ref is the clock sweep's second-chance bit.
+	ref atomic.Bool
+	// recLSN is the WAL position when the frame was first dirtied since its
+	// last flush. Writer-side only.
+	recLSN uint64
+}
+
+// NewFrame returns an unpooled frame with a zeroed resident payload of
+// PayloadSize bytes: the in-RAM storage mode. Pin/Unpin/MarkDirty are cheap
+// no-ops beyond the pin count and the payload is never evicted.
+func NewFrame() *Frame { return NewFrameSize(PayloadSize) }
+
+// NewFrameSize returns an unpooled frame with a zeroed resident payload of n
+// bytes. Unpooled frames never touch the page file, so their payloads need
+// not match the disk payload size: the in-RAM heap keeps its legacy 8 KiB
+// page payload (PayloadSize plus the page-file header it never pays for).
+func NewFrameSize(n int) *Frame {
+	f := &Frame{}
+	b := make([]byte, n)
+	f.data.Store(&b)
+	return f
+}
+
+// ID returns the frame's page id (0 for unpooled frames).
+func (f *Frame) ID() PageID { return f.id }
+
+// Pooled reports whether the frame is backed by a pool.
+func (f *Frame) Pooled() bool { return f.pool != nil }
+
+// Pin takes a pin reference and returns the payload bytes, faulting them in
+// from the page file if evicted. Every Pin must be paired with an Unpin on
+// all paths (the ordlint pinpair analyzer enforces this). Faults fail stop:
+// an unreadable or corrupt page panics, because it means the store's own
+// page file lied to us mid-operation.
+func (f *Frame) Pin() []byte {
+	f.pins.Add(1)
+	if p := f.pool; p != nil {
+		p.pinned.Add(1)
+	}
+	return f.Bytes()
+}
+
+// Unpin drops one pin reference.
+func (f *Frame) Unpin() {
+	f.pins.Add(-1)
+	if p := f.pool; p != nil {
+		p.pinned.Add(-1)
+	}
+}
+
+// Bytes returns the payload without pinning, faulting it in if needed. The
+// returned slice stays valid (immutable once the frame is frozen by a
+// snapshot) even if the frame is evicted afterwards; it just stops being
+// the frame's current payload if a writer re-dirties the page.
+func (f *Frame) Bytes() []byte {
+	if b := f.data.Load(); b != nil {
+		if p := f.pool; p != nil {
+			p.hits.Add(1)
+			f.ref.Store(true)
+		}
+		return *b
+	}
+	return f.pool.fault(f)
+}
+
+// MarkDirty flags the payload as newer than the page file, faulting it in
+// first if needed, and stamps the frame with the current WAL position.
+// Writer side only. It returns the payload for the caller to mutate.
+func (f *Frame) MarkDirty() []byte {
+	p := f.pool
+	if p == nil {
+		b := f.data.Load()
+		return *b
+	}
+	sh := p.shard(f.id)
+	sh.mu.Lock()
+	if !f.dirty.Load() {
+		f.dirty.Store(true)
+		p.dirtyCount.Add(1)
+		if p.CurrentLSN != nil {
+			f.recLSN = p.CurrentLSN()
+		}
+	}
+	b := f.data.Load()
+	faulted := false
+	if b == nil {
+		b, faulted = p.faultLocked(f)
+	}
+	f.ref.Store(true)
+	sh.mu.Unlock()
+	if faulted {
+		p.addToClock(f)
+	}
+	return *b
+}
+
+// shardCount must be a power of two; 16 shards keep PR 6's parallel scans
+// from serializing on one page-table mutex.
+const shardCount = 16
+
+type shard struct {
+	mu     sync.Mutex
+	frames map[PageID]*Frame
+}
+
+// Stats is a point-in-time summary of pool activity.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Evictions    int64
+	DirtyFlushes int64
+	Overshoots   int64
+	Resident     int64
+	Dirty        int64
+	Pinned       int64
+	Capacity     int
+}
+
+// Pool is a fixed-capacity page cache over one page file.
+type Pool struct {
+	file *pagefile.File
+	cap  int
+
+	shards [shardCount]shard
+
+	// evictMu serializes the clock sweep.
+	evictMu sync.Mutex
+	clock   []*Frame
+	hand    int
+
+	// mu guards the page-id allocator and checkpoint bookkeeping.
+	mu      sync.Mutex
+	next    PageID              // next never-used id (1-based; 0 is the file header)
+	free    []PageID            // reusable ids not referenced by any checkpoint
+	pending []PageID            // durable ids freed since the last checkpoint commit
+	durable map[PageID]struct{} // ids referenced by the last durable checkpoint
+	newborn map[PageID]struct{} // live ids allocated since the last commit
+
+	// CurrentLSN, when set, supplies the WAL position stamped onto dirtied
+	// frames and written into flushed page headers.
+	CurrentLSN func() uint64
+	// EnsureDurable, when set, is called before a dirty frame's payload is
+	// written to the page file, with the WAL position the flush will stamp.
+	// It must not return until the log is durable through that position —
+	// the WAL-before-data rule.
+	EnsureDurable func(lsn uint64) error
+
+	hits, misses, evictions atomic.Int64
+	dirtyFlushes, overshoot atomic.Int64
+	resident, dirtyCount    atomic.Int64
+	pinned                  atomic.Int64
+}
+
+// New returns a pool of at most frames resident pages over file. A frames
+// value below 8 is raised to 8: the engine pins a handful of pages inside
+// one operation window, and a pool smaller than that could wedge.
+func New(file *pagefile.File, frames int) *Pool {
+	if frames < 8 {
+		frames = 8
+	}
+	p := &Pool{file: file, cap: frames, next: 1,
+		durable: map[PageID]struct{}{}, newborn: map[PageID]struct{}{}}
+	for i := range p.shards {
+		p.shards[i].frames = map[PageID]*Frame{}
+	}
+	return p
+}
+
+// File returns the underlying page file.
+func (p *Pool) File() *pagefile.File { return p.file }
+
+// Capacity returns the configured frame capacity.
+func (p *Pool) Capacity() int { return p.cap }
+
+func (p *Pool) shard(id PageID) *shard { return &p.shards[id&(shardCount-1)] }
+
+// Alloc assigns a fresh page id and returns its frame, pinned and dirty,
+// with a zeroed resident payload. Writer side only. Callers must Unpin.
+func (p *Pool) Alloc() (*Frame, error) {
+	p.mu.Lock()
+	var id PageID
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		id = p.next
+		p.next++
+	}
+	p.newborn[id] = struct{}{}
+	p.mu.Unlock()
+
+	if err := p.file.EnsureSize(id); err != nil {
+		p.mu.Lock()
+		delete(p.newborn, id)
+		p.free = append(p.free, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+
+	f := &Frame{pool: p, id: id}
+	b := make([]byte, PayloadSize)
+	f.data.Store(&b)
+	f.dirty.Store(true)
+	if p.CurrentLSN != nil {
+		f.recLSN = p.CurrentLSN()
+	}
+	f.pins.Store(1)
+	p.pinned.Add(1)
+	p.dirtyCount.Add(1)
+
+	sh := p.shard(id)
+	sh.mu.Lock()
+	sh.frames[id] = f
+	sh.mu.Unlock()
+	p.resident.Add(1)
+	p.addToClock(f)
+	p.makeRoom(true)
+	return f, nil
+}
+
+// Fetch returns the frame for an existing page id, pinned with its payload
+// resident. Callers must Unpin. Like Pin, faults fail stop on corrupt or
+// unreadable pages.
+func (p *Pool) Fetch(id PageID) *Frame {
+	f := p.Adopt(id)
+	f.pins.Add(1)
+	p.pinned.Add(1)
+	f.Bytes()
+	return f
+}
+
+// Adopt returns the frame handle for a page id known to be on disk (from a
+// checkpoint manifest), creating the metadata without any I/O. The payload
+// faults in on first access.
+func (p *Pool) Adopt(id PageID) *Frame {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	f := sh.frames[id]
+	if f == nil {
+		f = &Frame{pool: p, id: id}
+		sh.frames[id] = f
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// fault loads the frame's payload from the page file.
+func (p *Pool) fault(f *Frame) []byte {
+	sh := p.shard(f.id)
+	sh.mu.Lock()
+	b, faulted := p.faultLocked(f)
+	sh.mu.Unlock()
+	if faulted {
+		p.addToClock(f)
+	}
+	p.makeRoom(false)
+	return *b
+}
+
+// faultLocked reads the payload under the frame's shard lock, so concurrent
+// faults of the same page do one read, and eviction (which also takes the
+// shard lock) cannot interleave with the residency transition. It reports
+// whether it faulted (the nil→resident transition): the caller must then
+// register the frame with the clock sweep via addToClock — only after
+// releasing the shard lock, because the sweep holds evictMu while taking
+// shard locks and nesting evictMu inside a shard lock would deadlock.
+func (p *Pool) faultLocked(f *Frame) (*[]byte, bool) {
+	if b := f.data.Load(); b != nil {
+		p.hits.Add(1)
+		return b, false
+	}
+	p.misses.Add(1)
+	_, payload, err := p.file.ReadPage(f.id)
+	if err != nil {
+		// Fail stop: the pool only faults pages it previously wrote (or that
+		// a verified checkpoint manifest references), so an unreadable page
+		// is unrecoverable storage corruption, mirroring the WAL's policy.
+		panic(fmt.Sprintf("bufpool: fault page %d: %v", f.id, err))
+	}
+	f.data.Store(&payload)
+	p.resident.Add(1)
+	return &payload, true
+}
+
+// addToClock registers a resident frame with the clock sweep. Lock order:
+// makeRoom acquires shard locks (via evictFrame) while holding evictMu, so
+// addToClock must never be called with a shard lock held.
+func (p *Pool) addToClock(f *Frame) {
+	p.evictMu.Lock()
+	p.clock = append(p.clock, f)
+	p.evictMu.Unlock()
+}
+
+// makeRoom runs the clock sweep until the resident count is back under
+// capacity. Reader-side callers (writer=false) evict clean unpinned frames
+// only; the writer may also flush-and-evict dirty frames, honoring
+// WAL-before-data. When every frame is pinned or (for readers) dirty, the
+// pool overshoots its capacity rather than blocking — the overshoot counter
+// records it.
+func (p *Pool) makeRoom(writer bool) {
+	if int(p.resident.Load()) <= p.cap {
+		return
+	}
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	// Each lap visits every clock entry once; two laps let the first clear
+	// reference bits and the second collect.
+	budget := 2 * len(p.clock)
+	for int(p.resident.Load()) > p.cap && budget > 0 && len(p.clock) > 0 {
+		if p.hand >= len(p.clock) {
+			p.hand = 0
+		}
+		f := p.clock[p.hand]
+		budget--
+		if f.data.Load() == nil {
+			// Stale entry (evicted or freed elsewhere): compact.
+			last := len(p.clock) - 1
+			p.clock[p.hand] = p.clock[last]
+			p.clock = p.clock[:last]
+			continue
+		}
+		if f.ref.Swap(false) {
+			p.hand++
+			continue
+		}
+		if f.pins.Load() > 0 {
+			p.hand++
+			continue
+		}
+		if f.dirty.Load() {
+			if !writer {
+				p.hand++
+				continue
+			}
+			if err := p.flushFrame(f); err != nil {
+				// Flush failed (failpoint or I/O): leave the frame dirty and
+				// resident; the next checkpoint will retry and surface it.
+				p.hand++
+				continue
+			}
+		}
+		if fpEvict.Hit() != nil {
+			return
+		}
+		if !p.evictFrame(f) {
+			// The frame was re-pinned or re-dirtied between the unlocked
+			// checks above and evictFrame's shard-locked recheck: keep its
+			// clock entry so a later sweep revisits it.
+			p.hand++
+			continue
+		}
+		last := len(p.clock) - 1
+		p.clock[p.hand] = p.clock[last]
+		p.clock = p.clock[:last]
+	}
+	if int(p.resident.Load()) > p.cap {
+		p.overshoot.Add(1)
+	}
+}
+
+// evictFrame drops a clean frame's payload under its shard lock, so a
+// concurrent MarkDirty either completes first (the frame is dirty, caller
+// re-checks) or faults the page back in afterwards. It reports whether the
+// payload was actually dropped: a false return means the frame stays
+// resident and must keep its clock entry.
+func (p *Pool) evictFrame(f *Frame) bool {
+	sh := p.shard(f.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f.pins.Load() == 0 && !f.dirty.Load() && f.data.Load() != nil {
+		f.data.Store(nil)
+		p.resident.Add(-1)
+		p.evictions.Add(1)
+		return true
+	}
+	return false
+}
+
+// flushFrame writes one dirty frame's payload to the page file and marks it
+// clean. Writer side only. The frame stays resident.
+func (p *Pool) flushFrame(f *Frame) error {
+	b := f.data.Load()
+	if b == nil {
+		return fmt.Errorf("bufpool: dirty frame %d has no payload", f.id)
+	}
+	lsn := f.recLSN
+	if p.CurrentLSN != nil {
+		lsn = p.CurrentLSN()
+	}
+	if p.EnsureDurable != nil {
+		if err := p.EnsureDurable(lsn); err != nil {
+			return fmt.Errorf("bufpool: wal-before-data for page %d: %w", f.id, err)
+		}
+	}
+	if err := fpFlush.Hit(); err != nil {
+		return err
+	}
+	if err := p.file.WritePage(f.id, lsn, *b); err != nil {
+		return err
+	}
+	f.dirty.Store(false)
+	p.dirtyCount.Add(-1)
+	p.dirtyFlushes.Add(1)
+	return nil
+}
+
+// FlushAll writes every dirty frame to the page file (WAL-before-data
+// enforced per frame) and then trims the resident set back under capacity.
+// Writer side only; it does not sync the file — the checkpoint does that
+// once, after all writes.
+func (p *Pool) FlushAll() error {
+	for si := range p.shards {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		dirty := make([]*Frame, 0, 8)
+		for _, f := range sh.frames {
+			if f.dirty.Load() {
+				dirty = append(dirty, f)
+			}
+		}
+		sh.mu.Unlock()
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+		for _, f := range dirty {
+			if err := p.flushFrame(f); err != nil {
+				return err
+			}
+		}
+	}
+	p.makeRoom(true)
+	return nil
+}
+
+// FreeID releases a page id. If the id is referenced by the last durable
+// checkpoint it joins the pending list (reusable only after the next
+// CommitCheckpoint); otherwise it is immediately reusable. The cached frame
+// (if any) is dropped. Safe to call from finalizers.
+func (p *Pool) FreeID(id PageID) {
+	if id == 0 {
+		return
+	}
+	p.mu.Lock()
+	if _, isNew := p.newborn[id]; isNew {
+		delete(p.newborn, id)
+		p.dropFrame(id)
+		p.free = append(p.free, id)
+	} else if _, dur := p.durable[id]; dur {
+		p.dropFrame(id)
+		p.pending = append(p.pending, id)
+	} else {
+		p.dropFrame(id)
+		p.free = append(p.free, id)
+	}
+	p.mu.Unlock()
+}
+
+// dropFrame removes the cached frame for id. Caller holds p.mu; the shard
+// lock nests inside it (never the reverse).
+func (p *Pool) dropFrame(id PageID) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if f, ok := sh.frames[id]; ok {
+		delete(sh.frames, id)
+		if f.data.Swap(nil) != nil {
+			p.resident.Add(-1)
+		}
+		if f.dirty.Swap(false) {
+			p.dirtyCount.Add(-1)
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// AllocState is the page-id allocator's persistent state, written into
+// checkpoint manifests.
+type AllocState struct {
+	Next PageID
+	Free []PageID
+}
+
+// PlannedState returns the allocator state as it will be after the next
+// CommitCheckpoint: the current free list plus every pending id. The
+// checkpoint writes this into the manifest before committing, so the
+// manifest and the in-memory allocator agree the moment the rename lands.
+func (p *Pool) PlannedState() AllocState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := make([]PageID, 0, len(p.free)+len(p.pending))
+	free = append(free, p.free...)
+	free = append(free, p.pending...)
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	return AllocState{Next: p.next, Free: free}
+}
+
+// CommitCheckpoint marks the checkpoint durable: pending ids become
+// reusable and ids allocated since the last commit join the durable set.
+// Call only after the manifest rename has landed.
+func (p *Pool) CommitCheckpoint() {
+	p.mu.Lock()
+	for _, id := range p.pending {
+		delete(p.durable, id)
+		p.free = append(p.free, id)
+	}
+	p.pending = p.pending[:0]
+	for id := range p.newborn {
+		p.durable[id] = struct{}{}
+	}
+	clear(p.newborn)
+	p.mu.Unlock()
+}
+
+// Restore initializes the allocator from a checkpoint manifest: every id
+// below next that is not on the free list is durable (checkpoint
+// referenced).
+func (p *Pool) Restore(st AllocState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next = st.Next
+	if p.next < 1 {
+		p.next = 1
+	}
+	p.free = append([]PageID(nil), st.Free...)
+	p.pending = nil
+	p.durable = make(map[PageID]struct{}, int(p.next))
+	onFree := make(map[PageID]struct{}, len(st.Free))
+	for _, id := range st.Free {
+		onFree[id] = struct{}{}
+	}
+	for id := PageID(1); id < p.next; id++ {
+		if _, ok := onFree[id]; !ok {
+			p.durable[id] = struct{}{}
+		}
+	}
+	clear(p.newborn)
+}
+
+// DurableIDs returns the ids referenced by the last durable checkpoint,
+// sorted — the set whose on-disk checksums CheckIntegrity validates.
+func (p *Pool) DurableIDs() []PageID {
+	p.mu.Lock()
+	ids := make([]PageID, 0, len(p.durable))
+	for id := range p.durable {
+		ids = append(ids, id)
+	}
+	p.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// VerifyDisk reads every durable page directly from the page file and
+// checks its checksum, returning one problem string per bad page. It
+// bypasses the cache, so it validates what a post-crash recovery would
+// actually read.
+func (p *Pool) VerifyDisk() []string {
+	var problems []string
+	for _, id := range p.DurableIDs() {
+		if _, _, err := p.file.ReadPage(id); err != nil {
+			problems = append(problems, fmt.Sprintf("pagefile: %v", err))
+		}
+	}
+	return problems
+}
+
+// Stats returns a point-in-time activity summary.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Hits:         p.hits.Load(),
+		Misses:       p.misses.Load(),
+		Evictions:    p.evictions.Load(),
+		DirtyFlushes: p.dirtyFlushes.Load(),
+		Overshoots:   p.overshoot.Load(),
+		Resident:     p.resident.Load(),
+		Dirty:        p.dirtyCount.Load(),
+		Pinned:       p.pinned.Load(),
+		Capacity:     p.cap,
+	}
+}
+
+// RegisterMetrics publishes the pool's counters and gauges on reg under the
+// bufpool.* namespace, including a derived hit-ratio gauge (percent).
+func (p *Pool) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterFunc("bufpool.hits", p.hits.Load)
+	reg.RegisterFunc("bufpool.misses", p.misses.Load)
+	reg.RegisterFunc("bufpool.evictions", p.evictions.Load)
+	reg.RegisterFunc("bufpool.dirty_flushes", p.dirtyFlushes.Load)
+	reg.RegisterFunc("bufpool.overshoots", p.overshoot.Load)
+	reg.RegisterFunc("bufpool.resident_frames", p.resident.Load)
+	reg.RegisterFunc("bufpool.dirty_frames", p.dirtyCount.Load)
+	reg.RegisterFunc("bufpool.pinned_frames", p.pinned.Load)
+	reg.RegisterFunc("bufpool.capacity", func() int64 { return int64(p.cap) })
+	reg.RegisterFunc("bufpool.hit_ratio_pct", func() int64 {
+		h, m := p.hits.Load(), p.misses.Load()
+		if h+m == 0 {
+			return 100
+		}
+		return 100 * h / (h + m)
+	})
+}

@@ -1,0 +1,332 @@
+package bufpool
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ordxml/internal/sqldb/pagefile"
+)
+
+func newTestPool(t *testing.T, frames int) *Pool {
+	t.Helper()
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return New(pf, frames)
+}
+
+func TestUnpooledFrame(t *testing.T) {
+	f := NewFrame()
+	if f.Pooled() {
+		t.Fatal("NewFrame reported pooled")
+	}
+	if f.ID() != 0 {
+		t.Fatalf("unpooled frame id = %d", f.ID())
+	}
+	b := f.Pin()
+	if len(b) != PayloadSize {
+		t.Fatalf("payload len = %d", len(b))
+	}
+	copy(b, "hello")
+	f.Unpin()
+	if got := f.MarkDirty(); !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatal("MarkDirty returned a different buffer")
+	}
+	if got := f.Bytes(); !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatal("Bytes returned a different buffer")
+	}
+}
+
+func TestAllocFlushEvictFetchRoundTrip(t *testing.T) {
+	p := newTestPool(t, 8)
+	f, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	if id == 0 {
+		t.Fatal("Alloc handed out page 0")
+	}
+	b := f.MarkDirty()
+	copy(b, "page payload round trip")
+	f.Unpin()
+
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Stats().Dirty; d != 0 {
+		t.Fatalf("dirty frames after FlushAll = %d", d)
+	}
+
+	// Force the payload out and fault it back via Fetch.
+	p.evictFrame(f)
+	if f.data.Load() != nil {
+		t.Fatal("clean unpinned frame did not evict")
+	}
+	g := p.Fetch(id)
+	got := g.Bytes()
+	g.Unpin()
+	if !bytes.Equal(got[:23], []byte("page payload round trip")) {
+		t.Fatal("payload mismatch after evict+fault")
+	}
+	if p.Stats().Misses == 0 {
+		t.Fatal("fault did not count a miss")
+	}
+}
+
+func TestResidencyBoundedByCapacity(t *testing.T) {
+	p := newTestPool(t, 8)
+	// Allocate, fill, and release 50 pages; the pool must keep eviction
+	// ahead of allocation so residency stays at (or near) capacity.
+	for i := 0; i < 50; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := f.MarkDirty()
+		b[0] = byte(i)
+		f.Unpin()
+	}
+	st := p.Stats()
+	// Alloc flushes dirty frames when over capacity, so residency should be
+	// bounded; allow one page of slack for the in-flight allocation.
+	if st.Resident > int64(p.Capacity())+1 {
+		t.Fatalf("resident = %d, capacity = %d", st.Resident, p.Capacity())
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite over-capacity allocation")
+	}
+	// Every page must still read back intact.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for id := PageID(1); id <= 50; id++ {
+		f := p.Fetch(id)
+		b := f.Bytes()
+		f.Unpin()
+		if b[0] != byte(id-1) {
+			t.Fatalf("page %d payload = %d, want %d", id, b[0], id-1)
+		}
+	}
+}
+
+func TestReadersDoNotEvictDirtyOrPinned(t *testing.T) {
+	p := newTestPool(t, 8)
+	var frames []*Frame
+	for i := 0; i < 8; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f) // keep pinned
+	}
+	// All 8 frames are pinned and dirty; a reader-side makeRoom must not
+	// drop any of them even when over capacity.
+	f9, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.makeRoom(false)
+	for i, f := range frames {
+		if f.data.Load() == nil {
+			t.Fatalf("pinned dirty frame %d was evicted", i)
+		}
+	}
+	if p.Stats().Overshoots == 0 {
+		t.Fatal("over-capacity with nothing evictable did not record an overshoot")
+	}
+	f9.Unpin()
+	for _, f := range frames {
+		f.Unpin()
+	}
+}
+
+func TestEnsureDurableCalledBeforeFlush(t *testing.T) {
+	p := newTestPool(t, 8)
+	lsn := uint64(41)
+	p.CurrentLSN = func() uint64 { return lsn }
+	var durableThrough []uint64
+	p.EnsureDurable = func(l uint64) error {
+		durableThrough = append(durableThrough, l)
+		return nil
+	}
+	f, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.MarkDirty()
+	f.Unpin()
+	lsn = 42
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(durableThrough) != 1 || durableThrough[0] != 42 {
+		t.Fatalf("EnsureDurable calls = %v, want [42]", durableThrough)
+	}
+	// The flushed page header must carry the same LSN the hook saw.
+	h, _, err := p.File().ReadPage(f.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LSN != 42 {
+		t.Fatalf("flushed page LSN = %d, want 42", h.LSN)
+	}
+}
+
+func TestFreeIDRoutingAndCheckpointCommit(t *testing.T) {
+	p := newTestPool(t, 8)
+	a, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Unpin()
+	b, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Unpin()
+
+	// Newborn id freed before any checkpoint: immediately reusable.
+	p.FreeID(a.ID())
+	c, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Unpin()
+	if c.ID() != a.ID() {
+		t.Fatalf("freed newborn id %d not reused, got %d", a.ID(), c.ID())
+	}
+
+	// Checkpoint: b and c become durable.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.PlannedState()
+	p.CommitCheckpoint()
+	if len(st.Free) != 0 {
+		t.Fatalf("planned free list = %v, want empty", st.Free)
+	}
+
+	// Durable id freed: must go pending, not reusable until the next commit.
+	p.FreeID(b.ID())
+	d, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Unpin()
+	if d.ID() == b.ID() {
+		t.Fatal("durable id reused before checkpoint commit")
+	}
+	// The planned state for the NEXT checkpoint includes b's id as free.
+	next := p.PlannedState()
+	found := false
+	for _, id := range next.Free {
+		if id == b.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("planned free list %v missing freed durable id %d", next.Free, b.ID())
+	}
+	p.CommitCheckpoint()
+	e, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Unpin()
+	if e.ID() != b.ID() {
+		t.Fatalf("pending id %d not reusable after commit, got %d", b.ID(), e.ID())
+	}
+}
+
+func TestRestoreRebuildsDurableSet(t *testing.T) {
+	p := newTestPool(t, 8)
+	p.Restore(AllocState{Next: 6, Free: []PageID{2, 4}})
+	ids := p.DurableIDs()
+	want := []PageID{1, 3, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("durable ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("durable ids = %v, want %v", ids, want)
+		}
+	}
+	// Allocation must draw from the free list first, then next.
+	a, _ := p.Alloc()
+	a.Unpin()
+	bF, _ := p.Alloc()
+	bF.Unpin()
+	cF, _ := p.Alloc()
+	cF.Unpin()
+	got := []PageID{a.ID(), bF.ID(), cF.ID()}
+	seen := map[PageID]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	if !seen[2] || !seen[4] || !seen[6] {
+		t.Fatalf("allocated ids = %v, want {2,4,6}", got)
+	}
+}
+
+func TestVerifyDiskDetectsCorruption(t *testing.T) {
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	p := New(pf, 8)
+	f, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.MarkDirty()
+	copy(b, "verify me")
+	f.Unpin()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	p.CommitCheckpoint()
+	if problems := p.VerifyDisk(); len(problems) != 0 {
+		t.Fatalf("clean store reported problems: %v", problems)
+	}
+
+	// Corrupt the page on disk behind the pool's back.
+	raw, err := os.ReadFile(pf.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[int(f.ID())*pagefile.PageSize+pagefile.HeaderSize] ^= 0xFF
+	if err := os.WriteFile(pf.Path(), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if problems := p.VerifyDisk(); len(problems) == 0 {
+		t.Fatal("VerifyDisk missed an on-disk corruption")
+	}
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	p := newTestPool(t, 8)
+	st := p.Stats()
+	if st.Capacity != 8 {
+		t.Fatalf("capacity = %d", st.Capacity)
+	}
+	f, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Pinned; got != 1 {
+		t.Fatalf("pinned = %d, want 1", got)
+	}
+	f.Unpin()
+	if got := p.Stats().Pinned; got != 0 {
+		t.Fatalf("pinned = %d, want 0", got)
+	}
+}

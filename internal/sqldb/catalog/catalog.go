@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"ordxml/internal/sqldb/btree"
+	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/heap"
 	"ordxml/internal/sqldb/sqltypes"
 )
@@ -352,6 +353,7 @@ func (t *Table) BulkInsert(rows []sqltypes.Row) ([]heap.RID, error) {
 				panic(fmt.Sprintf("catalog: index %s bulk load: %v", ix.Name, err))
 			}
 			tree.NodeReads = ix.Tree.NodeReads
+			tree.AdoptFrom(ix.Tree)
 			ix.Tree = tree
 			continue
 		}
@@ -494,6 +496,9 @@ func (t *Table) IndexScan(ix *Index, eq []sqltypes.Value, low, high *sqltypes.Va
 type Catalog struct {
 	tables   map[string]*Table
 	Counters Counters
+	// pool, when set, backs every heap and index tree created through this
+	// catalog with buffer-pool pages instead of plain RAM.
+	pool *bufpool.Pool
 	// version counts schema changes (DDL). Plan caches key their entries by
 	// it, so a CREATE/DROP TABLE/INDEX invalidates every cached plan.
 	version atomic.Uint64
@@ -523,6 +528,31 @@ func New() *Catalog {
 	return &Catalog{tables: map[string]*Table{}}
 }
 
+// NewPooled returns an empty catalog whose storage pages through pool.
+func NewPooled(pool *bufpool.Pool) *Catalog {
+	return &Catalog{tables: map[string]*Table{}, pool: pool}
+}
+
+// Pool returns the buffer pool backing this catalog's storage, or nil for an
+// all-RAM catalog.
+func (c *Catalog) Pool() *bufpool.Pool { return c.pool }
+
+// newHeap returns an empty heap on the catalog's storage tier.
+func (c *Catalog) newHeap() *heap.Heap {
+	if c.pool != nil {
+		return heap.NewPaged(c.pool)
+	}
+	return heap.New()
+}
+
+// newTree returns an empty tree on the catalog's storage tier.
+func (c *Catalog) newTree() *btree.Tree {
+	if c.pool != nil {
+		return btree.NewPaged(c.pool)
+	}
+	return btree.New()
+}
+
 // CreateTable defines a new table.
 func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	if _, exists := c.tables[name]; exists {
@@ -534,7 +564,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	t := &Table{
 		Name:     name,
 		Columns:  cols,
-		Heap:     heap.New(),
+		Heap:     c.newHeap(),
 		counters: &c.Counters,
 		colIdx:   map[string]int{},
 	}
@@ -549,10 +579,71 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 	return t, nil
 }
 
+// AttachTable registers a table over already-restored heap storage, without
+// scanning or copying rows. Used by paged-checkpoint recovery, which rebuilds
+// each heap from its manifest page list.
+func (c *Catalog) AttachTable(name string, cols []Column, h *heap.Heap) (*Table, error) {
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("table %s already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %s: no columns", name)
+	}
+	t := &Table{
+		Name:     name,
+		Columns:  cols,
+		Heap:     h,
+		counters: &c.Counters,
+		colIdx:   map[string]int{},
+	}
+	t.Heap.PageReads = &c.Counters.HeapPageReads
+	for i, col := range cols {
+		if _, dup := t.colIdx[col.Name]; dup {
+			return nil, fmt.Errorf("table %s: duplicate column %s", name, col.Name)
+		}
+		t.colIdx[col.Name] = i
+	}
+	c.replaceTables(name, t)
+	return t, nil
+}
+
+// AttachIndex registers an index over an already-restored tree, without
+// re-reading the table. The recovery counterpart of CreateIndex.
+func (c *Catalog) AttachIndex(name, tableName string, colNames []string, unique bool, tree *btree.Tree) (*Index, error) {
+	t := c.Table(tableName)
+	if t == nil {
+		return nil, fmt.Errorf("table %s does not exist", tableName)
+	}
+	for _, ix := range t.Indexes {
+		if ix.Name == name {
+			return nil, fmt.Errorf("index %s already exists", name)
+		}
+	}
+	cols := make([]int, len(colNames))
+	for i, cn := range colNames {
+		pos := t.ColumnIndex(cn)
+		if pos < 0 {
+			return nil, fmt.Errorf("index %s: no column %s in table %s", name, cn, tableName)
+		}
+		cols[i] = pos
+	}
+	tree.NodeReads = &c.Counters.BtreeNodeReads
+	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: tree}
+	t.Indexes = append(append([]*Index(nil), t.Indexes...), ix)
+	c.version.Add(1)
+	return ix, nil
+}
+
 // DropTable removes a table and its indexes.
 func (c *Catalog) DropTable(name string) error {
-	if _, ok := c.tables[name]; !ok {
+	t, ok := c.tables[name]
+	if !ok {
 		return fmt.Errorf("table %s does not exist", name)
+	}
+	// Index pages return to the pool once the last snapshot drops the trees;
+	// heap pages do the same through their own per-page finalizers.
+	for _, ix := range t.Indexes {
+		ix.Tree.ReleaseOnGC()
 	}
 	c.replaceTables(name, nil)
 	return nil
@@ -591,7 +682,7 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 		}
 		cols[i] = pos
 	}
-	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: btree.New()}
+	ix := &Index{Name: name, Table: t, Columns: cols, Unique: unique, Tree: c.newTree()}
 	ix.Tree.NodeReads = &c.Counters.BtreeNodeReads
 	// Populate bottom-up: collect and sort every (key, rid) pair, then build
 	// the tree leaves-first instead of one top-down insert per row.
@@ -617,6 +708,9 @@ func (c *Catalog) CreateIndex(name, tableName string, colNames []string, unique 
 		return nil, fmt.Errorf("index %s: %w (existing data violates uniqueness?)", name, btree.ErrDuplicate)
 	}
 	tree.NodeReads = &c.Counters.BtreeNodeReads
+	// The bulk-built tree replaces the empty pooled one wholesale; AdoptFrom
+	// moves the pool over and releases the superseded tree's pages.
+	tree.AdoptFrom(ix.Tree)
 	ix.Tree = tree
 	// Replace the Indexes slice with a fresh copy rather than appending in
 	// place: published Views capture the old slice at snapshot time, so its
@@ -637,6 +731,7 @@ func (c *Catalog) DropIndex(name string) error {
 				keep = append(keep, t.Indexes[:i]...)
 				keep = append(keep, t.Indexes[i+1:]...)
 				t.Indexes = keep
+				ix.Tree.ReleaseOnGC()
 				c.version.Add(1)
 				return nil
 			}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ordxml/internal/obs"
+	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/exec"
 	"ordxml/internal/sqldb/heap"
@@ -54,9 +55,20 @@ type DB struct {
 type Result = exec.Result
 
 // Open creates an empty database.
-func Open() *DB {
+func Open() *DB { return openCat(catalog.New()) }
+
+// OpenPooled creates an empty database whose heaps and index trees page
+// through pool instead of plain RAM, enabling datasets larger than memory.
+// The pool's metrics are published on the database's registry.
+func OpenPooled(pool *bufpool.Pool) *DB {
+	db := openCat(catalog.NewPooled(pool))
+	pool.RegisterMetrics(db.metrics.reg)
+	return db
+}
+
+func openCat(cat *catalog.Catalog) *DB {
 	reg := obs.NewRegistry()
-	db := &DB{cat: catalog.New(), plans: newPlanCache(reg), metrics: newDBMetrics(reg)}
+	db := &DB{cat: cat, plans: newPlanCache(reg), metrics: newDBMetrics(reg)}
 	db.workers.Store(1)
 	db.publishes = reg.Counter("sqldb.view.publishes")
 	reg.RegisterFunc("sqldb.view.version", func() int64 {
@@ -66,6 +78,10 @@ func Open() *DB {
 	db.publish()
 	return db
 }
+
+// Pool returns the buffer pool backing this database's storage, or nil for an
+// all-RAM database.
+func (db *DB) Pool() *bufpool.Pool { return db.cat.Pool() }
 
 // publish rebuilds and atomically installs the readers' catalog view. The
 // caller must hold the write lock (or be the only goroutine with the DB, as
@@ -133,7 +149,13 @@ func (db *DB) Counters() catalog.Snapshot { return db.cat.Counters.Snapshot() }
 func (db *DB) CheckIntegrity() []string {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.cat.Validate()
+	problems := db.cat.Validate()
+	if pool := db.cat.Pool(); pool != nil {
+		// Pooled storage adds an on-disk dimension: re-read every page the
+		// last checkpoint references and verify its checksum.
+		problems = append(problems, pool.VerifyDisk()...)
+	}
+	return problems
 }
 
 // Exec runs a statement that returns no rows (DDL or DML) and reports the

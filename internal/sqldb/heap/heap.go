@@ -3,16 +3,32 @@
 // row codec) addressed by record ids (RIDs). Pages follow the classic slotted
 // layout: a slot directory growing forward from the header and row payloads
 // growing backward from the end of the page.
+//
+// Page memory lives in buffer-pool frames (internal/sqldb/bufpool). In the
+// default in-RAM mode every page owns an unpooled frame that is resident
+// forever, so behaviour and cost match the pre-pool heap. In paged mode
+// (NewPaged) frames belong to a fixed-capacity pool over a page file: cold
+// pages fault in on access and clean pages are evicted under memory
+// pressure, so a heap can exceed RAM. Logical page numbers (RID.Page) are
+// positions in the heap's page table; the frame knows its physical page-file
+// id, and the mapping is persisted by the checkpoint manifest.
 package heap
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
+
+	"ordxml/internal/sqldb/bufpool"
 )
 
-// PageSize is the size of a heap page in bytes.
+// PageSize is the usable size of an in-RAM heap page in bytes. It predates
+// the buffer pool and stays at the legacy 8 KiB so snapshots written by
+// earlier all-RAM builds — whose rows may approach the matching MaxRowSize —
+// still load bit-for-bit. Pooled pages are slightly smaller: their frames
+// mirror disk pages, which lose pagefile header bytes (bufpool.PayloadSize).
 const PageSize = 8192
 
 const (
@@ -20,8 +36,13 @@ const (
 	slotSize   = 4 // offset(2) length(2)
 )
 
-// MaxRowSize is the largest payload a single page can hold.
+// MaxRowSize is the largest payload a single in-RAM page can hold. Paged
+// heaps (NewPaged) cap rows at pooledMaxRow instead; see Heap.maxRow.
 const MaxRowSize = PageSize - headerSize - slotSize
+
+// pooledMaxRow is the largest payload a pooled page can hold: pooled frames
+// match the on-disk page payload, which is smaller than PageSize.
+const pooledMaxRow = bufpool.PayloadSize - headerSize - slotSize
 
 // RID addresses a record: page number and slot within the page.
 type RID struct {
@@ -46,150 +67,163 @@ var ErrRowTooLarge = errors.New("heap: row larger than page")
 // ErrNotFound is returned for RIDs that do not address a live record.
 var ErrNotFound = errors.New("heap: record not found")
 
+// page pairs a buffer-pool frame with the copy-on-write stamp the heap uses
+// for snapshot isolation. The slotted layout lives in the frame's payload.
 type page struct {
-	buf []byte
+	fr *bufpool.Frame
 	// stamp is the heap epoch the page was allocated or cloned in. Pages
 	// stamped before the current epoch may be referenced by a published
 	// Snapshot and must be cloned (copy-on-write) before mutation.
 	stamp uint64
 }
 
-func newPage(stamp uint64) *page {
-	p := &page{buf: make([]byte, PageSize), stamp: stamp}
-	p.setNumSlots(0)
-	p.setFreeStart(headerSize)
-	p.setFreeEnd(PageSize)
-	return p
+// bytes returns the page's payload for reading, faulting it in if evicted.
+// The returned slice stays valid even if the frame is evicted afterwards
+// (evicted buffers are dropped, never recycled).
+func (p *page) bytes() []byte { return p.fr.Bytes() }
+
+// dirty returns the page's payload for writing, marking the frame dirty so
+// the pool will not drop it before flushing. Writer side only.
+func (p *page) dirty() []byte { return p.fr.MarkDirty() }
+
+// Slotted-page helpers operate on a raw payload buffer so they serve both
+// the heap's resident pages and diagnostic tools reading raw page images.
+
+func initPage(b []byte) {
+	setNumSlots(b, 0)
+	setFreeStart(b, headerSize)
+	setFreeEnd(b, len(b))
 }
 
-// clone returns a mutable copy of the page stamped with the given epoch.
-func (p *page) clone(stamp uint64) *page {
-	c := &page{buf: make([]byte, PageSize), stamp: stamp}
-	copy(c.buf, p.buf)
-	return c
-}
+func numSlots(b []byte) int        { return int(binary.LittleEndian.Uint16(b[0:2])) }
+func setNumSlots(b []byte, n int)  { binary.LittleEndian.PutUint16(b[0:2], uint16(n)) }
+func freeStart(b []byte) int       { return int(binary.LittleEndian.Uint16(b[2:4])) }
+func setFreeStart(b []byte, n int) { binary.LittleEndian.PutUint16(b[2:4], uint16(n)) }
+func freeEnd(b []byte) int         { return int(binary.LittleEndian.Uint16(b[4:6])) }
+func setFreeEnd(b []byte, n int)   { binary.LittleEndian.PutUint16(b[4:6], uint16(n)) }
+func contiguousFree(b []byte) int  { return freeEnd(b) - freeStart(b) }
 
-func (p *page) numSlots() int       { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
-func (p *page) setNumSlots(n int)   { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
-func (p *page) freeStart() int      { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
-func (p *page) setFreeStart(n int)  { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(n)) }
-func (p *page) freeEnd() int        { return int(binary.LittleEndian.Uint16(p.buf[4:6])) }
-func (p *page) setFreeEnd(n int)    { binary.LittleEndian.PutUint16(p.buf[4:6], uint16(n)) }
-func (p *page) contiguousFree() int { return p.freeEnd() - p.freeStart() }
-
-func (p *page) slot(i int) (off, length int) {
+func slot(b []byte, i int) (off, length int) {
 	base := headerSize + i*slotSize
-	return int(binary.LittleEndian.Uint16(p.buf[base : base+2])),
-		int(binary.LittleEndian.Uint16(p.buf[base+2 : base+4]))
+	return int(binary.LittleEndian.Uint16(b[base : base+2])),
+		int(binary.LittleEndian.Uint16(b[base+2 : base+4]))
 }
 
-func (p *page) setSlot(i, off, length int) {
+func setSlot(b []byte, i, off, length int) {
 	base := headerSize + i*slotSize
-	binary.LittleEndian.PutUint16(p.buf[base:base+2], uint16(off))
-	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], uint16(length))
+	binary.LittleEndian.PutUint16(b[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(b[base+2:base+4], uint16(length))
 }
 
 // deadSlot returns the index of a reusable dead slot, or -1.
-func (p *page) deadSlot() int {
-	for i := 0; i < p.numSlots(); i++ {
-		if _, l := p.slot(i); l == 0 {
+func deadSlot(b []byte) int {
+	for i := 0; i < numSlots(b); i++ {
+		if _, l := slot(b, i); l == 0 {
 			return i
 		}
 	}
 	return -1
 }
 
-// fits reports whether data would fit in the page (directly or after
-// compaction) without mutating it, so callers can probe a possibly
-// snapshot-shared page before paying for a copy-on-write clone.
-func (p *page) fits(data []byte) bool {
-	need := len(data)
-	if p.deadSlot() == -1 {
-		need += slotSize
+// liveBytes returns the total payload bytes referenced by live slots.
+func liveBytes(b []byte) int {
+	live := 0
+	for i := 0; i < numSlots(b); i++ {
+		_, l := slot(b, i)
+		live += l
 	}
-	if p.contiguousFree() >= need {
-		return true
-	}
-	return p.deadBytes() > 0 && p.compacted().contiguousFree() >= need
+	return live
 }
 
-// insert places data in the page, reusing a dead slot when one exists.
-// It reports the slot used and whether the insert fit.
-func (p *page) insert(data []byte) (int, bool) {
-	slot := p.deadSlot()
+// deadBytes returns payload bytes no longer referenced by a live slot.
+func deadBytes(b []byte) int {
+	return (len(b) - freeEnd(b)) - liveBytes(b)
+}
+
+// compactedFree returns the contiguous free space the page would have after
+// compaction, without mutating it.
+func compactedFree(b []byte) int {
+	return (len(b) - liveBytes(b)) - freeStart(b)
+}
+
+// pageFits reports whether data would fit in the page (directly or after
+// compaction) without mutating it, so callers can probe a possibly
+// snapshot-shared page before paying for a copy-on-write clone.
+func pageFits(b []byte, data []byte) bool {
 	need := len(data)
-	if slot == -1 {
+	if deadSlot(b) == -1 {
 		need += slotSize
 	}
-	if p.contiguousFree() < need {
-		if p.deadBytes() > 0 && p.compacted().contiguousFree() >= need {
-			p.compact()
+	if contiguousFree(b) >= need {
+		return true
+	}
+	return deadBytes(b) > 0 && compactedFree(b) >= need
+}
+
+// pageInsert places data in the page, reusing a dead slot when one exists.
+// It reports the slot used and whether the insert fit.
+func pageInsert(b []byte, data []byte) (int, bool) {
+	si := deadSlot(b)
+	need := len(data)
+	if si == -1 {
+		need += slotSize
+	}
+	if contiguousFree(b) < need {
+		if deadBytes(b) > 0 && compactedFree(b) >= need {
+			compact(b)
 		} else {
 			return 0, false
 		}
 	}
-	if slot == -1 {
-		slot = p.numSlots()
-		p.setNumSlots(slot + 1)
-		p.setFreeStart(p.freeStart() + slotSize)
+	if si == -1 {
+		si = numSlots(b)
+		setNumSlots(b, si+1)
+		setFreeStart(b, freeStart(b)+slotSize)
 	}
-	off := p.freeEnd() - len(data)
-	copy(p.buf[off:], data)
-	p.setFreeEnd(off)
-	p.setSlot(slot, off, len(data))
-	return slot, true
-}
-
-// deadBytes returns payload bytes no longer referenced by a live slot.
-func (p *page) deadBytes() int {
-	live := 0
-	for i := 0; i < p.numSlots(); i++ {
-		_, l := p.slot(i)
-		live += l
-	}
-	return (PageSize - p.freeEnd()) - live
-}
-
-// compacted returns a logical view of free space after compaction without
-// mutating the page.
-func (p *page) compacted() *page {
-	live := 0
-	for i := 0; i < p.numSlots(); i++ {
-		_, l := p.slot(i)
-		live += l
-	}
-	c := &page{buf: make([]byte, headerSize)}
-	c.buf = append(c.buf, make([]byte, PageSize-headerSize)...)
-	c.setNumSlots(p.numSlots())
-	c.setFreeStart(p.freeStart())
-	c.setFreeEnd(PageSize - live)
-	return c
+	off := freeEnd(b) - len(data)
+	copy(b[off:], data)
+	setFreeEnd(b, off)
+	setSlot(b, si, off, len(data))
+	return si, true
 }
 
 // compact rewrites live payloads to the end of the page, reclaiming dead
 // space. Slot numbers (and therefore RIDs) are preserved.
-func (p *page) compact() {
+func compact(b []byte) {
 	type rec struct {
 		slot int
 		data []byte
 	}
 	var recs []rec
-	for i := 0; i < p.numSlots(); i++ {
-		off, l := p.slot(i)
+	for i := 0; i < numSlots(b); i++ {
+		off, l := slot(b, i)
 		if l == 0 {
 			continue
 		}
 		d := make([]byte, l)
-		copy(d, p.buf[off:off+l])
+		copy(d, b[off:off+l])
 		recs = append(recs, rec{i, d})
 	}
-	end := PageSize
+	end := len(b)
 	for _, r := range recs {
 		end -= len(r.data)
-		copy(p.buf[end:], r.data)
-		p.setSlot(r.slot, end, len(r.data))
+		copy(b[end:], r.data)
+		setSlot(b, r.slot, end, len(r.data))
 	}
-	p.setFreeEnd(end)
+	setFreeEnd(b, end)
+}
+
+// appendRecord places data in a fresh slot at the end of the directory.
+// The caller guarantees the payload plus a new slot fit the page.
+func appendRecord(b []byte, data []byte) int {
+	si := numSlots(b)
+	setNumSlots(b, si+1)
+	setFreeStart(b, freeStart(b)+slotSize)
+	off := freeEnd(b) - len(data)
+	copy(b[off:], data)
+	setFreeEnd(b, off)
+	setSlot(b, si, off, len(data))
+	return si
 }
 
 // Heap is an append-friendly collection of slotted pages. Mutations are
@@ -197,6 +231,8 @@ func (p *page) compact() {
 // in an earlier epoch are cloned before being written, so a Snapshot stays
 // immutable for as long as any reader holds it.
 type Heap struct {
+	// pool backs paged heaps; nil means in-RAM mode (unpooled frames).
+	pool     *bufpool.Pool
 	pages    []*page
 	rowCount int
 	// insertHint is the page most recently found to have space; inserts try
@@ -214,52 +250,121 @@ type Heap struct {
 	PageReads *atomic.Int64
 }
 
-// New returns an empty heap.
+// New returns an empty in-RAM heap.
 func New() *Heap { return &Heap{} }
 
-// writable returns page pi, cloning it first if it is frozen in an earlier
-// epoch (and therefore possibly shared with a published Snapshot).
-func (h *Heap) writable(pi int) *page {
-	p := h.pages[pi]
-	if p.stamp != h.epoch {
-		p = p.clone(h.epoch)
-		h.pages[pi] = p
+// NewPaged returns an empty heap whose pages live in pool frames over the
+// pool's page file, so the heap can exceed RAM.
+func NewPaged(pool *bufpool.Pool) *Heap { return &Heap{pool: pool} }
+
+// Pooled reports whether the heap is backed by a buffer pool.
+func (h *Heap) Pooled() bool { return h.pool != nil }
+
+// maxRow returns the heap's per-row size bound: the legacy MaxRowSize for
+// the in-RAM tier, the smaller disk-page bound for pooled heaps.
+func (h *Heap) maxRow() int {
+	if h.pool != nil {
+		return pooledMaxRow
 	}
-	return p
+	return MaxRowSize
+}
+
+// newPage allocates a fresh initialized page stamped with the current epoch.
+func (h *Heap) newPage() (*page, error) {
+	if h.pool == nil {
+		fr := bufpool.NewFrameSize(PageSize)
+		initPage(fr.MarkDirty())
+		return &page{fr: fr, stamp: h.epoch}, nil
+	}
+	fr, err := h.pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initPage(fr.MarkDirty())
+	fr.Unpin()
+	p := &page{fr: fr, stamp: h.epoch}
+	h.freeOnGC(p)
+	return p, nil
+}
+
+// freeOnGC arranges for the page's physical id to be released back to the
+// pool's allocator once no page table or snapshot references the wrapper.
+// The pool routes ids still referenced by the last durable checkpoint to a
+// pending list, so on-disk shadow pages outlive any crash window.
+func (h *Heap) freeOnGC(p *page) {
+	pool, id := h.pool, p.fr.ID()
+	if pool == nil || id == 0 {
+		return
+	}
+	runtime.SetFinalizer(p, func(*page) { pool.FreeID(id) })
+}
+
+// writable returns page pi ready for mutation, cloning it first if it is
+// frozen in an earlier epoch (and therefore possibly shared with a published
+// Snapshot). The clone gets a fresh frame (and, in paged mode, a fresh
+// physical page id — shadow paging), leaving the old frame to its snapshots.
+func (h *Heap) writable(pi int) (*page, error) {
+	p := h.pages[pi]
+	if p.stamp == h.epoch {
+		return p, nil
+	}
+	np, err := h.newPage()
+	if err != nil {
+		return nil, err
+	}
+	copy(np.dirty(), p.bytes())
+	h.pages[pi] = np
+	return np, nil
 }
 
 // Insert stores data and returns its RID.
 func (h *Heap) Insert(data []byte) (RID, error) {
-	if len(data) > MaxRowSize {
+	if len(data) > h.maxRow() {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
 	}
 	h.snap = nil
 	// Probe fit read-only before cloning: a full page must not trigger a
-	// wasted copy-on-write of 8 KiB.
-	tryPage := func(pi int) (int, bool) {
-		if !h.pages[pi].fits(data) {
-			return 0, false
+	// wasted copy-on-write of a whole page.
+	tryPage := func(pi int) (int, bool, error) {
+		if !pageFits(h.pages[pi].bytes(), data) {
+			return 0, false, nil
 		}
-		return h.writable(pi).insert(data)
+		p, err := h.writable(pi)
+		if err != nil {
+			return 0, false, err
+		}
+		si, ok := pageInsert(p.dirty(), data)
+		return si, ok, nil
 	}
 	if h.insertHint < len(h.pages) {
-		if slot, ok := tryPage(h.insertHint); ok {
+		slot, ok, err := tryPage(h.insertHint)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
 			h.rowCount++
 			return RID{Page: uint32(h.insertHint), Slot: uint16(slot)}, nil
 		}
 	}
 	// Try the last page, then allocate.
 	if n := len(h.pages); n > 0 && n-1 != h.insertHint {
-		if slot, ok := tryPage(n - 1); ok {
+		slot, ok, err := tryPage(n - 1)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
 			h.insertHint = n - 1
 			h.rowCount++
 			return RID{Page: uint32(n - 1), Slot: uint16(slot)}, nil
 		}
 	}
-	p := newPage(h.epoch)
+	p, err := h.newPage()
+	if err != nil {
+		return RID{}, err
+	}
 	h.pages = append(h.pages, p)
 	h.insertHint = len(h.pages) - 1
-	slot, ok := p.insert(data)
+	slot, ok := pageInsert(p.dirty(), data)
 	if !ok {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
 	}
@@ -271,10 +376,11 @@ func (h *Heap) Insert(data []byte) (RID, error) {
 // It is the bulk-load fast path: records are appended to the tail page (no
 // dead-slot search, no compaction probing), and a new page is allocated the
 // moment one does not fit. All payloads are validated before any is stored,
-// so an error means the heap is unchanged.
+// so an error means the heap is unchanged (page allocation failures in paged
+// mode can leave a fresh empty tail page, which is harmless).
 func (h *Heap) AppendBatch(payloads [][]byte) ([]RID, error) {
 	for _, d := range payloads {
-		if len(d) > MaxRowSize {
+		if len(d) > h.maxRow() {
 			return nil, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(d))
 		}
 	}
@@ -286,54 +392,53 @@ func (h *Heap) AppendBatch(payloads [][]byte) ([]RID, error) {
 		p = h.pages[pi]
 	}
 	for _, d := range payloads {
-		if p == nil || p.contiguousFree() < len(d)+slotSize {
-			p = newPage(h.epoch)
+		if p == nil || contiguousFree(p.bytes()) < len(d)+slotSize {
+			np, err := h.newPage()
+			if err != nil {
+				return nil, err
+			}
+			p = np
 			h.pages = append(h.pages, p)
 			pi = len(h.pages) - 1
 		} else if p.stamp != h.epoch {
-			p = h.writable(pi)
+			wp, err := h.writable(pi)
+			if err != nil {
+				return nil, err
+			}
+			p = wp
 		}
-		slot := p.appendRecord(d)
+		slot := appendRecord(p.dirty(), d)
 		rids = append(rids, RID{Page: uint32(pi), Slot: uint16(slot)})
 		h.rowCount++
 	}
 	return rids, nil
 }
 
-// appendRecord places data in a fresh slot at the end of the directory.
-// The caller guarantees the payload plus a new slot fit the page.
-func (p *page) appendRecord(data []byte) int {
-	slot := p.numSlots()
-	p.setNumSlots(slot + 1)
-	p.setFreeStart(p.freeStart() + slotSize)
-	off := p.freeEnd() - len(data)
-	copy(p.buf[off:], data)
-	p.setFreeEnd(off)
-	p.setSlot(slot, off, len(data))
-	return slot
-}
-
 // Get returns the payload stored at rid. The returned slice aliases page
 // memory and is only valid until the next mutation; callers that retain it
 // must copy.
 func (h *Heap) Get(rid RID) ([]byte, error) {
-	p, off, l, err := h.locate(rid)
+	b, off, l, err := locate(h.pages, rid)
 	if err != nil {
 		return nil, err
 	}
 	if h.PageReads != nil {
 		h.PageReads.Add(1)
 	}
-	return p.buf[off : off+l], nil
+	return b[off : off+l], nil
 }
 
 // Delete removes the record at rid.
 func (h *Heap) Delete(rid RID) error {
-	if _, _, _, err := h.locate(rid); err != nil {
+	if _, _, _, err := locate(h.pages, rid); err != nil {
 		return err
 	}
 	h.snap = nil
-	h.writable(int(rid.Page)).setSlot(int(rid.Slot), 0, 0)
+	p, err := h.writable(int(rid.Page))
+	if err != nil {
+		return err
+	}
+	setSlot(p.dirty(), int(rid.Slot), 0, 0)
 	h.rowCount--
 	if int(rid.Page) < h.insertHint {
 		h.insertHint = int(rid.Page)
@@ -345,49 +450,49 @@ func (h *Heap) Delete(rid RID) error {
 // stays in place and the same RID remains valid; otherwise the record moves
 // and the new RID is returned. Callers must use the returned RID.
 func (h *Heap) Update(rid RID, data []byte) (RID, error) {
-	if len(data) > MaxRowSize {
+	if len(data) > h.maxRow() {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRowTooLarge, len(data))
 	}
-	_, _, l, err := h.locate(rid)
+	_, _, l, err := locate(h.pages, rid)
 	if err != nil {
 		return RID{}, err
 	}
 	h.snap = nil
-	p := h.writable(int(rid.Page))
-	off, _ := p.slot(int(rid.Slot))
+	p, err := h.writable(int(rid.Page))
+	if err != nil {
+		return RID{}, err
+	}
+	b := p.dirty()
+	off, _ := slot(b, int(rid.Slot))
 	if len(data) <= l {
-		copy(p.buf[off:], data)
-		p.setSlot(int(rid.Slot), off, len(data))
+		copy(b[off:], data)
+		setSlot(b, int(rid.Slot), off, len(data))
 		return rid, nil
 	}
 	// Try to keep it on the same page (slot reuse preserves the RID only if
 	// insert happens to pick this slot; simplest correct behaviour: delete
 	// then insert, possibly on the same page).
-	p.setSlot(int(rid.Slot), 0, 0)
-	if slot, ok := p.insert(data); ok {
+	setSlot(b, int(rid.Slot), 0, 0)
+	if slot, ok := pageInsert(b, data); ok {
 		return RID{Page: rid.Page, Slot: uint16(slot)}, nil
 	}
 	h.rowCount--
 	return h.Insert(data)
 }
 
-func (h *Heap) locate(rid RID) (*page, int, int, error) {
-	return locate(h.pages, rid)
-}
-
-func locate(pages []*page, rid RID) (*page, int, int, error) {
+func locate(pages []*page, rid RID) ([]byte, int, int, error) {
 	if int(rid.Page) >= len(pages) {
 		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
-	p := pages[rid.Page]
-	if int(rid.Slot) >= p.numSlots() {
+	b := pages[rid.Page].bytes()
+	if int(rid.Slot) >= numSlots(b) {
 		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
-	off, l := p.slot(int(rid.Slot))
+	off, l := slot(b, int(rid.Slot))
 	if l == 0 {
 		return nil, 0, 0, fmt.Errorf("%w: %s", ErrNotFound, rid)
 	}
-	return p, off, l, nil
+	return b, off, l, nil
 }
 
 // Scan calls fn for every live record in RID order. The payload slice aliases
@@ -398,16 +503,16 @@ func (h *Heap) Scan(fn func(rid RID, data []byte) bool) {
 
 func scanPages(pages []*page, lo, hi int, reads *atomic.Int64, fn func(rid RID, data []byte) bool) {
 	for pi := lo; pi < hi; pi++ {
-		p := pages[pi]
+		b := pages[pi].bytes()
 		if reads != nil {
 			reads.Add(1)
 		}
-		for si := 0; si < p.numSlots(); si++ {
-			off, l := p.slot(si)
+		for si := 0; si < numSlots(b); si++ {
+			off, l := slot(b, si)
 			if l == 0 {
 				continue
 			}
-			if !fn(RID{Page: uint32(pi), Slot: uint16(si)}, p.buf[off:off+l]) {
+			if !fn(RID{Page: uint32(pi), Slot: uint16(si)}, b[off:off+l]) {
 				return
 			}
 		}
@@ -429,19 +534,44 @@ func (h *Heap) Stats() Stats {
 func pageStats(pages []*page, rows int) Stats {
 	s := Stats{Pages: len(pages), Rows: rows}
 	for _, p := range pages {
-		for i := 0; i < p.numSlots(); i++ {
-			_, l := p.slot(i)
-			s.LiveBytes += l
-		}
+		s.LiveBytes += liveBytes(p.bytes())
 	}
 	return s
+}
+
+// PageIDs returns the physical page-file id of every page in logical order,
+// for the checkpoint manifest. Zero ids (unpooled frames) never appear in a
+// paged heap.
+func (h *Heap) PageIDs() []bufpool.PageID {
+	ids := make([]bufpool.PageID, len(h.pages))
+	for i, p := range h.pages {
+		ids[i] = p.fr.ID()
+	}
+	return ids
+}
+
+// RestorePaged rebuilds a paged heap from a checkpoint manifest: ids are the
+// physical page-file ids in logical page order, rows the live record count.
+// No page I/O happens here — payloads fault in on first access. Restored
+// pages are frozen (epoch 1, stamp 0) so the first mutation copies them to
+// fresh physical pages, preserving the checkpoint's on-disk image.
+func RestorePaged(pool *bufpool.Pool, ids []bufpool.PageID, rows int) *Heap {
+	h := &Heap{pool: pool, rowCount: rows, epoch: 1}
+	h.pages = make([]*page, len(ids))
+	for i, id := range ids {
+		p := &page{fr: pool.Adopt(id), stamp: 0}
+		h.freeOnGC(p)
+		h.pages[i] = p
+	}
+	return h
 }
 
 // Snapshot is an immutable point-in-time view of a heap. It shares page
 // memory with the heap via copy-on-write: the heap clones any frozen page
 // before mutating it, so a Snapshot can be read concurrently, without locks,
 // while the heap keeps changing. Old pages are reclaimed by the garbage
-// collector once the last Snapshot referencing them is dropped.
+// collector once the last Snapshot referencing them is dropped (and, in
+// paged mode, their physical page slots are returned to the allocator).
 type Snapshot struct {
 	pages []*page
 	rows  int
@@ -475,14 +605,14 @@ func (s *Snapshot) Pages() int { return len(s.pages) }
 // Get returns the payload stored at rid. The returned slice aliases
 // immutable snapshot memory and stays valid for the snapshot's lifetime.
 func (s *Snapshot) Get(rid RID) ([]byte, error) {
-	p, off, l, err := locate(s.pages, rid)
+	b, off, l, err := locate(s.pages, rid)
 	if err != nil {
 		return nil, err
 	}
 	if s.reads != nil {
 		s.reads.Add(1)
 	}
-	return p.buf[off : off+l], nil
+	return b[off : off+l], nil
 }
 
 // Scan calls fn for every live record in RID order, like Heap.Scan.
@@ -539,15 +669,15 @@ func (s *Snapshot) IterRange(lo, hi int) *Iter {
 // lifetime.
 func (it *Iter) Next() (RID, []byte, bool) {
 	for it.pi < it.hi {
-		p := it.pages[it.pi]
-		for it.si < p.numSlots() {
+		b := it.pages[it.pi].bytes()
+		for it.si < numSlots(b) {
 			si := it.si
 			it.si++
-			off, l := p.slot(si)
+			off, l := slot(b, si)
 			if l == 0 {
 				continue
 			}
-			return RID{Page: uint32(it.pi), Slot: uint16(si)}, p.buf[off : off+l], true
+			return RID{Page: uint32(it.pi), Slot: uint16(si)}, b[off : off+l], true
 		}
 		it.pi++
 		it.si = 0

@@ -4,7 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"path/filepath"
+	"strings"
 	"testing"
+
+	"ordxml/internal/sqldb/bufpool"
+	"ordxml/internal/sqldb/pagefile"
 )
 
 func TestInsertGet(t *testing.T) {
@@ -341,5 +346,104 @@ func TestAppendBatchAllOrNothing(t *testing.T) {
 	rids, err := h.AppendBatch(nil)
 	if err != nil || len(rids) != 0 {
 		t.Fatalf("empty batch: %v, %v", rids, err)
+	}
+}
+
+// newTestPool returns a tiny pool over a fresh page file.
+func newTestPool(t *testing.T, frames int) *bufpool.Pool {
+	t.Helper()
+	pf, err := pagefile.Create(filepath.Join(t.TempDir(), "pages.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close() })
+	return bufpool.New(pf, frames)
+}
+
+func TestPagedHeapBeyondPool(t *testing.T) {
+	pool := newTestPool(t, 8)
+	h := NewPaged(pool)
+	const n = 400
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = []byte(fmt.Sprintf("row-%04d-%s", i, strings.Repeat("x", 200)))
+	}
+	rids, err := h.AppendBatch(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Pages <= pool.Capacity() {
+		t.Fatalf("want more pages (%d) than pool frames (%d)", h.Stats().Pages, pool.Capacity())
+	}
+	// Flush so clean pages become evictable, then read everything back
+	// through faults.
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(payloads[i]) {
+			t.Fatalf("record %d: got %q", i, got)
+		}
+	}
+	st := pool.Stats()
+	if st.Misses == 0 {
+		t.Fatal("expected faults reading a heap larger than the pool")
+	}
+	if st.Resident > int64(pool.Capacity())+8 {
+		t.Fatalf("resident frames %d far exceed capacity %d", st.Resident, pool.Capacity())
+	}
+	if problems := h.Validate(); problems != nil {
+		t.Fatalf("validate: %v", problems)
+	}
+}
+
+func TestPagedHeapRestoreRoundTrip(t *testing.T) {
+	pool := newTestPool(t, 16)
+	h := NewPaged(pool)
+	var want []string
+	var rids []RID
+	for i := 0; i < 300; i++ {
+		s := fmt.Sprintf("payload-%d-%s", i, strings.Repeat("y", 150))
+		rid, err := h.Insert([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, s)
+		rids = append(rids, rid)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	ids := h.PageIDs()
+	for _, id := range ids {
+		if id == 0 {
+			t.Fatal("paged heap produced a zero page id")
+		}
+	}
+
+	// A restored heap (same pool, as recovery would build it) sees the data.
+	h2 := RestorePaged(pool, ids, h.Stats().Rows)
+	for i, rid := range rids {
+		got, err := h2.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want[i] {
+			t.Fatalf("restored record %d: got %q", i, got)
+		}
+	}
+	// Mutating the restored heap copies pages to fresh ids (shadow paging).
+	if err := h2.Delete(rids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if h2.PageIDs()[0] == ids[0] {
+		t.Fatal("mutation did not shadow-copy the restored page")
+	}
+	if problems := h2.Validate(); problems != nil {
+		t.Fatalf("validate: %v", problems)
 	}
 }

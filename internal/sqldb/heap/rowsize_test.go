@@ -1,0 +1,43 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+)
+
+// The in-RAM tier keeps the legacy 8 KiB page so snapshots written by
+// pre-pool builds — whose rows may reach the old MaxRowSize — still load;
+// pooled pages mirror disk pages and cap rows slightly lower.
+func TestRowSizeBoundsPerTier(t *testing.T) {
+	if PageSize != 8192 {
+		t.Fatalf("in-RAM PageSize = %d, want the legacy 8192", PageSize)
+	}
+
+	// Legacy-size rows fit the in-RAM tier (Insert and the batch path).
+	h := New()
+	if _, err := h.Insert(make([]byte, MaxRowSize)); err != nil {
+		t.Fatalf("in-RAM MaxRowSize insert: %v", err)
+	}
+	if _, err := h.AppendBatch([][]byte{make([]byte, MaxRowSize)}); err != nil {
+		t.Fatalf("in-RAM MaxRowSize batch: %v", err)
+	}
+
+	// The pooled tier rejects them cleanly at its smaller bound.
+	ph := NewPaged(newTestPool(t, 8))
+	if _, err := ph.Insert(make([]byte, pooledMaxRow+1)); !errors.Is(err, ErrRowTooLarge) {
+		t.Fatalf("pooled oversize insert: %v", err)
+	}
+	if _, err := ph.AppendBatch([][]byte{make([]byte, MaxRowSize)}); !errors.Is(err, ErrRowTooLarge) {
+		t.Fatalf("pooled legacy-size batch: %v", err)
+	}
+	rid, err := ph.Insert(make([]byte, pooledMaxRow))
+	if err != nil {
+		t.Fatalf("pooled pooledMaxRow insert: %v", err)
+	}
+	if got, err := ph.Get(rid); err != nil || len(got) != pooledMaxRow {
+		t.Fatalf("pooled max row read back: len %d, err %v", len(got), err)
+	}
+	if _, err := ph.Update(rid, make([]byte, pooledMaxRow+1)); !errors.Is(err, ErrRowTooLarge) {
+		t.Fatalf("pooled oversize update: %v", err)
+	}
+}

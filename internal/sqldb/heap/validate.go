@@ -25,23 +25,24 @@ func (h *Heap) Validate() []string {
 	}
 	live := 0
 	for pi, p := range h.pages {
-		ns := p.numSlots()
-		if want := headerSize + ns*slotSize; p.freeStart() != want {
-			report("page %d: freeStart %d does not match %d slots (want %d)", pi, p.freeStart(), ns, want)
+		b := p.bytes()
+		ns := numSlots(b)
+		if want := headerSize + ns*slotSize; freeStart(b) != want {
+			report("page %d: freeStart %d does not match %d slots (want %d)", pi, freeStart(b), ns, want)
 		}
-		if p.freeStart() > p.freeEnd() || p.freeEnd() > PageSize {
-			report("page %d: free window [%d, %d) invalid", pi, p.freeStart(), p.freeEnd())
+		if freeStart(b) > freeEnd(b) || freeEnd(b) > len(b) {
+			report("page %d: free window [%d, %d) invalid", pi, freeStart(b), freeEnd(b))
 		}
 		type span struct{ off, end, slot int }
 		var spans []span
 		for si := 0; si < ns; si++ {
-			off, l := p.slot(si)
+			off, l := slot(b, si)
 			if l == 0 {
 				continue // dead slot
 			}
 			live++
-			if off < p.freeEnd() || off+l > PageSize {
-				report("page %d slot %d: payload [%d, %d) outside live area [%d, %d)", pi, si, off, off+l, p.freeEnd(), PageSize)
+			if off < freeEnd(b) || off+l > len(b) {
+				report("page %d slot %d: payload [%d, %d) outside live area [%d, %d)", pi, si, off, off+l, freeEnd(b), len(b))
 				continue
 			}
 			spans = append(spans, span{off, off + l, si})

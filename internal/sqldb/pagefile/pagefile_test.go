@@ -1,0 +1,170 @@
+package pagefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "pages.db")
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	path := tempFile(t)
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, PayloadSize)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := pf.WritePage(3, 42, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pf, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	h, got, err := pf.ReadPage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LSN != 42 {
+		t.Fatalf("LSN = %d, want 42", h.LSN)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload round trip mismatch")
+	}
+}
+
+func TestUnwrittenPageFailsChecksum(t *testing.T) {
+	pf, err := Create(tempFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := pf.EnsureSize(10); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 5 was preallocated but never written: all-zero pages must not
+	// verify (CRC of a zero page is nonzero).
+	if _, _, err := pf.ReadPage(5); err == nil {
+		t.Fatal("reading an unwritten page succeeded; want checksum error")
+	}
+}
+
+func TestCorruptPageDetected(t *testing.T) {
+	path := tempFile(t)
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, PayloadSize)
+	copy(payload, "hello pages")
+	if err := pf.WritePage(1, 7, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte on disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[PageSize+HeaderSize+4] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if _, _, err := pf.ReadPage(1); err == nil {
+		t.Fatal("corrupt page read succeeded; want checksum error")
+	}
+}
+
+func TestHeaderPageRejected(t *testing.T) {
+	pf, err := Create(tempFile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := pf.WritePage(0, 0, make([]byte, PayloadSize)); err == nil {
+		t.Fatal("WritePage(0) succeeded; page 0 is reserved")
+	}
+	if _, _, err := pf.ReadPage(0); err == nil {
+		t.Fatal("ReadPage(0) succeeded; page 0 is reserved")
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := tempFile(t)
+	if err := os.WriteFile(path, make([]byte, PageSize), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open accepted a zeroed file")
+	}
+}
+
+func TestSealVerifyHeaderFields(t *testing.T) {
+	page := make([]byte, PageSize)
+	copy(page[HeaderSize:], "payload bytes")
+	SealPage(page, 123456789, 0)
+	h, err := VerifyPage(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LSN != 123456789 {
+		t.Fatalf("LSN = %d", h.LSN)
+	}
+	if h.CRC != binary.LittleEndian.Uint32(page[0:4]) {
+		t.Fatal("decoded CRC does not match stored CRC")
+	}
+	// Any header or payload flip must break verification.
+	for _, off := range []int{4, 11, 12, HeaderSize, PageSize - 1} {
+		page[off] ^= 1
+		if _, err := VerifyPage(page); err == nil {
+			t.Fatalf("flip at %d not detected", off)
+		}
+		page[off] ^= 1
+	}
+}
+
+func TestEnsureSizeGrowsInChunks(t *testing.T) {
+	path := tempFile(t)
+	pf, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if err := pf.EnsureSize(1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size()%PageSize != 0 {
+		t.Fatalf("file size %d not page aligned", st.Size())
+	}
+	if st.Size() < 2*PageSize {
+		t.Fatalf("file did not grow: %d bytes", st.Size())
+	}
+}

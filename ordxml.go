@@ -73,7 +73,18 @@ type Options struct {
 	// DeweyAsText stores Dewey keys as padded strings instead of the binary
 	// codec (larger, slower; kept for the paper's codec ablation).
 	DeweyAsText bool
+	// BufferPoolFrames, when positive, makes OpenDurable back the store's
+	// heaps and indexes with a fixed-capacity buffer pool over an on-disk
+	// page file, so the store can hold datasets larger than RAM and
+	// checkpoint incrementally (only dirty pages are written). Zero keeps
+	// the default all-in-RAM storage with full-snapshot checkpoints.
+	// Ignored by the memory-only Open.
+	BufferPoolFrames int
 }
+
+// WithBufferPool returns default Options with an n-frame buffer pool, for
+// the common ordxml.OpenDurable(dir, ordxml.WithBufferPool(n)) call.
+func WithBufferPool(n int) Options { return Options{BufferPoolFrames: n} }
 
 // DocID identifies a stored document.
 type DocID = int64
@@ -188,15 +199,27 @@ type Store struct {
 
 // Open creates an empty store with its own embedded database.
 func Open(opts Options) (*Store, error) {
+	iopts, err := internalOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	return bootstrapStore(sqldb.Open(), iopts)
+}
+
+// internalOpts validates the public options and converts them to the
+// internal encoding options.
+func internalOpts(opts Options) (encoding.Options, error) {
 	iopts := encoding.Options{
 		Kind:        encoding.Kind(opts.Encoding),
 		Gap:         opts.Gap,
 		DeweyAsText: opts.DeweyAsText,
 	}
-	if err := iopts.Validate(); err != nil {
-		return nil, err
-	}
-	db := sqldb.Open()
+	return iopts, iopts.Validate()
+}
+
+// bootstrapStore installs the node schema and store metadata on a fresh
+// database and builds the component stack over it.
+func bootstrapStore(db *sqldb.DB, iopts encoding.Options) (*Store, error) {
 	if err := encoding.Install(db, iopts); err != nil {
 		return nil, err
 	}
