@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	xmlbench [-exp E3] [-items 200] [-quick] [-json] [-stats]
+//	xmlbench [-exp E3] [-items 200] [-quick] [-json] [-stats] [-obs [-obs-out BENCH_obs.json]]
 //	xmlbench -concurrency 1,4,8 [-duration 2s] [-concurrency-out BENCH_concurrency.json]
 //
 // Without -exp it runs every experiment. -quick shrinks workload sizes for a
@@ -18,6 +18,12 @@
 // against a shared store for -duration, per encoding. The table goes to
 // stdout and the machine-readable report (throughput, latency quantiles,
 // speedup vs. the 1-goroutine baseline) is written to -concurrency-out.
+//
+// -obs additionally measures request-tracing overhead: the E3 query suite is
+// timed with the tracer off and again with it on (same warmed store), per
+// encoding, plus one traced pass over a disk-paged durable store recording
+// the WAL and buffer-pool activity. The report lands in the -json object's
+// "obs" field and, with -obs-out, in its own JSON file.
 //
 // -pool switches to the buffer-pool benchmark: at each listed frame count,
 // the catalog document is loaded into a disk-paged durable store and the
@@ -58,6 +64,7 @@ type jsonOutput struct {
 	SchemaVersion  int                          `json:"schema_version"`
 	Results        []jsonResult                 `json:"results"`
 	StageBreakdown map[string][]bench.StageStat `json:"stage_breakdown,omitempty"`
+	Obs            *bench.ObsReport             `json:"obs,omitempty"`
 }
 
 func main() {
@@ -71,6 +78,8 @@ func main() {
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "where -concurrency writes its JSON report")
 	pool := flag.String("pool", "", "run the buffer-pool benchmark at these frame counts (e.g. 32,256,1024)")
 	poolOut := flag.String("pool-out", "BENCH_bufpool.json", "where -pool writes its JSON report")
+	obs := flag.Bool("obs", false, "also measure request-tracing overhead on the E3 suite (tracer off vs on)")
+	obsOut := flag.String("obs-out", "", "where -obs writes its JSON report (empty: stdout/-json only)")
 	flag.Parse()
 
 	if *concurrency != "" {
@@ -164,10 +173,38 @@ func main() {
 			fmt.Println(bench.StageTable(breakdown).String())
 		}
 	}
+	var obsRep *bench.ObsReport
+	if *obs {
+		obsReps := reps
+		if obsReps > 5 {
+			obsReps = 5
+		}
+		var err error
+		obsRep, err = bench.RunObsOverhead(*items, obsReps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracing-overhead benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		if !*asJSON {
+			fmt.Println(bench.ObsTable(obsRep).String())
+		}
+		if *obsOut != "" {
+			data, err := json.MarshalIndent(obsRep, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "encode obs report: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", *obsOut, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "tracing-overhead report written to %s\n", *obsOut)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		out := jsonOutput{SchemaVersion: jsonSchemaVersion, Results: results, StageBreakdown: breakdown}
+		out := jsonOutput{SchemaVersion: jsonSchemaVersion, Results: results, StageBreakdown: breakdown, Obs: obsRep}
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintf(os.Stderr, "encode results: %v\n", err)
 			os.Exit(1)

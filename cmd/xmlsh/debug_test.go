@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get issues one request against the debug mux and returns status and body.
+func get(t *testing.T, mux *http.ServeMux, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestDebugEndpointsNoStore(t *testing.T) {
+	mux := debugMux(&shell{})
+
+	// The probe-friendly endpoints answer 200 before any store is open.
+	if code, body := get(t, mux, "/debug/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Errorf("healthz = %d %q", code, body)
+	}
+	code, body := get(t, mux, "/debug/metrics.prom")
+	if code != 200 || !strings.Contains(body, "ordxml_up 0") {
+		t.Errorf("metrics.prom = %d %q", code, body)
+	}
+	code, body = get(t, mux, "/debug/trace")
+	var doc struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if code != 200 || json.Unmarshal([]byte(body), &doc) != nil {
+		t.Errorf("trace = %d %q", code, body)
+	}
+
+	// Readiness and the JSON metrics snapshot require a store.
+	if code, _ := get(t, mux, "/debug/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("metrics without store = %d, want 503", code)
+	}
+	code, body = get(t, mux, "/debug/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "no store open") {
+		t.Errorf("readyz without store = %d %q", code, body)
+	}
+
+	// pprof is wired.
+	if code, body := get(t, mux, "/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("pprof/cmdline = %d", code)
+	}
+}
+
+func TestDebugEndpointsWithStore(t *testing.T) {
+	sh := &shell{}
+	mux := debugMux(sh)
+	run(t, sh, "open dewey")
+	run(t, sh, "loadstr <list><i>a</i><i>b</i></list>")
+	run(t, sh, "query /list/i[2]")
+	run(t, sh, `\trace on`)
+	run(t, sh, "query /list/i[1]")
+
+	code, body := get(t, mux, "/debug/readyz")
+	if code != 200 {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+	var rdy readiness
+	if err := json.Unmarshal([]byte(body), &rdy); err != nil || !rdy.Ready {
+		t.Fatalf("readyz body %q (err %v)", body, err)
+	}
+
+	code, body = get(t, mux, "/debug/metrics.prom")
+	if code != 200 || !strings.Contains(body, "ordxml_up 1") {
+		t.Fatalf("metrics.prom = %d", code)
+	}
+	if !strings.Contains(body, "# TYPE ordxml_") {
+		t.Errorf("metrics.prom carries no typed metrics:\n%.300s", body)
+	}
+
+	code, body = get(t, mux, "/debug/metrics")
+	if code != 200 || !strings.Contains(body, "counters") && !strings.Contains(body, "Counters") {
+		t.Errorf("metrics = %d %.120q", code, body)
+	}
+
+	code, body = get(t, mux, "/debug/trace")
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if code != 200 {
+		t.Fatalf("trace = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "xpath.query" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("traced query missing from /debug/trace: %d events", len(doc.TraceEvents))
+	}
+}

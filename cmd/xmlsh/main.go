@@ -14,21 +14,19 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"strings"
 )
 
 func main() {
-	debugAddr := flag.String("debug", "", "serve engine metrics as JSON on http://<addr>/debug/metrics")
+	debugAddr := flag.String("debug", "", "serve the debug endpoint suite on <addr> (/debug/metrics, /debug/metrics.prom, /debug/trace, /debug/healthz, /debug/readyz, /debug/pprof/)")
 	flag.Parse()
 	sh := &shell{}
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr, sh)
-		fmt.Printf("metrics at http://%s/debug/metrics\n", *debugAddr)
+		fmt.Printf("debug endpoints at http://%s/debug/ (metrics, metrics.prom, trace, healthz, readyz, pprof)\n", *debugAddr)
 	}
 	fmt.Println("ordxml shell — type 'help' for commands, 'quit' to exit")
 	scanner := bufio.NewScanner(os.Stdin)
@@ -51,27 +49,5 @@ func main() {
 		if out != "" {
 			fmt.Println(out)
 		}
-	}
-}
-
-// serveDebug exposes the active store's metrics snapshot as JSON, in the
-// spirit of expvar: GET /debug/metrics returns counters, gauges and latency
-// histograms. It reads the store through the shell's guarded pointer, so
-// open/restore in the REPL swap it safely.
-func serveDebug(addr string, sh *shell) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
-		st := sh.currentStore()
-		if st == nil {
-			http.Error(w, "no store open", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(st.Metrics())
-	})
-	if err := http.ListenAndServe(addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "debug endpoint:", err)
 	}
 }

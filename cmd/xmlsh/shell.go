@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"ordxml"
 )
@@ -80,6 +81,9 @@ const helpText = `commands:
                                     figures for durable stores)
   \checkpoint                       snapshot a durable store and rotate its log
   \slow                             slow-query log
+  \trace on|off|status|clear        request tracing: record a span tree per
+  \trace dump <file>                query/update into a bounded buffer, dump
+                                    as Chrome trace-event JSON (Perfetto)
   trace <xpath>                     run a query; prints per-stage timings
   save <path>                       write a snapshot file
   restore <path>                    open a snapshot file
@@ -289,8 +293,12 @@ func (sh *shell) Execute(line string) (string, error) {
 			sh.store.Parallelism(), m.Counters["sqldb.query.parallel"],
 			renderMetrics(m))
 		if w, ok := sh.store.WALStats(); ok {
-			out = fmt.Sprintf("wal: %d records (%d bytes), %d fsyncs, %d rotations, last LSN %d, durable LSN %d, %d bytes on disk\n%s",
-				w.Records, w.Bytes, w.Fsyncs, w.Rotations, w.LastLSN, w.DurableLSN, w.SizeBytes, out)
+			ckpt := "never"
+			if !w.LastCheckpoint.IsZero() {
+				ckpt = time.Since(w.LastCheckpoint).Round(time.Millisecond).String() + " ago"
+			}
+			out = fmt.Sprintf("wal: %d records (%d bytes), %d fsyncs, %d rotations, last LSN %d, durable LSN %d, %d bytes on disk, last checkpoint %s\n%s",
+				w.Records, w.Bytes, w.Fsyncs, w.Rotations, w.LastLSN, w.DurableLSN, w.SizeBytes, ckpt, out)
 		}
 		if p, ok := sh.store.PoolStats(); ok {
 			hitPct := 0.0
@@ -307,6 +315,47 @@ func (sh *shell) Execute(line string) (string, error) {
 		}
 		w, _ := sh.store.WALStats()
 		return fmt.Sprintf("checkpoint complete (snapshot written, log rotated after LSN %d)", w.LastLSN), nil
+	case `\trace`:
+		if len(args) == 0 {
+			return "", fmt.Errorf(`usage: \trace on|off|status|clear|dump <file>`)
+		}
+		tr := sh.store.Tracer()
+		switch args[0] {
+		case "on":
+			tr.SetEnabled(true)
+			return "request tracing on (run queries, then: \\trace dump <file>)", nil
+		case "off":
+			tr.SetEnabled(false)
+			return "request tracing off", nil
+		case "status":
+			state := "off"
+			if tr.Enabled() {
+				state = "on"
+			}
+			return fmt.Sprintf("tracing %s: %d span(s) buffered (capacity %d, %d overwritten)",
+				state, len(tr.Snapshot()), tr.Capacity(), tr.Dropped()), nil
+		case "clear":
+			tr.Reset()
+			return "trace buffer cleared", nil
+		case "dump":
+			if len(args) != 2 {
+				return "", fmt.Errorf(`usage: \trace dump <file>`)
+			}
+			f, err := os.Create(args[1])
+			if err != nil {
+				return "", err
+			}
+			n, werr := sh.store.WriteTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return "", werr
+			}
+			return fmt.Sprintf("wrote %d span(s) to %s (Chrome trace format — open in Perfetto)", n, args[1]), nil
+		default:
+			return "", fmt.Errorf(`usage: \trace on|off|status|clear|dump <file>`)
+		}
 	case `\slow`:
 		slow := sh.store.SlowQueries()
 		if len(slow) == 0 {

@@ -2,18 +2,21 @@ package ordxml
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/core/update"
 	"ordxml/internal/failpoint"
 	"ordxml/internal/obs"
+	olog "ordxml/internal/obs/log"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/pagefile"
@@ -113,6 +116,11 @@ type durState struct {
 	checkpoints *obs.Counter
 	ckptLat     *obs.Histogram
 	opErrors    *obs.Counter
+
+	// lastCkpt is the wall time of the last completed checkpoint (unix
+	// nanoseconds; 0 = none since open). Feeds the wal.checkpoint_age_ms
+	// readiness gauge and WALStats.LastCheckpoint.
+	lastCkpt atomic.Int64
 }
 
 // WALStats summarizes a durable store's log activity.
@@ -131,6 +139,9 @@ type WALStats struct {
 	DurableLSN uint64
 	// SizeBytes is the current log file size.
 	SizeBytes int64
+	// LastCheckpoint is when the last checkpoint completed (zero when none
+	// has completed since open).
+	LastCheckpoint time.Time
 }
 
 // PoolStats summarizes a pooled store's buffer-pool activity.
@@ -147,6 +158,26 @@ type PoolStats struct {
 
 // Durable reports whether the store was opened with OpenDurable.
 func (s *Store) Durable() bool { return s.dur != nil }
+
+// Health returns the store's operational problems; an empty list means the
+// store is ready to serve. Today's checks: the write-ahead log's fail-stop
+// state (a failed log refuses every further mutation) and the last integrity
+// check's outcome. The /debug/readyz endpoint serves this.
+func (s *Store) Health() []string {
+	var problems []string
+	if s.dur != nil {
+		if err := s.dur.log.Failed(); err != nil {
+			problems = append(problems, fmt.Sprintf("wal: %v", err))
+		}
+	}
+	switch s.db.Registry().Gauge("integrity.last_status").Value() {
+	case integrityViolations:
+		problems = append(problems, "integrity: last check found violations")
+	case integrityError:
+		problems = append(problems, "integrity: last check failed to run")
+	}
+	return problems
+}
 
 // Pooled reports whether the store's storage pages through a buffer pool.
 func (s *Store) Pooled() bool { return s.dur != nil && s.dur.pool != nil }
@@ -173,7 +204,7 @@ func (s *Store) WALStats() (st WALStats, ok bool) {
 		return WALStats{}, false
 	}
 	w := s.dur.log.Stats()
-	return WALStats{
+	st = WALStats{
 		Records:    w.Appends,
 		Bytes:      w.AppendedBytes,
 		Fsyncs:     w.Fsyncs,
@@ -181,7 +212,11 @@ func (s *Store) WALStats() (st WALStats, ok bool) {
 		LastLSN:    w.LastLSN,
 		DurableLSN: w.DurableLSN,
 		SizeBytes:  w.SizeBytes,
-	}, true
+	}
+	if ns := s.dur.lastCkpt.Load(); ns != 0 {
+		st.LastCheckpoint = time.Unix(0, ns)
+	}
+	return st, true
 }
 
 // OpenDurable opens (or creates) a durable store in dir. When dir holds an
@@ -265,11 +300,29 @@ func OpenDurable(dir string, opts Options) (*Store, error) {
 		return fail(err)
 	}
 	opErrors := s.db.Registry().Counter("wal.replay.op_errors")
+	logger := s.db.Registry().Log()
+	replayStart := time.Now()
+	var replayed int64
 	if err := lg.Replay(snapLSN, func(rec wal.Record) error {
+		replayed++
 		return s.applyRecord(rec, opErrors)
 	}); err != nil {
 		lg.Close()
 		return fail(fmt.Errorf("replay %s: %w", filepath.Join(dir, walFile), err))
+	}
+	if replayed > 0 {
+		logger.Info("wal: replay complete",
+			olog.Str("dir", dir),
+			olog.Int("records", replayed),
+			olog.Int("from_lsn", int64(snapLSN)),
+			olog.Dur("elapsed", time.Since(replayStart)))
+	}
+	if n := opErrors.Value(); n > 0 {
+		// Expected only when the live run logged an operation before
+		// discovering it was invalid; anything beyond a handful suggests a
+		// replay determinism bug.
+		logger.Warn("wal: replay skipped failing operations",
+			olog.Str("dir", dir), olog.Int("op_errors", n))
 	}
 	lg.EnsureNextLSN(snapLSN + 1)
 	if pool != nil {
@@ -310,6 +363,17 @@ func OpenDurable(dir string, opts Options) (*Store, error) {
 		ckptLat:     reg.Histogram("wal.checkpoint.latency"),
 		opErrors:    opErrors,
 	}
+	// Readiness gauge: milliseconds since the last completed checkpoint
+	// (-1 until one completes). Pair with wal.size_bytes to decide when the
+	// log has grown stale enough to warrant a checkpoint.
+	dur := s.dur
+	reg.RegisterFunc("wal.checkpoint_age_ms", func() int64 {
+		ns := dur.lastCkpt.Load()
+		if ns == 0 {
+			return -1
+		}
+		return time.Since(time.Unix(0, ns)).Milliseconds()
+	})
 	return s, nil
 }
 
@@ -383,41 +447,69 @@ func (s *Store) Close() error {
 // checkpoint records the log's high-water LSN, so replay after a crash —
 // even one landing between the checkpoint install and the log rotation —
 // never re-applies an operation the checkpoint already contains.
-func (s *Store) Checkpoint() error {
+func (s *Store) Checkpoint() error { return s.CheckpointCtx(context.Background()) }
+
+// CheckpointCtx is Checkpoint with a caller context: with the request tracer
+// enabled the checkpoint records a span tree (manifest or snapshot write,
+// pool flush, install, log rotation), and completion is structured-logged.
+func (s *Store) CheckpointCtx(ctx context.Context) error {
 	if s.dur == nil {
 		return fmt.Errorf("store is not durable (open it with OpenDurable)")
 	}
+	ctx, root := s.rootSpan(ctx, "checkpoint")
+	defer root.End()
+	sp := obs.FromContext(ctx)
 	s.dur.mu.Lock()
 	defer s.dur.mu.Unlock()
 	start := time.Now()
-	if err := s.writeWALLSN(s.dur.log.LastLSN()); err != nil {
+	lsn := s.dur.log.LastLSN()
+	if err := s.writeWALLSN(lsn); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	var err error
 	if s.dur.pool != nil {
-		err = s.checkpointPaged()
+		err = s.checkpointPaged(sp)
 	} else {
-		err = s.checkpointSnapshot()
+		err = s.checkpointSnapshot(sp)
 	}
+	logger := s.db.Registry().Log()
 	if err != nil {
+		logger.Error("checkpoint failed", olog.Str("dir", s.dur.dir), olog.Err(err))
 		return err
 	}
-	if err := s.dur.log.Rotate(); err != nil {
+	rsp := sp.StartChild("wal.rotate")
+	err = s.dur.log.Rotate()
+	rsp.End()
+	if err != nil {
+		logger.Error("checkpoint failed", olog.Str("dir", s.dur.dir), olog.Err(err))
 		return fmt.Errorf("checkpoint: rotate log: %w", err)
 	}
 	s.dur.checkpoints.Inc()
 	s.dur.ckptLat.Observe(time.Since(start))
+	s.dur.lastCkpt.Store(time.Now().UnixNano())
+	tier := "snapshot"
+	if s.dur.pool != nil {
+		tier = "paged"
+	}
+	logger.Info("checkpoint complete",
+		olog.Str("dir", s.dur.dir),
+		olog.Str("tier", tier),
+		olog.Int("lsn", int64(lsn)),
+		olog.Dur("elapsed", time.Since(start)))
+	sp.Arg("lsn", int64(lsn))
 	return nil
 }
 
 // checkpointSnapshot is the all-RAM tier's checkpoint body: full snapshot to
 // a temp file, fsync, atomic rename over snapshot.db.
-func (s *Store) checkpointSnapshot() error {
+func (s *Store) checkpointSnapshot(sp *obs.ActiveSpan) error {
 	if err := fpCkptBeforeSnapshot.Hit(); err != nil {
 		return err
 	}
 	snapPath := filepath.Join(s.dur.dir, snapshotFile)
+	wsp := sp.StartChild("checkpoint.snapshot")
 	tmp, err := writeSnapshotTemp(s, snapPath)
+	wsp.End()
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
@@ -425,6 +517,8 @@ func (s *Store) checkpointSnapshot() error {
 		os.Remove(tmp)
 		return err
 	}
+	isp := sp.StartChild("checkpoint.install")
+	defer isp.End()
 	if err := os.Rename(tmp, snapPath); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("checkpoint: %w", err)
@@ -444,23 +538,32 @@ func (s *Store) checkpointSnapshot() error {
 //  3. install the manifest atomically (temp + fsync + rename + dir sync);
 //  4. commit the pool's allocator: pages the old checkpoint no longer
 //     references become reusable.
-func (s *Store) checkpointPaged() error {
+func (s *Store) checkpointPaged(sp *obs.ActiveSpan) error {
 	if err := fpPagedBeforeFlush.Hit(); err != nil {
 		return err
 	}
+	msp := sp.StartChild("checkpoint.manifest")
 	var manifest bytes.Buffer
-	if err := s.db.DumpPaged(&manifest); err != nil {
+	err := s.db.DumpPaged(&manifest)
+	msp.End()
+	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	fsp := sp.StartChild("bufpool.flush_all")
 	if err := s.dur.pool.FlushAll(); err != nil {
+		fsp.End()
 		return fmt.Errorf("checkpoint: flush pool: %w", err)
 	}
-	if err := s.dur.pf.Sync(); err != nil {
+	err = s.dur.pf.Sync()
+	fsp.End()
+	if err != nil {
 		return fmt.Errorf("checkpoint: sync page file: %w", err)
 	}
 	if err := fpPagedBeforeMeta.Hit(); err != nil {
 		return err
 	}
+	isp := sp.StartChild("checkpoint.install")
+	defer isp.End()
 	tmp, err := writeFileTemp(s.dur.metaPath, manifest.Bytes())
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
@@ -566,18 +669,24 @@ func readWALLSN(db *sqldb.DB) (uint64, error) {
 // logOp appends one operation record and makes it durable before the caller
 // applies it. For a durable store it returns with the operation mutex held
 // and hands back the release; callers run the apply under that lock so WAL
-// order equals apply order. For memory-only stores it is free.
-func (s *Store) logOp(kind byte, encode func(*wal.BodyWriter)) (unlock func(), err error) {
+// order equals apply order. For memory-only stores it is free. When ctx
+// carries an active trace span the append+fsync is recorded as a
+// "wal.append_sync" child annotated with the assigned LSN.
+func (s *Store) logOp(ctx context.Context, kind byte, encode func(*wal.BodyWriter)) (unlock func(), err error) {
 	if s.dur == nil {
 		return func() {}, nil
 	}
 	s.dur.mu.Lock()
 	var w wal.BodyWriter
 	encode(&w)
-	if _, err := s.dur.log.AppendSync(kind, w.Finish()); err != nil {
+	sp := obs.FromContext(ctx).StartChild("wal.append_sync")
+	lsn, err := s.dur.log.AppendSync(kind, w.Finish())
+	if err != nil {
+		sp.End()
 		s.dur.mu.Unlock()
 		return nil, fmt.Errorf("write-ahead log: %w", err)
 	}
+	sp.Arg("lsn", int64(lsn)).End()
 	return s.dur.mu.Unlock, nil
 }
 

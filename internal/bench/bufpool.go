@@ -115,8 +115,11 @@ func runPoolCell(cfg Config, xml string, suite []QuerySpec, frames, reps int) (P
 
 	// One point update, then the incremental checkpoint.
 	hits, err := s.Query(id, "/site/regions/namerica/item[1]")
-	if err != nil || len(hits) == 0 {
-		return r, fmt.Errorf("update target: %v", err)
+	if err != nil {
+		return r, fmt.Errorf("update target: %w", err)
+	}
+	if len(hits) == 0 {
+		return r, fmt.Errorf("update target: no match")
 	}
 	if err := s.Rename(id, hits[0].ID, "itemx"); err != nil {
 		return r, err

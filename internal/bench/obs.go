@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ordxml"
+)
+
+// obsSchemaVersion identifies the BENCH_obs.json shape; bump on breaking
+// changes.
+const obsSchemaVersion = 1
+
+// ObsRow is one encoding's tracing-overhead measurement: the E3 query suite
+// timed with the request tracer off, then on, same store and plan cache.
+type ObsRow struct {
+	Encoding    string  `json:"encoding"`
+	OffUsSuite  float64 `json:"off_us_per_suite"`
+	OnUsSuite   float64 `json:"on_us_per_suite"`
+	OverheadPct float64 `json:"overhead_pct"`
+	// SpansBuffered and SpansDropped describe the trace buffer after the
+	// tracing-on pass (dropped = ring overwrites).
+	SpansBuffered int   `json:"spans_buffered"`
+	SpansDropped  int64 `json:"spans_dropped"`
+}
+
+// ObsDurability is one traced pass over a disk-paged durable store: the WAL
+// and buffer-pool activity the trace attributes, straight from the store's
+// own stats, so the JSON report carries the fields alongside the span counts.
+type ObsDurability struct {
+	WALRecords    int64  `json:"wal_records"`
+	WALFsyncs     int64  `json:"wal_fsyncs"`
+	WALDurableLSN uint64 `json:"wal_durable_lsn"`
+	PoolHits      int64  `json:"bufpool_hits"`
+	PoolMisses    int64  `json:"bufpool_misses"`
+	PoolEvictions int64  `json:"bufpool_evictions"`
+	PoolFlushes   int64  `json:"bufpool_dirty_flushes"`
+	SpansBuffered int    `json:"spans_buffered"`
+}
+
+// ObsReport is the BENCH_obs.json document: tracing overhead per encoding
+// (target: under 5% on the E3 suite) plus one traced durable-store pass.
+type ObsReport struct {
+	SchemaVersion int            `json:"schema_version"`
+	Items         int            `json:"items_per_region"`
+	Reps          int            `json:"reps"`
+	Rows          []ObsRow       `json:"rows"`
+	Durability    *ObsDurability `json:"durability,omitempty"`
+}
+
+// RunObsOverhead measures what request tracing costs when on and proves it
+// free when off: per dense encoding, the E3 suite runs reps times with the
+// tracer disabled and again enabled, on the same warmed store. A final pass
+// loads the catalog into a disk-paged durable store with tracing on and
+// records the WAL/buffer-pool activity the spans attribute.
+func RunObsOverhead(itemsPerRegion, reps int) (*ObsReport, error) {
+	doc := CatalogDoc(itemsPerRegion)
+	suite := QuerySuite(itemsPerRegion)
+	rep := &ObsReport{SchemaVersion: obsSchemaVersion, Items: itemsPerRegion, Reps: reps}
+	for _, cfg := range Encodings() {
+		s, id, err := NewStore(cfg, doc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		runSuite := func() (time.Duration, error) {
+			return timeOp(reps, func() error {
+				for _, q := range suite {
+					if _, err := s.Query(id, q.XPath); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}
+		// Warm plans and caches so neither pass pays first-run costs.
+		if _, err := runSuite(); err != nil {
+			return nil, fmt.Errorf("%s warmup: %w", cfg.Name, err)
+		}
+		off, err := runSuite()
+		if err != nil {
+			return nil, fmt.Errorf("%s tracing-off: %w", cfg.Name, err)
+		}
+		s.Tracer().SetEnabled(true)
+		on, err := runSuite()
+		s.Tracer().SetEnabled(false)
+		if err != nil {
+			return nil, fmt.Errorf("%s tracing-on: %w", cfg.Name, err)
+		}
+		row := ObsRow{
+			Encoding:      cfg.Name,
+			OffUsSuite:    float64(off.Nanoseconds()) / 1e3,
+			OnUsSuite:     float64(on.Nanoseconds()) / 1e3,
+			SpansBuffered: len(s.Tracer().Snapshot()),
+			SpansDropped:  s.Tracer().Dropped(),
+		}
+		if off > 0 {
+			row.OverheadPct = 100 * float64(on-off) / float64(off)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	dur, err := runObsDurable(doc.String(), suite)
+	if err != nil {
+		return nil, err
+	}
+	rep.Durability = dur
+	return rep, nil
+}
+
+// runObsDurable loads the catalog into a disk-paged durable store with
+// tracing on, runs the suite once plus a checkpoint, and reports the WAL and
+// buffer-pool activity recorded alongside the spans.
+func runObsDurable(xml string, suite []QuerySpec) (*ObsDurability, error) {
+	dir, err := os.MkdirTemp("", "ordxml-obs-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := ordxml.OpenDurable(dir, ordxml.Options{Encoding: ordxml.Dewey, BufferPoolFrames: 64})
+	if err != nil {
+		return nil, fmt.Errorf("durable pass: %w", err)
+	}
+	defer s.Close()
+	s.Tracer().SetEnabled(true)
+	id, err := s.LoadString("bench", xml)
+	if err != nil {
+		return nil, fmt.Errorf("durable pass: %w", err)
+	}
+	for _, q := range suite {
+		if _, err := s.Query(id, q.XPath); err != nil {
+			return nil, fmt.Errorf("durable pass %s: %w", q.ID, err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("durable pass: %w", err)
+	}
+	w, _ := s.WALStats()
+	p, _ := s.PoolStats()
+	return &ObsDurability{
+		WALRecords:    w.Records,
+		WALFsyncs:     w.Fsyncs,
+		WALDurableLSN: w.DurableLSN,
+		PoolHits:      p.Hits,
+		PoolMisses:    p.Misses,
+		PoolEvictions: p.Evictions,
+		PoolFlushes:   p.DirtyFlushes,
+		SpansBuffered: len(s.Tracer().Snapshot()),
+	}, nil
+}
+
+// ObsTable renders the overhead report as a result table.
+func ObsTable(rep *ObsReport) Table {
+	t := Table{
+		Title:  "Tracing overhead (E3 suite, tracer off vs on)",
+		Note:   "one row per encoding; suite time is the whole query mix once",
+		Header: []string{"encoding", "off us/suite", "on us/suite", "overhead", "spans"},
+	}
+	for _, r := range rep.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Encoding,
+			fmt.Sprintf("%.1f", r.OffUsSuite),
+			fmt.Sprintf("%.1f", r.OnUsSuite),
+			fmt.Sprintf("%+.1f%%", r.OverheadPct),
+			fmt.Sprint(r.SpansBuffered),
+		})
+	}
+	if d := rep.Durability; d != nil {
+		t.Note += fmt.Sprintf("; durable pass: %d WAL records, %d fsyncs, %d pool misses, %d spans",
+			d.WALRecords, d.WALFsyncs, d.PoolMisses, d.SpansBuffered)
+	}
+	return t
+}

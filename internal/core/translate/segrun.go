@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -45,7 +46,12 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 	var bindings []binding
 	runOnce := func(params []sqltypes.Value, ctxID int64) error {
 		sp := r.trace.Start(StageExec)
-		res, err := stmt.QueryAt(r.snap, params...)
+		var res *sqldb.Result
+		err := r.tracedExec(func(ctx context.Context) error {
+			var qerr error
+			res, qerr = stmt.QueryAtCtx(ctx, r.snap, params...)
+			return qerr
+		})
 		sp.End()
 		if err != nil {
 			return err

@@ -25,6 +25,7 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,7 @@ import (
 	"ordxml/internal/core/xpath"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
+	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/xmltree"
 )
@@ -127,6 +129,30 @@ type run struct {
 	nodeMemo   map[int64]NodeRef
 	sqls       []string
 	trace      *obs.Trace
+	// ctx carries the request span when the query is traced; statements run
+	// through it so planner and operator spans land in the request's tree.
+	ctx context.Context
+	// pool, when non-nil alongside an active span, lets each statement
+	// execution emit a bufpool fetch/evict/flush delta event.
+	pool *bufpool.Pool
+}
+
+// tracedExec runs fn (one SQL statement execution) under the request trace:
+// a per-statement bufpool delta event is attached when the store is pooled.
+func (r *run) tracedExec(fn func(ctx context.Context) error) error {
+	sp := obs.FromContext(r.ctx)
+	if sp == nil || r.pool == nil {
+		return fn(r.ctx)
+	}
+	before := r.pool.Stats()
+	err := fn(r.ctx)
+	after := r.pool.Stats()
+	sp.Event("bufpool.delta",
+		obs.Arg{Key: "hits", Val: after.Hits - before.Hits},
+		obs.Arg{Key: "misses", Val: after.Misses - before.Misses},
+		obs.Arg{Key: "evictions", Val: after.Evictions - before.Evictions},
+		obs.Arg{Key: "dirty_flushes", Val: after.DirtyFlushes - before.DirtyFlushes})
+	return err
 }
 
 type parentInfo struct {
@@ -181,7 +207,15 @@ func (e *Evaluator) LastSQL() []string {
 // against one pinned storage snapshot, so concurrent updates are invisible
 // to a query in flight.
 func (e *Evaluator) Query(doc int64, path string) ([]NodeRef, error) {
-	refs, _, err := e.queryTraced(doc, path, nil)
+	refs, _, err := e.queryTraced(context.Background(), doc, path, nil)
+	return refs, err
+}
+
+// QueryCtx is Query with a caller context: when the engine's request tracer
+// is enabled the whole pipeline (parse, translate, every SQL statement with
+// planner and operator spans, post, sort) records one span tree.
+func (e *Evaluator) QueryCtx(ctx context.Context, doc int64, path string) ([]NodeRef, error) {
+	refs, _, err := e.queryTraced(ctx, doc, path, nil)
 	return refs, err
 }
 
@@ -189,7 +223,13 @@ func (e *Evaluator) Query(doc int64, path string) ([]NodeRef, error) {
 // caller compose the query with other snapshot reads (e.g. value extraction)
 // at the same version.
 func (e *Evaluator) QueryAt(snap *sqldb.Snap, doc int64, path string) ([]NodeRef, error) {
-	refs, _, err := e.queryTraced(doc, path, snap)
+	refs, _, err := e.queryTraced(context.Background(), doc, path, snap)
+	return refs, err
+}
+
+// QueryAtCtx is QueryAt with a caller context (see QueryCtx).
+func (e *Evaluator) QueryAtCtx(ctx context.Context, snap *sqldb.Snap, doc int64, path string) ([]NodeRef, error) {
+	refs, _, err := e.queryTraced(ctx, doc, path, snap)
 	return refs, err
 }
 
@@ -197,22 +237,33 @@ func (e *Evaluator) QueryAt(snap *sqldb.Snap, doc int64, path string) ([]NodeRef
 // per-stage wall-time breakdown of this evaluation (parse, translate, exec,
 // post, sort). Stage durations also feed the xpath.stage.* histograms.
 func (e *Evaluator) QueryTraced(doc int64, path string) ([]NodeRef, []obs.Stage, error) {
-	return e.queryTraced(doc, path, nil)
+	return e.queryTraced(context.Background(), doc, path, nil)
 }
 
-func (e *Evaluator) queryTraced(doc int64, path string, snap *sqldb.Snap) ([]NodeRef, []obs.Stage, error) {
+func (e *Evaluator) queryTraced(ctx context.Context, doc int64, path string, snap *sqldb.Snap) ([]NodeRef, []obs.Stage, error) {
+	var root *obs.ActiveSpan
+	if obs.FromContext(ctx) == nil {
+		ctx, root = e.db.Tracer().StartRoot(ctx, "xpath.query")
+		root.ArgStr("path", path)
+	}
+	defer root.End()
 	tr := obs.NewTrace()
 	start := time.Now()
 	sp := tr.Start(StageParse)
+	psp := obs.FromContext(ctx).StartChild("parse")
 	p, err := xpath.Parse(path)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
-	refs, err := e.queryPath(doc, p, tr, snap)
+	refs, err := e.queryPath(ctx, doc, p, tr, snap)
 	e.met.record(time.Since(start), tr)
 	if err != nil {
 		return nil, nil, err
+	}
+	if root != nil {
+		root.Arg("results", int64(len(refs)))
 	}
 	return refs, tr.Stages(), nil
 }
@@ -221,12 +272,12 @@ func (e *Evaluator) queryTraced(doc int64, path string, snap *sqldb.Snap) ([]Nod
 func (e *Evaluator) QueryPath(doc int64, p *xpath.Path) ([]NodeRef, error) {
 	tr := obs.NewTrace()
 	start := time.Now()
-	refs, err := e.queryPath(doc, p, tr, nil)
+	refs, err := e.queryPath(context.Background(), doc, p, tr, nil)
 	e.met.record(time.Since(start), tr)
 	return refs, err
 }
 
-func (e *Evaluator) queryPath(doc int64, p *xpath.Path, tr *obs.Trace, snap *sqldb.Snap) ([]NodeRef, error) {
+func (e *Evaluator) queryPath(ctx context.Context, doc int64, p *xpath.Path, tr *obs.Trace, snap *sqldb.Snap) ([]NodeRef, error) {
 	if snap == nil {
 		snap = e.db.Snapshot()
 	}
@@ -236,38 +287,47 @@ func (e *Evaluator) queryPath(doc int64, p *xpath.Path, tr *obs.Trace, snap *sql
 		parentMemo: map[int64]parentInfo{},
 		nodeMemo:   map[int64]NodeRef{},
 		trace:      tr,
+		ctx:        ctx,
+		pool:       e.db.Pool(),
 	}
 	sp := tr.Start(StageTranslate)
+	tsp := obs.FromContext(ctx).StartChild("translate")
 	segs, err := splitSegments(p, e.opts.Kind)
+	tsp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	var ctx []NodeRef
+	var nodes []NodeRef
 	first := true
-	for _, seg := range segs {
-		ctx, err = r.runSegment(doc, seg, ctx, first)
+	for i, seg := range segs {
+		segSp := obs.FromContext(ctx).StartChild("segment").Arg("index", int64(i))
+		r.ctx = obs.ContextWith(ctx, segSp)
+		nodes, err = r.runSegment(doc, seg, nodes, first)
+		segSp.End()
 		if err != nil {
 			return nil, err
 		}
 		first = false
-		if len(ctx) == 0 {
+		if len(nodes) == 0 {
 			break
 		}
 	}
 	e.mu.Lock()
 	e.lastSQL = r.sqls
 	e.mu.Unlock()
-	if len(ctx) == 0 {
+	if len(nodes) == 0 {
 		return nil, nil
 	}
 	sp = tr.Start(StageSort)
-	err = r.sortDocOrder(doc, ctx)
+	ssp := obs.FromContext(ctx).StartChild("sort")
+	err = r.sortDocOrder(doc, nodes)
+	ssp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return ctx, nil
+	return nodes, nil
 }
 
 // segment is a run of steps compiled into one SQL statement. ancestryCheck

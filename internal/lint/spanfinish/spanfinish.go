@@ -4,9 +4,13 @@
 //
 // An unfinished span is silent: the stage simply never folds its duration
 // into the trace, so EXPLAIN ANALYZE and the stage histograms under-report
-// without any error. The analyzer recognizes span values structurally (a
-// named type `Span` declared in a package named `obs`, produced by a method
-// named Start or StartSpan) and then runs a conservative path walk:
+// without any error. The same applies to the request tracer's *ActiveSpan
+// handles: an unended span never reaches the trace buffer, so the request
+// silently vanishes from the Chrome export. The analyzer recognizes span
+// values structurally (a named type `Span` or `ActiveSpan` declared in a
+// package named `obs`, produced by Start, StartSpan, StartRoot, StartChild
+// or StartWorker — including the two-value `ctx, sp := ...` forms) and then
+// runs a conservative path walk:
 //
 //   - a deferred End anywhere in the function discharges the span;
 //   - otherwise every return statement — and the fall-through exit of the
@@ -50,8 +54,8 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
-// isSpanType reports whether t is (a pointer to) a named type Span declared
-// in a package named obs.
+// isSpanType reports whether t is (a pointer to) a named type Span or
+// ActiveSpan declared in a package named obs.
 func isSpanType(t types.Type) bool {
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
@@ -61,17 +65,36 @@ func isSpanType(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Name() == "obs"
+	if obj.Name() != "Span" && obj.Name() != "ActiveSpan" {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Name() == "obs"
 }
 
-// isStartCall reports whether call produces a span via a method named Start
-// or StartSpan.
+// startNames are the function/method names that mint spans.
+var startNames = map[string]bool{
+	"Start":       true,
+	"StartSpan":   true,
+	"StartRoot":   true,
+	"StartChild":  true,
+	"StartWorker": true,
+}
+
+// isStartCall reports whether call produces a span via one of the start
+// constructors. Two-value constructors (StartRoot, StartSpan return
+// (context, span)) yield a tuple; the span is the last result.
 func isStartCall(pass *framework.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "StartSpan") {
+	if !ok || !startNames[sel.Sel.Name] {
 		return false
 	}
 	t := pass.TypeOf(call)
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
 	return t != nil && isSpanType(t)
 }
 
@@ -92,9 +115,11 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 	var walkStmt func(s ast.Stmt)
 	walkList = func(list []ast.Stmt) {
 		for i, s := range list {
-			if as, ok := s.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if as, ok := s.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
 				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isStartCall(pass, call) {
-					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					// The span is the last (or only) result: `sp := x.Start(...)`
+					// or `ctx, sp := tr.StartRoot(ctx, ...)`.
+					if id, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && id.Name != "_" {
 						if obj := pass.ObjectOf(id); obj != nil {
 							defs = append(defs, spanDef{obj: obj, start: call, owner: list, index: i})
 						}

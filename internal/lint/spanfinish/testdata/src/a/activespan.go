@@ -1,0 +1,87 @@
+package a
+
+import (
+	"errors"
+
+	"ordxml/internal/lint/spanfinish/testdata/src/obs"
+)
+
+// The ActiveSpan cases mirror the request-tracer API: two-value
+// constructors, child/worker spans, and struct-field hand-off.
+
+func rootDeferred(tr *obs.Trace, ctx int) int {
+	ctx, sp := tr.StartRoot(ctx, "root")
+	defer sp.End()
+	work()
+	return ctx
+}
+
+func rootLeak(tr *obs.Trace, ctx int, fail bool) error {
+	_, sp := tr.StartRoot(ctx, "leaky-root") // want `span sp is not finished on all paths`
+	if fail {
+		return errors.New("bail")
+	}
+	sp.End()
+	return nil
+}
+
+func rootDiscardedSpan(tr *obs.Trace, ctx int) int {
+	// Discarding the handle by name is deliberate; the analyzer does not
+	// second-guess it.
+	ctx2, _ := tr.StartRoot(ctx, "discarded")
+	return ctx2
+}
+
+func ambientDeferred(ctx int) {
+	ctx2, sp := obs.StartSpan(ctx, "stage")
+	defer sp.End()
+	_ = ctx2
+	work()
+}
+
+func childStraight(parent *obs.ActiveSpan) {
+	sp := parent.StartChild("child")
+	work()
+	sp.End()
+}
+
+func childLeak(parent *obs.ActiveSpan, fail bool) error {
+	sp := parent.StartChild("leaky-child") // want `span sp is not finished on all paths`
+	if fail {
+		return errors.New("bail")
+	}
+	sp.End()
+	return nil
+}
+
+func childDropped(parent *obs.ActiveSpan) {
+	parent.StartChild("dropped") // want `span started and immediately dropped`
+	work()
+}
+
+func workerEnded(parent *obs.ActiveSpan) {
+	for i := 0; i < 4; i++ {
+		w := parent.StartWorker("worker", i)
+		work()
+		w.End()
+	}
+}
+
+func workerLeak(parent *obs.ActiveSpan, skip bool) {
+	w := parent.StartWorker("worker", 0) // want `span w is not finished on all paths`
+	if skip {
+		return
+	}
+	w.End()
+}
+
+// holder keeps a span for a later lifecycle phase (the operator-decorator
+// pattern); storing it is an escape, so the holder owns the End.
+type holder struct {
+	span *obs.ActiveSpan
+}
+
+func storedInField(h *holder, parent *obs.ActiveSpan) {
+	sp := parent.StartChild("stored")
+	h.span = sp
+}

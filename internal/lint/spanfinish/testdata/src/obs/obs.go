@@ -29,3 +29,29 @@ func (s Span) End() {
 	}
 	s.tr.stages[s.name] += time.Since(s.begin)
 }
+
+// ActiveSpan mirrors the request tracer's nil-safe span handle; the analyzer
+// must treat it exactly like Span.
+type ActiveSpan struct {
+	name string
+}
+
+// StartRoot mirrors the two-value (context, span) constructor shape.
+func (t *Trace) StartRoot(ctx int, name string) (int, *ActiveSpan) {
+	return ctx, &ActiveSpan{name: name}
+}
+
+func (s *ActiveSpan) StartChild(name string) *ActiveSpan {
+	return &ActiveSpan{name: name}
+}
+
+func (s *ActiveSpan) StartWorker(name string, worker int) *ActiveSpan {
+	return &ActiveSpan{name: name}
+}
+
+func (s *ActiveSpan) End() {}
+
+// StartSpan mirrors the package-level ambient-context constructor.
+func StartSpan(ctx int, name string) (int, *ActiveSpan) {
+	return ctx, &ActiveSpan{}
+}

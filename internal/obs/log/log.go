@@ -1,0 +1,320 @@
+// Package log is the engine's structured, leveled logging layer: key-value
+// records, a pluggable sink, and per-key rate limiting, with no dependencies
+// beyond the standard library. It replaces the silent paths and ad-hoc
+// prints in WAL recovery, checkpointing, eviction pressure, slow-query
+// detection and integrity checking.
+//
+// A Logger is safe for concurrent use. A nil *Logger is a no-op, so
+// components hold one unconditionally. Records flow to a Sink; the built-in
+// sinks are TextSink (one line per record, logfmt-ish) and BufferSink (a
+// bounded ring, used by tests and debug endpoints).
+package log
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders record severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the canonical upper-case level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	default:
+		return "LEVEL(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// F is one structured field. Values are formatted by the sink.
+type F struct {
+	Key string
+	Val any
+}
+
+// Int builds an integer field.
+func Int(key string, v int64) F { return F{Key: key, Val: v} }
+
+// Str builds a string field.
+func Str(key, v string) F { return F{Key: key, Val: v} }
+
+// Dur builds a duration field.
+func Dur(key string, v time.Duration) F { return F{Key: key, Val: v} }
+
+// Err builds an "err" field from an error (nil-safe).
+func Err(e error) F {
+	if e == nil {
+		return F{Key: "err", Val: ""}
+	}
+	return F{Key: "err", Val: e.Error()}
+}
+
+// Record is one log entry.
+type Record struct {
+	Time   time.Time
+	Level  Level
+	Msg    string
+	Fields []F
+}
+
+// Sink receives completed records. Write must be safe for concurrent use.
+type Sink interface {
+	Write(r Record)
+}
+
+// Logger filters by level, applies rate limits, and forwards to the sink.
+type Logger struct {
+	level atomic.Int32
+	sink  atomic.Value // sinkBox
+	now   func() time.Time
+
+	mu  sync.Mutex
+	lim map[string]*limitState
+}
+
+// sinkBox wraps the Sink interface so atomic.Value tolerates differing
+// concrete types across SetSink calls.
+type sinkBox struct{ s Sink }
+
+// limitState tracks one rate-limit key.
+type limitState struct {
+	last       time.Time
+	suppressed int64
+}
+
+// New returns a logger writing records at or above level to sink.
+func New(sink Sink, level Level) *Logger {
+	l := &Logger{now: time.Now, lim: map[string]*limitState{}}
+	l.level.Store(int32(level))
+	l.sink.Store(sinkBox{s: sink})
+	return l
+}
+
+var defaultLogger atomic.Pointer[Logger]
+
+// Default returns the shared process logger: stderr text at Warn. Components
+// that are not handed a logger explicitly fall back to it.
+func Default() *Logger {
+	if l := defaultLogger.Load(); l != nil {
+		return l
+	}
+	l := New(NewTextSink(os.Stderr), LevelWarn)
+	if defaultLogger.CompareAndSwap(nil, l) {
+		return l
+	}
+	return defaultLogger.Load()
+}
+
+// SetLevel changes the minimum emitted level.
+func (l *Logger) SetLevel(level Level) {
+	if l != nil {
+		l.level.Store(int32(level))
+	}
+}
+
+// SetSink replaces the sink.
+func (l *Logger) SetSink(s Sink) {
+	if l != nil {
+		l.sink.Store(sinkBox{s: s})
+	}
+}
+
+// Enabled reports whether records at level would be emitted.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.level.Load()
+}
+
+// Debug emits a debug record.
+func (l *Logger) Debug(msg string, fields ...F) { l.emit(LevelDebug, msg, fields) }
+
+// Info emits an info record.
+func (l *Logger) Info(msg string, fields ...F) { l.emit(LevelInfo, msg, fields) }
+
+// Warn emits a warning record.
+func (l *Logger) Warn(msg string, fields ...F) { l.emit(LevelWarn, msg, fields) }
+
+// Error emits an error record.
+func (l *Logger) Error(msg string, fields ...F) { l.emit(LevelError, msg, fields) }
+
+func (l *Logger) emit(level Level, msg string, fields []F) {
+	if !l.Enabled(level) {
+		return
+	}
+	box, _ := l.sink.Load().(sinkBox)
+	if box.s == nil {
+		return
+	}
+	box.s.Write(Record{Time: l.now(), Level: level, Msg: msg, Fields: fields})
+}
+
+// Every emits at most one record per `every` for the given key; calls in
+// between are counted and surfaced as a `suppressed=N` field on the next
+// emitted record. High-frequency warn paths (eviction pressure, slow
+// queries) use this so a storm costs one line per window.
+func (l *Logger) Every(key string, every time.Duration, level Level, msg string, fields ...F) {
+	if !l.Enabled(level) {
+		return
+	}
+	now := l.now()
+	l.mu.Lock()
+	st, ok := l.lim[key]
+	if !ok {
+		st = &limitState{}
+		l.lim[key] = st
+	}
+	if !st.last.IsZero() && now.Sub(st.last) < every {
+		st.suppressed++
+		l.mu.Unlock()
+		return
+	}
+	st.last = now
+	suppressed := st.suppressed
+	st.suppressed = 0
+	l.mu.Unlock()
+	if suppressed > 0 {
+		fields = append(fields, Int("suppressed", suppressed))
+	}
+	l.emit(level, msg, fields)
+}
+
+// TextSink writes one line per record: RFC3339 time, level, message, then
+// key=value fields in emission order. Writes are serialized.
+type TextSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextSink returns a TextSink writing to w.
+func NewTextSink(w io.Writer) *TextSink { return &TextSink{w: w} }
+
+// Write formats and writes one record.
+func (s *TextSink) Write(r Record) {
+	buf := make([]byte, 0, 128)
+	buf = r.Time.UTC().AppendFormat(buf, time.RFC3339Nano)
+	buf = append(buf, ' ')
+	buf = append(buf, r.Level.String()...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendQuote(buf, r.Msg)
+	for _, f := range r.Fields {
+		buf = append(buf, ' ')
+		buf = append(buf, f.Key...)
+		buf = append(buf, '=')
+		buf = appendValue(buf, f.Val)
+	}
+	buf = append(buf, '\n')
+	s.mu.Lock()
+	_, _ = s.w.Write(buf)
+	s.mu.Unlock()
+}
+
+// appendValue formats one field value.
+func appendValue(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return strconv.AppendQuote(buf, x)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case time.Duration:
+		return append(buf, x.String()...)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	default:
+		return strconv.AppendQuote(buf, fmt.Sprint(x))
+	}
+}
+
+// BufferSink keeps the last capacity records in memory — the test harness
+// and debug endpoints read them back with Snapshot.
+type BufferSink struct {
+	mu   sync.Mutex
+	buf  []Record
+	next int
+	full bool
+}
+
+// NewBufferSink returns a ring sink holding capacity records (64 minimum).
+func NewBufferSink(capacity int) *BufferSink {
+	if capacity < 64 {
+		capacity = 64
+	}
+	return &BufferSink{buf: make([]Record, 0, capacity)}
+}
+
+// Write appends one record, overwriting the oldest once full.
+func (s *BufferSink) Write(r Record) {
+	s.mu.Lock()
+	if !s.full && len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, r)
+		if len(s.buf) == cap(s.buf) {
+			s.full = true
+		}
+	} else {
+		s.buf[s.next] = r
+		s.next++
+		if s.next == len(s.buf) {
+			s.next = 0
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns the buffered records, oldest first.
+func (s *BufferSink) Snapshot() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.buf))
+	if s.full {
+		out = append(out, s.buf[s.next:]...)
+		out = append(out, s.buf[:s.next]...)
+	} else {
+		out = append(out, s.buf...)
+	}
+	return out
+}
+
+// MultiSink fans records out to several sinks.
+type MultiSink []Sink
+
+// Write forwards r to every sink.
+func (m MultiSink) Write(r Record) {
+	for _, s := range m {
+		if s != nil {
+			s.Write(r)
+		}
+	}
+}
+
+// SortFields orders a record's fields by key (tests compare field sets
+// without caring about emission order).
+func SortFields(fs []F) []F {
+	out := append([]F(nil), fs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,223 @@
+package log
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock pins the logger's clock to a controllable instant.
+func fakeClock(l *Logger, at *time.Time) {
+	l.now = func() time.Time { return *at }
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var l *Logger
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger enabled")
+	}
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e", Err(errors.New("x")))
+	l.Every("k", time.Second, LevelWarn, "rate")
+	l.SetLevel(LevelDebug)
+	l.SetSink(NewBufferSink(64))
+}
+
+func TestLevelFiltering(t *testing.T) {
+	sink := NewBufferSink(64)
+	l := New(sink, LevelWarn)
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	got := sink.Snapshot()
+	if len(got) != 2 || got[0].Msg != "yes" || got[1].Msg != "also" {
+		t.Fatalf("records = %+v", got)
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelWarn) {
+		t.Fatal("Enabled disagrees with level")
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now")
+	if got := sink.Snapshot(); len(got) != 3 || got[2].Msg != "now" {
+		t.Fatalf("after SetLevel: %+v", got)
+	}
+}
+
+func TestRecordOrderingAndFields(t *testing.T) {
+	sink := NewBufferSink(64)
+	l := New(sink, LevelDebug)
+	for i := 0; i < 5; i++ {
+		l.Info("m", Int("i", int64(i)))
+	}
+	got := sink.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("got %d records", len(got))
+	}
+	for i, r := range got {
+		if r.Fields[0].Val != int64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+	// Fields keep emission order; SortFields normalizes a copy.
+	l.Info("kv", Str("b", "2"), Str("a", "1"))
+	r := sink.Snapshot()[5]
+	if r.Fields[0].Key != "b" {
+		t.Fatalf("emission order lost: %+v", r.Fields)
+	}
+	sorted := SortFields(r.Fields)
+	if sorted[0].Key != "a" || r.Fields[0].Key != "b" {
+		t.Fatalf("SortFields wrong or not a copy: %v / %v", sorted, r.Fields)
+	}
+}
+
+func TestEveryRateLimit(t *testing.T) {
+	sink := NewBufferSink(64)
+	l := New(sink, LevelDebug)
+	at := time.Unix(100, 0)
+	fakeClock(l, &at)
+
+	l.Every("evict", time.Second, LevelWarn, "pressure", Int("n", 1))
+	for i := 0; i < 4; i++ {
+		l.Every("evict", time.Second, LevelWarn, "pressure", Int("n", int64(i)))
+	}
+	// A different key is limited independently.
+	l.Every("slow", time.Second, LevelWarn, "slow query")
+
+	at = at.Add(1500 * time.Millisecond)
+	l.Every("evict", time.Second, LevelWarn, "pressure", Int("n", 9))
+
+	got := sink.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("got %d records, want 3: %+v", len(got), got)
+	}
+	if got[0].Msg != "pressure" || got[1].Msg != "slow query" {
+		t.Fatalf("unexpected records: %+v", got)
+	}
+	// The post-window record carries the suppressed count from the storm.
+	last := got[2]
+	found := false
+	for _, f := range last.Fields {
+		if f.Key == "suppressed" {
+			found = true
+			if f.Val != int64(4) {
+				t.Fatalf("suppressed = %v, want 4", f.Val)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no suppressed field on %+v", last)
+	}
+
+	// Below the level threshold, Every neither emits nor counts.
+	l.SetLevel(LevelError)
+	at = at.Add(2 * time.Second)
+	l.Every("evict", time.Second, LevelWarn, "pressure")
+	if len(sink.Snapshot()) != 3 {
+		t.Fatal("Every emitted below the level threshold")
+	}
+}
+
+func TestTextSinkFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(NewTextSink(&buf), LevelDebug)
+	at := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	fakeClock(l, &at)
+	l.Warn("wal: torn tail",
+		Str("path", "wal.log"),
+		Int("torn_bytes", 17),
+		Dur("elapsed", 1500*time.Millisecond),
+		Err(errors.New("short read")),
+		F{Key: "ok", Val: true},
+		F{Key: "ratio", Val: 0.5},
+		F{Key: "lsn", Val: uint64(9)},
+		F{Key: "n", Val: int(3)},
+		F{Key: "other", Val: []int{1}},
+	)
+	want := `2026-08-08T12:00:00Z WARN "wal: torn tail" path="wal.log" torn_bytes=17 elapsed=1.5s err="short read" ok=true ratio=0.5 lsn=9 n=3 other="[1]"` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("line mismatch\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestErrNil(t *testing.T) {
+	if f := Err(nil); f.Key != "err" || f.Val != "" {
+		t.Fatalf("Err(nil) = %+v", f)
+	}
+}
+
+func TestBufferSinkWrap(t *testing.T) {
+	s := NewBufferSink(10) // clamped to the 64 minimum
+	for i := 0; i < 70; i++ {
+		s.Write(Record{Msg: fmt.Sprint(i)})
+	}
+	got := s.Snapshot()
+	if len(got) != 64 {
+		t.Fatalf("buffered %d, want 64", len(got))
+	}
+	if got[0].Msg != "6" || got[63].Msg != "69" {
+		t.Fatalf("ring order wrong: %s ... %s", got[0].Msg, got[63].Msg)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewBufferSink(64), NewBufferSink(64)
+	l := New(MultiSink{a, nil, b}, LevelDebug)
+	l.Info("fanout")
+	if len(a.Snapshot()) != 1 || len(b.Snapshot()) != 1 {
+		t.Fatal("MultiSink did not fan out")
+	}
+}
+
+func TestDefaultLogger(t *testing.T) {
+	d := Default()
+	if d == nil {
+		t.Fatal("Default() = nil")
+	}
+	if Default() != d {
+		t.Fatal("Default() not stable")
+	}
+	if d.Enabled(LevelInfo) {
+		t.Fatal("default logger should start at Warn")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{
+		LevelDebug: "DEBUG", LevelInfo: "INFO", LevelWarn: "WARN", LevelError: "ERROR", Level(9): "LEVEL(9)",
+	} {
+		if got := lv.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", lv, got, want)
+		}
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	sink := NewBufferSink(4096)
+	l := New(sink, LevelDebug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Info("m", Int("g", int64(i)))
+				l.Every("shared", time.Microsecond, LevelWarn, "limited")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, r := range sink.Snapshot() {
+		if r.Msg != "m" && r.Msg != "limited" {
+			t.Fatalf("unexpected record %+v", r)
+		}
+	}
+	if n := len(sink.Snapshot()); n < 800 {
+		t.Fatalf("lost records: %d < 800", n)
+	}
+}

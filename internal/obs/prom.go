@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4) for GET /debug/metrics.prom. Metric names are the
+// registry names with every non-[a-zA-Z0-9_:] character mapped to '_' and
+// an "ordxml_" prefix; histograms expose cumulative buckets in seconds.
+
+// promName sanitizes a registry metric name into a Prometheus metric name.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 7)
+	b.WriteString("ordxml_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Counters become `counter`, gauges `gauge`, histograms `histogram`
+// with cumulative le buckets in seconds plus _sum and _count.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range s.CounterNames() {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.GaugeNames() {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range s.HistogramNames() {
+		h := s.Histograms[name]
+		pn := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := promFloat(b.Upper.Seconds())
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum.Seconds())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"wal.fsync":       "ordxml_wal_fsync",
+		"bufpool.hits":    "ordxml_bufpool_hits",
+		"a-b c/9:x_Y":     "ordxml_a_b_c_9:x_Y",
+		"query.latency µ": "ordxml_query_latency___", // multi-byte rune maps per byte
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.records").Add(12)
+	r.Gauge("bufpool.dirty_ratio_pct").Set(25)
+	r.RegisterFunc("wal.durable_lag", func() int64 { return 3 })
+	h := r.Histogram("query.latency")
+	h.Observe(10 * time.Microsecond)
+	h.Observe(10 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE ordxml_wal_records counter\nordxml_wal_records 12\n",
+		"# TYPE ordxml_bufpool_dirty_ratio_pct gauge\nordxml_bufpool_dirty_ratio_pct 25\n",
+		"ordxml_wal_durable_lag 3\n",
+		"# TYPE ordxml_query_latency_seconds histogram\n",
+		"ordxml_query_latency_seconds_bucket{le=\"+Inf\"} 3\n",
+		"ordxml_query_latency_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Structural checks over every line: the text format admits only
+	// `# TYPE name kind` comments and `name[{le="..."}] value` samples, all
+	// names prefixed ordxml_, bucket counts cumulative and capped by _count.
+	var lastBucket, count int64 = -1, -1
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 || !strings.HasPrefix(f[2], "ordxml_") {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("bad metric kind in %q", line)
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 || !strings.HasPrefix(f[0], "ordxml_") {
+			t.Fatalf("bad sample line %q", line)
+		}
+		if _, err := strconv.ParseFloat(f[1], 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if strings.Contains(f[0], "_bucket{") {
+			v, _ := strconv.ParseInt(f[1], 10, 64)
+			if v < lastBucket {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			lastBucket = v
+		}
+		if strings.HasSuffix(f[0], "_count") {
+			count, _ = strconv.ParseInt(f[1], 10, 64)
+		}
+	}
+	if count != 3 || lastBucket != 3 {
+		t.Fatalf("histogram _count=%d +Inf bucket=%d, want 3/3", count, lastBucket)
+	}
+
+	// The buckets are cumulative: the last explicit bucket holds all three.
+	hs := h.Snapshot()
+	if len(hs.Buckets) == 0 || hs.Buckets[len(hs.Buckets)-1].Count != 3 {
+		t.Fatalf("bucket snapshot = %+v", hs.Buckets)
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, NewRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("empty snapshot produced output: %q", b.String())
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	olog "ordxml/internal/obs/log"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -138,6 +140,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return est
 }
 
+// BucketCount is one cumulative histogram bucket: Count observations were
+// <= Upper. The Prometheus exposition endpoint renders these as
+// `_bucket{le=...}` samples.
+type BucketCount struct {
+	Upper time.Duration `json:"le_ns"`
+	Count int64         `json:"count"`
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count int64         `json:"count"`
@@ -146,6 +156,9 @@ type HistogramSnapshot struct {
 	P50   time.Duration `json:"p50_ns"`
 	P95   time.Duration `json:"p95_ns"`
 	P99   time.Duration `json:"p99_ns"`
+	// Buckets holds cumulative counts up to the last non-empty bucket
+	// (the +Inf bucket is implicit: it equals Count).
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Mean returns the average observed duration.
@@ -156,9 +169,10 @@ func (s HistogramSnapshot) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
-// Snapshot summarizes the histogram.
+// Snapshot summarizes the histogram, including cumulative bucket counts up
+// to the last non-empty bucket.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Count: h.count.Load(),
 		Sum:   time.Duration(h.sum.Load()),
 		Max:   time.Duration(h.max.Load()),
@@ -166,6 +180,23 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	last := -1
+	var raw [histBuckets]int64
+	for i := 0; i < histBuckets; i++ {
+		raw[i] = h.buckets[i].Load()
+		if raw[i] > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = make([]BucketCount, last+1)
+		var cum int64
+		for i := 0; i <= last; i++ {
+			cum += raw[i]
+			s.Buckets[i] = BucketCount{Upper: bucketUpper(i), Count: cum}
+		}
+	}
+	return s
 }
 
 // Registry is a named collection of metrics. Lookup (get-or-create) takes a
@@ -177,6 +208,28 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	funcs    map[string]func() int64
+	logger   atomic.Pointer[olog.Logger]
+}
+
+// SetLogger attaches a structured logger to the registry. Components that
+// already receive the registry (WAL, buffer pool, SQL engine) reach the
+// logger through it instead of growing their constructor signatures.
+func (r *Registry) SetLogger(l *olog.Logger) {
+	if r != nil {
+		r.logger.Store(l)
+	}
+}
+
+// Log returns the registry's logger, falling back to the process default
+// (stderr text at Warn). Never nil-derefs: a nil registry returns the
+// default logger.
+func (r *Registry) Log() *olog.Logger {
+	if r != nil {
+		if l := r.logger.Load(); l != nil {
+			return l
+		}
+	}
+	return olog.Default()
 }
 
 // NewRegistry returns an empty registry.

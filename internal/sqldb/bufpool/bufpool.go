@@ -38,9 +38,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ordxml/internal/failpoint"
 	"ordxml/internal/obs"
+	olog "ordxml/internal/obs/log"
 	"ordxml/internal/sqldb/pagefile"
 )
 
@@ -223,6 +225,10 @@ type Pool struct {
 	dirtyFlushes, overshoot atomic.Int64
 	resident, dirtyCount    atomic.Int64
 	pinned                  atomic.Int64
+
+	// logger reports eviction pressure; set by RegisterMetrics (nil before,
+	// and every log call is nil-safe).
+	logger atomic.Pointer[olog.Logger]
 }
 
 // New returns a pool of at most frames resident pages over file. A frames
@@ -429,6 +435,14 @@ func (p *Pool) makeRoom(writer bool) {
 	}
 	if int(p.resident.Load()) > p.cap {
 		p.overshoot.Add(1)
+		// Sustained overshoot means the working set of pinned+dirty pages
+		// exceeds capacity — the pool is thrashing, not just warm.
+		p.logger.Load().Every("bufpool.overshoot", 5*time.Second, olog.LevelWarn,
+			"bufpool: eviction pressure, resident frames exceed capacity",
+			olog.Int("resident", p.resident.Load()),
+			olog.Int("capacity", int64(p.cap)),
+			olog.Int("dirty", p.dirtyCount.Load()),
+			olog.Int("pinned", p.pinned.Load()))
 	}
 }
 
@@ -668,4 +682,8 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry) {
 		}
 		return 100 * h / (h + m)
 	})
+	reg.RegisterFunc("bufpool.dirty_ratio_pct", func() int64 {
+		return 100 * p.dirtyCount.Load() / int64(p.cap)
+	})
+	p.logger.Store(reg.Log())
 }

@@ -16,6 +16,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -49,6 +50,9 @@ type DB struct {
 	// call, so a multi-statement operation appears to readers all at once.
 	atomicDepth atomic.Int32
 	publishes   *obs.Counter
+	// tracer records the request-scoped span tree (disabled by default; one
+	// atomic load per query when off).
+	tracer *obs.Tracer
 }
 
 // Result is re-exported for callers of Query.
@@ -68,7 +72,8 @@ func OpenPooled(pool *bufpool.Pool) *DB {
 
 func openCat(cat *catalog.Catalog) *DB {
 	reg := obs.NewRegistry()
-	db := &DB{cat: cat, plans: newPlanCache(reg), metrics: newDBMetrics(reg)}
+	db := &DB{cat: cat, plans: newPlanCache(reg), metrics: newDBMetrics(reg),
+		tracer: obs.NewTracer(0)}
 	db.workers.Store(1)
 	db.publishes = reg.Counter("sqldb.view.publishes")
 	reg.RegisterFunc("sqldb.view.version", func() int64 {
@@ -82,6 +87,20 @@ func openCat(cat *catalog.Catalog) *DB {
 // Pool returns the buffer pool backing this database's storage, or nil for an
 // all-RAM database.
 func (db *DB) Pool() *bufpool.Pool { return db.cat.Pool() }
+
+// Tracer returns the request tracer. It is always non-nil; recording is off
+// until SetEnabled(true).
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// rootSpan begins a new trace root when tracing is enabled and ctx carries
+// no span yet; with an ambient span (or tracing off) it returns (ctx, nil)
+// so nested engine calls join the caller's trace instead of forking one.
+func (db *DB) rootSpan(ctx context.Context, name string) (context.Context, *obs.ActiveSpan) {
+	if obs.FromContext(ctx) != nil {
+		return ctx, nil
+	}
+	return db.tracer.StartRoot(ctx, name)
+}
 
 // publish rebuilds and atomically installs the readers' catalog view. The
 // caller must hold the write lock (or be the only goroutine with the DB, as
@@ -165,6 +184,21 @@ func (db *DB) Exec(sql string, params ...sqltypes.Value) (int, error) {
 	start := time.Now()
 	n, err := db.exec(sql, params)
 	db.metrics.recordExec(sql, time.Since(start), err)
+	return n, err
+}
+
+// ExecCtx is Exec with a caller context: when tracing is enabled the
+// statement records a span — a new root when ctx carries none, otherwise a
+// child of the ambient span (e.g. the durable store's mutation root).
+func (db *DB) ExecCtx(ctx context.Context, sql string, params ...sqltypes.Value) (int, error) {
+	_, root := db.rootSpan(ctx, "sql.exec")
+	sp := root
+	if sp == nil {
+		sp = obs.FromContext(ctx).StartChild("sql.exec")
+	}
+	sp.ArgStr("sql", truncForTrace(sql))
+	n, err := db.Exec(sql, params...)
+	sp.Arg("rows", int64(n)).End()
 	return n, err
 }
 
@@ -268,28 +302,50 @@ func (db *DB) createTable(s *sqlparse.CreateTable) error {
 // EXPLAIN and EXPLAIN ANALYZE statements are also accepted: they return a
 // single "plan" column with one row per plan line.
 func (db *DB) Query(sql string, params ...sqltypes.Value) (*Result, error) {
+	return db.QueryCtx(context.Background(), sql, params...)
+}
+
+// QueryCtx is Query with a caller context: when the request tracer is
+// enabled, a trace root (or a child of the ambient span in ctx) covers
+// planning and every operator of the execution.
+func (db *DB) QueryCtx(ctx context.Context, sql string, params ...sqltypes.Value) (*Result, error) {
+	ctx, root := db.rootSpan(ctx, "sql.query")
+	root.ArgStr("sql", truncForTrace(sql))
 	start := time.Now()
-	res, err := db.queryAt(db.view.Load(), sql, nil, params)
+	res, err := db.queryAt(ctx, db.view.Load(), sql, nil, params)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
 	}
 	db.metrics.recordQuery(sql, time.Since(start), rows, err)
+	root.Arg("rows", int64(rows)).End()
 	return res, err
 }
 
-func (db *DB) queryAt(v *catalog.View, sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
+// truncForTrace bounds SQL text attached as a span annotation.
+func truncForTrace(sql string) string {
+	const max = 200
+	if len(sql) > max {
+		return sql[:max] + "…"
+	}
+	return sql
+}
+
+func (db *DB) queryAt(ctx context.Context, v *catalog.View, sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
+	sp := obs.FromContext(ctx)
+	psp := sp.StartChild("plan")
 	node, ex, err := db.selectPlan(v, sql, preparsed)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	if ex != nil {
-		return db.runExplain(v, ex, params)
+		return db.runExplain(ctx, v, ex, params)
 	}
 	if planParallelism(node) > 0 {
 		db.metrics.parallelQ.Inc()
 	}
-	return exec.Run(node, params, v)
+	return exec.RunSpan(node, params, v, sp)
 }
 
 // planParallelism returns the widest worker count of any exchange operator
@@ -352,7 +408,7 @@ func (db *DB) selectPlan(v *catalog.View, sql string, preparsed sqlparse.Stateme
 
 // runExplain executes an EXPLAIN [ANALYZE] statement against view v, with no
 // lock held. The result has one "plan" column with a row per line.
-func (db *DB) runExplain(v *catalog.View, ex *sqlparse.Explain, params []sqltypes.Value) (*Result, error) {
+func (db *DB) runExplain(ctx context.Context, v *catalog.View, ex *sqlparse.Explain, params []sqltypes.Value) (*Result, error) {
 	if !ex.Analyze {
 		text, err := db.explainText(v, ex.Stmt)
 		if err != nil {
@@ -364,12 +420,15 @@ func (db *DB) runExplain(v *catalog.View, ex *sqlparse.Explain, params []sqltype
 	if !ok {
 		return nil, fmt.Errorf("EXPLAIN ANALYZE supports only SELECT statements")
 	}
+	sp := obs.FromContext(ctx)
+	psp := sp.StartChild("plan")
 	node, err := plan.PlanSelectOpts(v, sel, db.planOpts())
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	res, stats, err := exec.RunAnalyze(node, params, v)
+	res, stats, err := exec.RunAnalyze(node, params, v, sp)
 	total := time.Since(start)
 	if err != nil {
 		return nil, err
@@ -393,6 +452,13 @@ func planTextResult(text string) *Result {
 // returns the plan tree annotated with actual row counts, loop counts and
 // inclusive wall time per operator.
 func (db *DB) ExplainAnalyze(sql string, params ...sqltypes.Value) (string, error) {
+	return db.ExplainAnalyzeCtx(context.Background(), sql, params...)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze with a caller context, so an analyzed
+// query records a full span tree (planner + per-operator spans) when the
+// tracer is enabled.
+func (db *DB) ExplainAnalyzeCtx(ctx context.Context, sql string, params ...sqltypes.Value) (string, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return "", err
@@ -400,7 +466,10 @@ func (db *DB) ExplainAnalyze(sql string, params ...sqltypes.Value) (string, erro
 	if e, ok := stmt.(*sqlparse.Explain); ok {
 		stmt = e.Stmt
 	}
-	res, err := db.runExplain(db.view.Load(), &sqlparse.Explain{Stmt: stmt, Analyze: true}, params)
+	ctx, root := db.rootSpan(ctx, "sql.analyze")
+	root.ArgStr("sql", truncForTrace(sql))
+	defer root.End()
+	res, err := db.runExplain(ctx, db.view.Load(), &sqlparse.Explain{Stmt: stmt, Analyze: true}, params)
 	if err != nil {
 		return "", err
 	}
@@ -523,12 +592,19 @@ func (s *Stmt) Query(params ...sqltypes.Value) (*Result, error) {
 // QueryAt runs a prepared SELECT against a pinned snapshot (nil means the
 // latest published view).
 func (s *Stmt) QueryAt(snap *Snap, params ...sqltypes.Value) (*Result, error) {
+	return s.QueryAtCtx(context.Background(), snap, params...)
+}
+
+// QueryAtCtx is QueryAt with a caller context: with an ambient span in ctx
+// (the XPath pipeline threads one per request) the statement's planning and
+// operators join that trace.
+func (s *Stmt) QueryAtCtx(ctx context.Context, snap *Snap, params ...sqltypes.Value) (*Result, error) {
 	v := s.db.view.Load()
 	if snap != nil {
 		v = snap.v
 	}
 	start := time.Now()
-	res, err := s.db.queryAt(v, s.sql, s.stmt, params)
+	res, err := s.db.queryAt(ctx, v, s.sql, s.stmt, params)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)
@@ -567,7 +643,7 @@ func (s *Snap) Version() uint64 { return s.v.Version() }
 // Query runs a SELECT against the pinned snapshot.
 func (s *Snap) Query(sql string, params ...sqltypes.Value) (*Result, error) {
 	start := time.Now()
-	res, err := s.db.queryAt(s.v, sql, nil, params)
+	res, err := s.db.queryAt(context.Background(), s.v, sql, nil, params)
 	rows := 0
 	if res != nil {
 		rows = len(res.Rows)

@@ -5,7 +5,9 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
 	"ordxml/internal/sqldb/heap"
@@ -47,6 +49,10 @@ type buildEnv struct {
 	stats  map[plan.Node]*OpStats
 	shared *gatherShared
 	worker int
+	// span, when non-nil, is the request span the operator tree hangs off:
+	// every operator gets a child span (Open→Close wall interval, row count
+	// arg), and Gather workers open their own lanes under it.
+	span *obs.ActiveSpan
 }
 
 // data resolves the table's readable storage for this query.
@@ -61,15 +67,66 @@ func Build(n plan.Node, params []sqltypes.Value, view *catalog.View) (Operator, 
 // build compiles one node (recursively). When env.stats is non-nil every
 // operator is wrapped with a stats decorator registered in the map under its
 // plan node (Gather workers carry their own maps, merged when the gather
-// drains).
+// drains). When env.span is non-nil every operator is additionally wrapped
+// with a trace decorator emitting one span per operator into the request's
+// trace tree.
 func build(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, error) {
+	tsp := env.span.StartChild("op." + opName(n))
+	env.span = tsp
 	op, err := buildOp(n, params, env)
-	if err != nil || env.stats == nil {
+	if err != nil {
+		tsp.End()
 		return op, err
 	}
-	st := &OpStats{}
-	env.stats[n] = st
-	return &statsOp{op: op, st: st}, nil
+	if env.stats != nil {
+		st := &OpStats{}
+		env.stats[n] = st
+		op = &statsOp{op: op, st: st}
+	}
+	if tsp != nil {
+		op = &traceOp{op: op, sp: tsp}
+	}
+	return op, nil
+}
+
+// opName renders a plan node's operator name ("SeqScan", "Gather", ...).
+func opName(n plan.Node) string {
+	s := fmt.Sprintf("%T", n)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// traceOp decorates an operator with one request-trace span covering its
+// Open→Close interval, annotated with the produced row count. Allocated only
+// when the request is traced.
+type traceOp struct {
+	op     Operator
+	sp     *obs.ActiveSpan
+	rows   int64
+	closed bool
+}
+
+func (t *traceOp) Open() error {
+	t.sp.MarkStart()
+	return t.op.Open()
+}
+
+func (t *traceOp) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := t.op.Next()
+	if ok {
+		t.rows++
+	}
+	return row, ok, err
+}
+
+func (t *traceOp) Close() {
+	t.op.Close()
+	if !t.closed {
+		t.closed = true
+		t.sp.Arg("rows", t.rows).End()
+	}
 }
 
 func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, error) {
@@ -169,7 +226,13 @@ func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, erro
 // Run executes a SELECT plan to completion against the given view (nil for
 // live storage).
 func Run(n plan.Node, params []sqltypes.Value, view *catalog.View) (*Result, error) {
-	op, err := Build(n, params, view)
+	return RunSpan(n, params, view, nil)
+}
+
+// RunSpan executes a SELECT plan like Run, hanging one trace span per
+// operator off sp when sp is non-nil.
+func RunSpan(n plan.Node, params []sqltypes.Value, view *catalog.View, sp *obs.ActiveSpan) (*Result, error) {
+	op, err := build(n, params, buildEnv{view: view, span: sp})
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
 	"ordxml/internal/sqldb/heap"
@@ -132,6 +133,7 @@ func (g *gatherOp) Open() error {
 	}
 	shared := newGatherShared()
 	ops := make([]Operator, workers)
+	spans := make([]*obs.ActiveSpan, workers)
 	g.workerErrs = make([]error, workers)
 	g.workerStats = nil
 	g.merged = false
@@ -139,6 +141,10 @@ func (g *gatherOp) Open() error {
 		wenv := g.env
 		wenv.shared = shared
 		wenv.worker = i
+		// Each worker's subtree hangs under its own "gather.worker" span on
+		// a fresh lane, so overlapping workers render as parallel tracks.
+		wenv.span = g.env.span.StartWorker("gather.worker", i)
+		spans[i] = wenv.span
 		if g.env.stats != nil {
 			ws := make(map[plan.Node]*OpStats)
 			wenv.stats = ws
@@ -146,6 +152,9 @@ func (g *gatherOp) Open() error {
 		}
 		op, err := build(g.node.Input, g.params, wenv)
 		if err != nil {
+			for _, sp := range spans {
+				sp.End()
+			}
 			return err
 		}
 		ops[i] = op
@@ -155,8 +164,9 @@ func (g *gatherOp) Open() error {
 	g.stopOnce = sync.Once{}
 	for i, op := range ops {
 		g.wg.Add(1)
-		go func(i int, op Operator) {
+		go func(i int, op Operator, wsp *obs.ActiveSpan) {
 			defer g.wg.Done()
+			defer wsp.End()
 			defer op.Close()
 			if err := op.Open(); err != nil {
 				g.workerErrs[i] = err
@@ -177,7 +187,7 @@ func (g *gatherOp) Open() error {
 					return
 				}
 			}
-		}(i, op)
+		}(i, op, spans[i])
 	}
 	go func() {
 		g.wg.Wait()

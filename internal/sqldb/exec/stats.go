@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/plan"
 	"ordxml/internal/sqldb/sqltypes"
@@ -67,9 +68,10 @@ func BuildInstrumented(n plan.Node, params []sqltypes.Value, view *catalog.View)
 
 // RunAnalyze executes a SELECT plan with per-operator instrumentation
 // against the given view and returns both the result and the collected
-// stats.
-func RunAnalyze(n plan.Node, params []sqltypes.Value, view *catalog.View) (*Result, map[plan.Node]*OpStats, error) {
-	op, stats, err := BuildInstrumented(n, params, view)
+// stats. A non-nil sp additionally emits one trace span per operator.
+func RunAnalyze(n plan.Node, params []sqltypes.Value, view *catalog.View, sp *obs.ActiveSpan) (*Result, map[plan.Node]*OpStats, error) {
+	stats := make(map[plan.Node]*OpStats)
+	op, err := build(n, params, buildEnv{view: view, stats: stats, span: sp})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ordxml/internal/obs"
+	olog "ordxml/internal/obs/log"
 )
 
 // slowLogCap bounds the slow-query ring buffer.
@@ -93,6 +94,12 @@ func (m *dbMetrics) recordSlow(sql string, d time.Duration, rows int) {
 		m.slowLen++
 	}
 	m.slowMu.Unlock()
+	// Rate-limited so a burst of slow statements costs one line, not 64.
+	m.reg.Log().Every("sqldb.slow_query", time.Second, olog.LevelWarn,
+		"slow query",
+		olog.Str("sql", sql),
+		olog.Dur("duration", d),
+		olog.Int("rows", int64(rows)))
 }
 
 // slowQueries returns the logged entries, most recent last.

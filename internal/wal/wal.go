@@ -28,6 +28,7 @@ import (
 
 	"ordxml/internal/failpoint"
 	"ordxml/internal/obs"
+	olog "ordxml/internal/obs/log"
 )
 
 // Failpoints threaded through the append/sync/rotate paths. The crash-torture
@@ -106,6 +107,7 @@ type Log struct {
 		appends, appendedBytes, fsyncs, rotations int64
 	}
 	met *metrics
+	log *olog.Logger
 }
 
 // Open opens (creating if absent) the log at path, validates its header,
@@ -120,13 +122,29 @@ func Open(path string, reg *obs.Registry) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &Log{path: path, f: f, nextLSN: 1, met: newMetrics(reg)}
+	l := &Log{path: path, f: f, nextLSN: 1, met: newMetrics(reg), log: reg.Log()}
 	l.cond = sync.NewCond(&l.mu)
 	if err := l.recover(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	// Readiness gauge: how far the assigned-LSN horizon runs ahead of the
+	// fsynced one. Nonzero only while a group commit is in flight; a stuck
+	// value signals a wedged or failed log.
+	reg.RegisterFunc("wal.durable_lag", func() int64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return int64((l.nextLSN - 1) - l.durable)
+	})
 	return l, nil
+}
+
+// Failed returns the sticky write/fsync failure that put the log in its
+// fail-stop state, or nil while the log is healthy. Health endpoints poll it.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // recover validates the header (writing one into a fresh or torn-created
@@ -166,6 +184,10 @@ func (l *Log) recover() error {
 		// last valid record is unacknowledged by construction (acknowledgment
 		// follows fsync of a complete record), so truncation loses nothing
 		// that was promised.
+		l.log.Warn("wal: truncating torn tail",
+			olog.Str("path", l.path),
+			olog.Int("torn_bytes", st.Size()-end),
+			olog.Int("valid_bytes", end))
 		if err := l.f.Truncate(end); err != nil {
 			return fmt.Errorf("wal: truncate torn tail of %s: %w", l.path, err)
 		}
@@ -378,6 +400,8 @@ func (l *Log) commitLocked(target uint64) error {
 		l.syncing = false
 		if err != nil {
 			l.failed = fmt.Errorf("wal: log failed, refusing further appends: %w", err)
+			l.log.Error("wal: log failed, refusing further appends",
+				olog.Str("path", l.path), olog.Err(err))
 			l.cond.Broadcast()
 			return l.failed
 		}

@@ -19,6 +19,7 @@
 package ordxml
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -31,6 +32,7 @@ import (
 	"ordxml/internal/core/translate"
 	"ordxml/internal/core/update"
 	"ordxml/internal/obs"
+	olog "ordxml/internal/obs/log"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/wal"
@@ -236,6 +238,8 @@ func (s *Store) Encoding() Encoding { return Encoding(s.opts.Kind) }
 // raw document bytes are logged (and fsynced) before shredding, so the
 // reader is consumed fully up front.
 func (s *Store) Load(name string, r io.Reader) (DocID, error) {
+	ctx, root := s.rootSpan(context.Background(), "store.load")
+	defer root.End()
 	if s.dur == nil {
 		return s.shredder.Load(name, r)
 	}
@@ -243,7 +247,7 @@ func (s *Store) Load(name string, r io.Reader) (DocID, error) {
 	if err != nil {
 		return 0, err
 	}
-	unlock, err := s.logOp(recLoad, func(w *wal.BodyWriter) {
+	unlock, err := s.logOp(ctx, recLoad, func(w *wal.BodyWriter) {
 		w.String(name)
 		w.Bytes(xml)
 	})
@@ -261,7 +265,9 @@ func (s *Store) LoadString(name, xml string) (DocID, error) {
 
 // Drop removes a document.
 func (s *Store) Drop(doc DocID) error {
-	unlock, err := s.logOp(recDrop, func(w *wal.BodyWriter) { w.Int(doc) })
+	ctx, root := s.rootSpan(context.Background(), "store.drop")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recDrop, func(w *wal.BodyWriter) { w.Int(doc) })
 	if err != nil {
 		return err
 	}
@@ -285,7 +291,15 @@ func (s *Store) Documents() ([]DocInfo, error) {
 // Query evaluates an absolute XPath expression, returning matches in
 // document order.
 func (s *Store) Query(doc DocID, xpathExpr string) ([]Node, error) {
-	refs, err := s.evaluator.Query(doc, xpathExpr)
+	return s.QueryCtx(context.Background(), doc, xpathExpr)
+}
+
+// QueryCtx is Query with a caller context. When the store's request tracer
+// is enabled (see Tracer), the evaluation records a span tree — pipeline
+// stages, per-statement planner and operator spans, buffer-pool and WAL
+// activity — retrievable as Chrome trace-event JSON via WriteTrace.
+func (s *Store) QueryCtx(ctx context.Context, doc DocID, xpathExpr string) ([]Node, error) {
+	refs, err := s.evaluator.QueryCtx(ctx, doc, xpathExpr)
 	if err != nil {
 		return nil, err
 	}
@@ -300,6 +314,33 @@ func (s *Store) Query(doc DocID, xpathExpr string) ([]Node, error) {
 		}
 	}
 	return out, nil
+}
+
+// Tracer is the bounded request tracer: enable it, run requests, then dump
+// the span buffer as Chrome trace-event JSON.
+type Tracer = obs.Tracer
+
+// SpanRecord is one completed span in the trace buffer.
+type SpanRecord = obs.SpanRecord
+
+// Tracer returns the store's request tracer. Recording is off by default;
+// Tracer().SetEnabled(true) turns it on (one atomic load per request when
+// off).
+func (s *Store) Tracer() *Tracer { return s.db.Tracer() }
+
+// WriteTrace writes the buffered request spans as Chrome trace-event JSON
+// (loadable in Perfetto or chrome://tracing) and returns the span count.
+func (s *Store) WriteTrace(w io.Writer) (int, error) {
+	return s.db.Tracer().DumpChrome(w)
+}
+
+// rootSpan opens a trace root for a store-level operation when tracing is
+// enabled and ctx carries no span; otherwise (ctx, nil).
+func (s *Store) rootSpan(ctx context.Context, name string) (context.Context, *obs.ActiveSpan) {
+	if obs.FromContext(ctx) != nil {
+		return ctx, nil
+	}
+	return s.db.Tracer().StartRoot(ctx, name)
 }
 
 func kindOf(k xmltree.Kind) NodeKind {
@@ -378,7 +419,9 @@ func (s *Store) SerializeDocument(doc DocID) (string, error) {
 
 // Insert places an XML fragment relative to the target node.
 func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) (UpdateReport, error) {
-	unlock, err := s.logOp(recInsert, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(context.Background(), "store.insert")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recInsert, func(w *wal.BodyWriter) {
 		w.Int(doc)
 		w.Int(target)
 		w.String(pos.String())
@@ -394,7 +437,9 @@ func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) 
 
 // Delete removes the subtree rooted at id.
 func (s *Store) Delete(doc DocID, id NodeID) (UpdateReport, error) {
-	unlock, err := s.logOp(recDelete, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(context.Background(), "store.delete")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recDelete, func(w *wal.BodyWriter) {
 		w.Int(doc)
 		w.Int(id)
 	})
@@ -564,11 +609,20 @@ func (s *Store) SQL(query string, args ...any) (*Rows, error) {
 // bound parameters are write-ahead logged, so raw DML survives crash
 // recovery like every API-level mutation. It returns the affected row count.
 func (s *Store) Exec(query string, args ...any) (int, error) {
+	return s.ExecCtx(context.Background(), query, args...)
+}
+
+// ExecCtx is Exec with a caller context. When the store's request tracer is
+// enabled the statement records a span tree covering the WAL append+fsync
+// and the engine-side execution.
+func (s *Store) ExecCtx(ctx context.Context, query string, args ...any) (int, error) {
 	params, err := toValues(args)
 	if err != nil {
 		return 0, err
 	}
-	unlock, err := s.logOp(recExec, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(ctx, "store.exec")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recExec, func(w *wal.BodyWriter) {
 		w.String(query)
 		w.Bytes(sqltypes.EncodeRow(nil, params))
 	})
@@ -576,7 +630,7 @@ func (s *Store) Exec(query string, args ...any) (int, error) {
 		return 0, err
 	}
 	defer unlock()
-	return s.db.Exec(query, params...)
+	return s.db.ExecCtx(ctx, query, params...)
 }
 
 // toValues binds Go arguments to SQL parameter values.
@@ -616,7 +670,9 @@ func toValue(a any) (sqltypes.Value, error) {
 // SetValue rewrites a text or attribute node's value in place (no order
 // keys change, so no renumbering under any encoding).
 func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
-	unlock, err := s.logOp(recSetValue, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(context.Background(), "store.set_value")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recSetValue, func(w *wal.BodyWriter) {
 		w.Int(doc)
 		w.Int(id)
 		w.String(value)
@@ -630,7 +686,9 @@ func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
 
 // Rename changes an element tag or attribute name in place.
 func (s *Store) Rename(doc DocID, id NodeID, name string) error {
-	unlock, err := s.logOp(recRename, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(context.Background(), "store.rename")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recRename, func(w *wal.BodyWriter) {
 		w.Int(doc)
 		w.Int(id)
 		w.String(name)
@@ -648,7 +706,9 @@ func (s *Store) Rename(doc DocID, id NodeID, name string) error {
 // delete and insert costs. The returned NewID identifies the relocated
 // subtree root (node ids are not preserved across a move).
 func (s *Store) Move(doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
-	unlock, err := s.logOp(recMove, func(w *wal.BodyWriter) {
+	ctx, root := s.rootSpan(context.Background(), "store.move")
+	defer root.End()
+	unlock, err := s.logOp(ctx, recMove, func(w *wal.BodyWriter) {
 		w.Int(doc)
 		w.Int(id)
 		w.Int(target)
@@ -722,6 +782,31 @@ func (s *Store) Check(doc DocID) ([]string, error) {
 // consistent. Expect a full read of every table and index: this is a
 // diagnostic for tests, the shell's \check command, and post-crash triage,
 // not a hot path.
+// Integrity-status gauge values published as integrity.last_status
+// (integrity.last_run_unix records when the check ran).
+const (
+	integrityNever      = 0 // no check has run since open
+	integrityOK         = 1
+	integrityViolations = 2
+	integrityError      = 3 // the check itself failed
+)
+
 func (s *Store) CheckIntegrity() ([]string, error) {
-	return check.Verify(s.db, s.opts)
+	reg := s.db.Registry()
+	problems, err := check.Verify(s.db, s.opts)
+	reg.Gauge("integrity.last_run_unix").Set(time.Now().Unix())
+	status := reg.Gauge("integrity.last_status")
+	switch {
+	case err != nil:
+		status.Set(integrityError)
+		reg.Log().Error("integrity check failed", olog.Err(err))
+	case len(problems) > 0:
+		status.Set(integrityViolations)
+		reg.Log().Warn("integrity check found violations",
+			olog.Int("violations", int64(len(problems))),
+			olog.Str("first", problems[0]))
+	default:
+		status.Set(integrityOK)
+	}
+	return problems, err
 }
