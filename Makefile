@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint check fuzz-smoke bench torture
+.PHONY: build test race lint lint-sarif check fuzz-smoke bench torture
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs go vet plus the project's own analyzers (encoding-dispatch
-# exhaustiveness, raw-SQL construction, span lifetime, error wrapping).
+# lint runs go vet plus the project's own analyzers: the per-package checks
+# (encoding-dispatch exhaustiveness, pin pairing, raw-SQL construction, span
+# lifetime, error wrapping) and the interprocedural contract checks (lock
+# order, WAL-first durability, view immutability, atomic-access consistency).
 # staticcheck runs too when it is on PATH; it is optional locally.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/ordlint ./...
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... || echo "staticcheck not installed; skipping"
+
+# lint-sarif runs the full analyzer suite and writes ordlint.sarif (SARIF
+# 2.1.0, the interchange format code-scanning UIs ingest). The exit status
+# still reflects findings; the log is written either way, which is what lets
+# CI upload it as an artifact even from a failing run.
+lint-sarif:
+	$(GO) run ./cmd/ordlint -json ./... > ordlint.sarif
 
 # check runs the analyzer self-tests (each analyzer against its testdata).
 check:

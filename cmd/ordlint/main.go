@@ -1,5 +1,5 @@
 // Command ordlint is the engine's static-analysis suite: a multichecker
-// bundling the project analyzers
+// bundling the per-package analyzers
 //
 //	exhaustenc — dispatch on an order-encoding kind must cover Global, Local
 //	             and Dewey or fail loudly in its default
@@ -10,13 +10,30 @@
 //	spanfinish — every obs span started must be finished on all paths
 //	wraperr    — errors formatted into fmt.Errorf must use %w, not %v/%s
 //
+// and the interprocedural contract analyzers, which run once over the whole
+// loaded program linked by a call graph
+//
+//	atomicmix  — locations accessed via sync/atomic must never be accessed
+//	             plainly
+//	lockorder  — the repo-wide lock acquisition graph must be acyclic
+//	viewmut    — catalog.View-reachable structures are immutable once
+//	             published
+//	walfirst   — durable mutation paths must append to the WAL before
+//	             applying engine state
+//
 // Standalone use (the common path):
 //
 //	go run ./cmd/ordlint ./...
 //	go run ./cmd/ordlint -only rawsql,wraperr ./internal/core/...
+//	go run ./cmd/ordlint -json ./... > ordlint.sarif
 //
-// Findings print one per line as file:line:col: message [analyzer]; the exit
-// status is 1 when any finding is reported, 0 on a clean tree.
+// Findings print one per line as file:line:col: message [analyzer]; with
+// -json they render instead as a SARIF 2.1.0 log on stdout, the format CI
+// code-scanning surfaces ingest. Either way the exit status is 1 when any
+// finding is reported, 0 on a clean tree, and the stderr summary breaks the
+// count down per analyzer. A finding is silenced only by an
+// `//ordlint:ignore <analyzer> <reason>` annotation on or above its line —
+// the reason is mandatory.
 //
 // The command also speaks enough of the vet driver protocol (-V=full, -flags,
 // a single *.cfg argument) to run as `go vet -vettool=$(which ordlint)`; in
@@ -40,20 +57,63 @@ import (
 	"sort"
 	"strings"
 
+	"ordxml/internal/lint/atomicmix"
 	"ordxml/internal/lint/exhaustenc"
 	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/lockorder"
 	"ordxml/internal/lint/pinpair"
 	"ordxml/internal/lint/rawsql"
 	"ordxml/internal/lint/spanfinish"
+	"ordxml/internal/lint/viewmut"
+	"ordxml/internal/lint/walfirst"
 	"ordxml/internal/lint/wraperr"
 )
 
+// analyzers is kept sorted by name; -list and the SARIF rule table rely on
+// the order being deterministic.
 var analyzers = []*framework.Analyzer{
+	atomicmix.Analyzer,
 	exhaustenc.Analyzer,
+	lockorder.Analyzer,
 	pinpair.Analyzer,
 	rawsql.Analyzer,
 	spanfinish.Analyzer,
+	viewmut.Analyzer,
+	walfirst.Analyzer,
 	wraperr.Analyzer,
+}
+
+// listAnalyzers renders the registry, one analyzer per line, sorted by name
+// regardless of registration order (the output is covered by a golden test).
+func listAnalyzers(w io.Writer) {
+	sorted := append([]*framework.Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, doc)
+	}
+}
+
+// summarize renders the stderr summary line with per-analyzer finding
+// counts, names sorted: "ordlint: 3 finding(s) (lockorder 2, walfirst 1)".
+func summarize(findings []framework.Finding) string {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s %d", n, counts[n]))
+	}
+	return fmt.Sprintf("ordlint: %d finding(s) (%s)", len(findings), strings.Join(parts, ", "))
 }
 
 // selfBuildID hashes this executable so the go command's vet cache is keyed
@@ -93,11 +153,12 @@ func main() {
 	}
 
 	var (
-		list = flag.Bool("list", false, "list the registered analyzers and exit")
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list the registered analyzers and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonMode = flag.Bool("json", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ordlint [-list] [-only name,...] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: ordlint [-list] [-json] [-only name,...] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the ordered-XML engine analyzers over the named packages\n")
 		fmt.Fprintf(os.Stderr, "(default ./...). Exits 1 if any finding is reported.\n\n")
 		flag.PrintDefaults()
@@ -105,9 +166,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
-		}
+		listAnalyzers(os.Stdout)
 		return
 	}
 
@@ -137,11 +196,18 @@ func main() {
 		os.Exit(2)
 	}
 	framework.SortFindings(findings)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *jsonMode {
+		if err := framework.WriteSARIF(os.Stdout, selected, findings, cwd); err != nil {
+			fmt.Fprintln(os.Stderr, "ordlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "ordlint: %d finding(s)\n", len(findings))
+		fmt.Fprintln(os.Stderr, summarize(findings))
 		os.Exit(1)
 	}
 }

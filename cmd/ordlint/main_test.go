@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ordxml/internal/lint/framework"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestAnalyzersSorted pins the registry invariant -list and the SARIF rule
+// table rely on: registration order is name order, with no duplicates.
+func TestAnalyzersSorted(t *testing.T) {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("analyzer registry not sorted by name: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate analyzer name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestListGolden locks the -list output — the analyzer catalog users and CI
+// scripts parse — against testdata/list.golden. Regenerate with -update.
+func TestListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	listAnalyzers(&buf)
+
+	golden := filepath.Join("testdata", "list.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("-list output drifted from %s (run with -update to accept):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestSummarize pins the per-analyzer breakdown in the stderr summary line.
+func TestSummarize(t *testing.T) {
+	findings := []framework.Finding{
+		{Analyzer: "walfirst"},
+		{Analyzer: "lockorder"},
+		{Analyzer: "lockorder"},
+	}
+	got := summarize(findings)
+	want := "ordlint: 3 finding(s) (lockorder 2, walfirst 1)"
+	if got != want {
+		t.Errorf("summarize = %q, want %q", got, want)
+	}
+}

@@ -447,6 +447,7 @@ func (s *Store) Close() error {
 // checkpoint records the log's high-water LSN, so replay after a crash —
 // even one landing between the checkpoint install and the log rotation —
 // never re-applies an operation the checkpoint already contains.
+//ordlint:ignore walfirst checkpoint metadata records the WAL position itself; logging it would be circular (see CheckpointCtx)
 func (s *Store) Checkpoint() error { return s.CheckpointCtx(context.Background()) }
 
 // CheckpointCtx is Checkpoint with a caller context: with the request tracer
@@ -463,6 +464,11 @@ func (s *Store) CheckpointCtx(ctx context.Context) error {
 	defer s.dur.mu.Unlock()
 	start := time.Now()
 	lsn := s.dur.log.LastLSN()
+	// The wal_lsn row is checkpoint metadata, deliberately outside the
+	// WAL-first contract: it records how much of the log the checkpoint
+	// already contains, so appending it to the log it describes would be
+	// circular, and replay restores it from the snapshot instead.
+	//ordlint:ignore walfirst checkpoint metadata write records the WAL position; logging it to the WAL it describes would be circular
 	if err := s.writeWALLSN(lsn); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}

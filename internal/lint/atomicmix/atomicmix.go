@@ -1,0 +1,167 @@
+// Package atomicmix implements the atomic-access consistency analyzer: a
+// variable or struct field that is ever accessed through the sync/atomic
+// package-level functions (atomic.AddUint64(&x.n, 1) and friends) must be
+// accessed that way everywhere. A single plain read or write of such a
+// location races with the atomic accessors — the compiler and CPU are free
+// to tear, cache or reorder the plain access — and the race detector only
+// catches it on the schedules the tests happen to run.
+//
+// The analysis is program-wide and two-phase: first every address-taking
+// argument to a sync/atomic function is collected, marking the underlying
+// package-level variable or struct-field object as atomic; then every other
+// use of a marked object is reported. Appearing as the &-argument of a
+// sync/atomic call is sanctioned; appearing as a composite-literal field key
+// is declaration, not access; everything else — plain reads, plain writes,
+// and taking the address for a non-atomic callee — is flagged.
+//
+// The typed atomics (atomic.Int64, atomic.Pointer[T], ...) need no analyzer:
+// their representation is unexported, so plain access does not compile. The
+// engine uses typed atomics exclusively; this analyzer keeps the raw-call
+// style from creeping in half-converted, the state in which one forgotten
+// plain access looks exactly like working code.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ordxml/internal/lint/framework"
+)
+
+// Analyzer is the atomic/plain access consistency pass.
+var Analyzer = &framework.Analyzer{
+	Name:       "atomicmix",
+	Doc:        "locations accessed via sync/atomic functions must never be read or written plainly",
+	RunProgram: run,
+}
+
+func run(pass *framework.ProgramPass) error {
+	prog := pass.Prog
+
+	// Phase 1: collect the atomic objects and the sanctioned expression
+	// nodes (the operands of & in sync/atomic argument position).
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	forEachFile(prog, func(pkg *framework.Package, file *ast.File) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				target := ast.Unparen(un.X)
+				if obj := addressableObject(pkg.Info, target); obj != nil {
+					atomicObjs[obj] = true
+					sanctioned[target] = true
+				}
+			}
+			return true
+		})
+	})
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+
+	// Phase 2: flag every unsanctioned use. Composite-literal keys are
+	// field names, not accesses.
+	forEachFile(prog, func(pkg *framework.Package, file *ast.File) {
+		litKeys := map[ast.Expr]bool{}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				for _, el := range lit.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						litKeys[kv.Key] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(file, func(n ast.Node) bool {
+			var obj types.Object
+			var expr ast.Expr
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				obj = pkg.Info.ObjectOf(x.Sel)
+				expr = x
+			case *ast.Ident:
+				obj = pkg.Info.Uses[x]
+				expr = x
+			default:
+				return true
+			}
+			if obj == nil || !atomicObjs[obj] || sanctioned[expr] || litKeys[expr] {
+				return true
+			}
+			// A selector's leaf ident is visited again on its own; the
+			// selector node already reported it.
+			if id, ok := expr.(*ast.Ident); ok {
+				if sanctionedLeaf(sanctioned, id) {
+					return true
+				}
+			}
+			pass.Reportf(expr.Pos(),
+				"mixed atomic and plain access: %s is accessed with sync/atomic elsewhere; this plain access races with it (use the atomic API consistently, or a mutex)",
+				obj.Name())
+			return false // don't re-report the selector's own ident
+		})
+	})
+	return nil
+}
+
+// sanctionedLeaf reports whether id is the field ident of a sanctioned
+// selector (x.Sel of some sanctioned SelectorExpr): Inspect visits it as a
+// separate node and it must not be double-counted.
+func sanctionedLeaf(sanctioned map[ast.Expr]bool, id *ast.Ident) bool {
+	for e := range sanctioned {
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel == id {
+			return true
+		}
+	}
+	return false
+}
+
+func forEachFile(prog *framework.Program, f func(*framework.Package, *ast.File)) {
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			f(pkg, file)
+		}
+	}
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic (the raw Add/Load/Store/Swap/CompareAndSwap family; typed
+// atomic methods are safe by construction and ignored).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := framework.StaticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addressableObject resolves the &-operand to the object the analyzer
+// tracks: a struct field (through a selector) or a package-level variable.
+// Locals are skipped — an atomic local is pointless but races with nothing
+// beyond what escape analysis already shares.
+func addressableObject(info *types.Info, target ast.Expr) types.Object {
+	switch x := target.(type) {
+	case *ast.SelectorExpr:
+		if obj := info.ObjectOf(x.Sel); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return obj
+			}
+		}
+	case *ast.Ident:
+		if obj := info.Uses[x]; obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj
+			}
+		}
+	}
+	return nil
+}

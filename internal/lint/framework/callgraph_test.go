@@ -1,0 +1,151 @@
+package framework_test
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"ordxml/internal/lint/framework"
+)
+
+// loadProgram builds the Program over the synthetic callgraph fixture.
+func loadProgram(t *testing.T) *framework.Program {
+	t.Helper()
+	abs, err := filepath.Abs("testdata/src/callgraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := framework.Load(abs, abs)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	return framework.BuildProgram(pkgs)
+}
+
+// funcNamed finds a program function by its rendered name.
+func funcNamed(t *testing.T, prog *framework.Program, name string) *framework.Func {
+	t.Helper()
+	for _, fn := range prog.Functions() {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not in program", name)
+	return nil
+}
+
+// targetNames renders the resolved targets of every call site of fn.
+func targetNames(fn *framework.Func) map[string]bool {
+	out := map[string]bool{}
+	for _, cs := range fn.Calls {
+		for _, tgt := range cs.Targets {
+			out[tgt.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestBuildProgramResolution(t *testing.T) {
+	prog := loadProgram(t)
+
+	// Every declared function is indexed.
+	for _, name := range []string{
+		"callgraph.Twice", "callgraph.Direct", "callgraph.helper", "callgraph.leaf",
+		"callgraph.UsesClosure", "callgraph.CallsGeneric", "callgraph.Generic",
+		"callgraph.Dog.Speak", "callgraph.Cat.Speak",
+	} {
+		funcNamed(t, prog, name)
+	}
+
+	// Static chain: Direct resolves to helper, helper to leaf.
+	if tn := targetNames(funcNamed(t, prog, "callgraph.Direct")); !tn["callgraph.helper"] {
+		t.Errorf("Direct targets = %v, want callgraph.helper", tn)
+	}
+	if tn := targetNames(funcNamed(t, prog, "callgraph.helper")); !tn["callgraph.leaf"] {
+		t.Errorf("helper targets = %v, want callgraph.leaf", tn)
+	}
+
+	// Interface dispatch fans out to both implementations (value and
+	// pointer receiver).
+	tn := targetNames(funcNamed(t, prog, "callgraph.Twice"))
+	if !tn["callgraph.Dog.Speak"] || !tn["callgraph.Cat.Speak"] {
+		t.Errorf("Twice targets = %v, want both Speak implementations", tn)
+	}
+
+	// A call inside a function literal is attributed to the enclosing
+	// declared function.
+	if tn := targetNames(funcNamed(t, prog, "callgraph.UsesClosure")); !tn["callgraph.leaf"] {
+		t.Errorf("UsesClosure targets = %v, want callgraph.leaf (closure call attributed)", tn)
+	}
+
+	// A generic instantiation resolves to its origin.
+	if tn := targetNames(funcNamed(t, prog, "callgraph.CallsGeneric")); !tn["callgraph.Generic"] {
+		t.Errorf("CallsGeneric targets = %v, want callgraph.Generic", tn)
+	}
+}
+
+func TestCallers(t *testing.T) {
+	prog := loadProgram(t)
+	callers := prog.Callers()
+	got := map[string]bool{}
+	for _, c := range callers[funcNamed(t, prog, "callgraph.leaf")] {
+		got[c.Name()] = true
+	}
+	if !got["callgraph.helper"] || !got["callgraph.UsesClosure"] {
+		t.Errorf("callers(leaf) = %v, want helper and UsesClosure", got)
+	}
+	if got["callgraph.Direct"] {
+		t.Errorf("callers(leaf) includes Direct, which only reaches it transitively")
+	}
+}
+
+func TestReaches(t *testing.T) {
+	prog := loadProgram(t)
+	leaf := funcNamed(t, prog, "callgraph.leaf")
+	reached := prog.Reaches(func(f *types.Func) bool { return f == leaf.Obj })
+
+	want := map[string]bool{
+		"callgraph.helper": true, "callgraph.Direct": true, "callgraph.UsesClosure": true,
+	}
+	for name := range want {
+		if !reached[funcNamed(t, prog, name)] {
+			t.Errorf("%s should reach leaf", name)
+		}
+	}
+	if reached[funcNamed(t, prog, "callgraph.Twice")] {
+		t.Errorf("Twice should not reach leaf")
+	}
+
+	// Call-site reachability: Direct's call to helper reaches leaf one hop
+	// down; Twice's dispatch does not.
+	dcall := funcNamed(t, prog, "callgraph.Direct").Calls[0]
+	if !dcall.Reaches(func(f *types.Func) bool { return f == leaf.Obj }, reached) {
+		t.Errorf("Direct's call site should reach leaf through helper")
+	}
+}
+
+func TestUnionSummaries(t *testing.T) {
+	prog := loadProgram(t)
+	// Seed one fact on leaf and one on Dog.Speak; the fixpoint must carry
+	// leaf's fact up the whole chain and Speak's through the dispatch.
+	sums := prog.UnionSummaries(func(fn *framework.Func) []string {
+		switch fn.Name() {
+		case "callgraph.leaf":
+			return []string{"leaf-fact"}
+		case "callgraph.Dog.Speak":
+			return []string{"dog-fact"}
+		}
+		return nil
+	})
+	for _, name := range []string{"callgraph.helper", "callgraph.Direct", "callgraph.UsesClosure"} {
+		if !sums[funcNamed(t, prog, name)]["leaf-fact"] {
+			t.Errorf("summary of %s missing leaf-fact", name)
+		}
+	}
+	if !sums[funcNamed(t, prog, "callgraph.Twice")]["dog-fact"] {
+		t.Errorf("summary of Twice missing dog-fact (interface dispatch)")
+	}
+	if sums[funcNamed(t, prog, "callgraph.Twice")]["leaf-fact"] {
+		t.Errorf("summary of Twice has leaf-fact, but Twice never reaches leaf")
+	}
+}

@@ -21,15 +21,21 @@ import (
 )
 
 // Analyzer describes one static analysis: a named pass over a type-checked
-// package. The shape matches golang.org/x/tools/go/analysis.Analyzer.
+// package, or — when RunProgram is set — over the whole loaded program at
+// once. The per-package shape matches golang.org/x/tools/go/analysis.Analyzer.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and flags. By convention a
 	// short lower-case word ("rawsql", "wraperr").
 	Name string
 	// Doc is the help text: first line is a one-sentence summary.
 	Doc string
-	// Run applies the analysis to one package.
+	// Run applies the analysis to one package. Optional when RunProgram is
+	// set.
 	Run func(*Pass) error
+	// RunProgram applies the analysis once to the whole set of loaded
+	// packages, linked by a call graph — the hook for interprocedural
+	// contract analyzers (lockorder, walfirst, viewmut, atomicmix). Optional.
+	RunProgram func(*ProgramPass) error
 }
 
 // Pass provides one analyzed package to an Analyzer's Run function: its
@@ -74,6 +80,20 @@ func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
 	return nil
 }
 
+// ProgramPass provides the whole analyzed program to an Analyzer's
+// RunProgram function: every loaded package plus the call graph linking them.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // Diagnostic is one finding, anchored to a source position.
 type Diagnostic struct {
 	Pos     token.Pos
@@ -93,12 +113,41 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s [%s]", f.Posn, f.Message, f.Analyzer)
 }
 
-// RunAnalyzers applies every analyzer to every package and returns the
-// findings sorted by position.
+// RunAnalyzers applies every analyzer to every package — and every
+// program-level analyzer once to the linked program — and returns the
+// findings, filtered through //ordlint:ignore suppressions and sorted by
+// position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
+	var prog *Program
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			prog = BuildProgram(pkgs)
+		}
+		name := a.Name
+		pp := &ProgramPass{
+			Analyzer: a,
+			Prog:     prog,
+			Report: func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Posn:     prog.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+		}
+		if err := a.RunProgram(pp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -118,6 +167,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	findings = FilterSuppressed(findings)
 	SortFindings(findings)
 	return findings, nil
 }

@@ -1,0 +1,92 @@
+package framework_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"ordxml/internal/lint/framework"
+)
+
+// TestWriteSARIF checks the shape consumers depend on: schema/version, one
+// rule per analyzer with the first doc line, one result per finding with a
+// root-relative forward-slash URI, and level "warning".
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*framework.Analyzer{
+		{Name: "lockorder", Doc: "lock order must be acyclic\n\nLonger explanation."},
+		{Name: "walfirst", Doc: "WAL before apply"},
+	}
+	findings := []framework.Finding{{
+		Analyzer: "lockorder",
+		Posn:     token.Position{Filename: "/repo/internal/wal/wal.go", Line: 360, Column: 9},
+		Message:  "lock order cycle",
+	}}
+	var buf bytes.Buffer
+	if err := framework.WriteSARIF(&buf, analyzers, findings, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct{ Text string }
+					}
+				}
+			}
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct{ URI string }
+						Region           struct {
+							StartLine   int
+							StartColumn int
+						}
+					}
+				}
+			}
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version %q schema %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ordlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(run.Tool.Driver.Rules))
+	}
+	if r := run.Tool.Driver.Rules[0]; r.ID != "lockorder" || r.ShortDescription.Text != "lock order must be acyclic" {
+		t.Errorf("rule[0] = %+v: want id lockorder with first doc line only", r)
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "lockorder" || res.Level != "warning" || res.Message.Text != "lock order cycle" {
+		t.Errorf("result = %+v", res)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/wal/wal.go" {
+		t.Errorf("uri = %q, want root-relative internal/wal/wal.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 360 || loc.Region.StartColumn != 9 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+}

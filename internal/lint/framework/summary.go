@@ -1,0 +1,97 @@
+package framework
+
+import "go/types"
+
+// Function-summary dataflow over the call graph: whole-program facts computed
+// as fixpoints so they stay correct through helper indirection and recursion.
+// Two shapes cover the contract analyzers:
+//
+//   - Reaches: "can this function end up calling X?" — the reachability
+//     summary behind WAL-append and state-apply classification (walfirst).
+//   - UnionSummaries: "which facts accumulate over everything this function
+//     may execute?" — the transitive lock-acquisition sets behind the lock
+//     order graph (lockorder).
+//
+// Both evaluate predicates on static callees, so anchors may live outside the
+// analyzed program (standard library, another module package not in the load).
+
+// Reaches returns the set of program functions that can reach — directly or
+// through any chain of program calls, interface dispatch included — a callee
+// matching match.
+func (p *Program) Reaches(match func(*types.Func) bool) map[*Func]bool {
+	reached := map[*Func]bool{}
+	var work []*Func
+	for _, fn := range p.funcs {
+		for _, cs := range fn.Calls {
+			if match(cs.Callee) {
+				reached[fn] = true
+				work = append(work, fn)
+				break
+			}
+		}
+	}
+	callers := p.Callers()
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range callers[g] {
+			if !reached[c] {
+				reached[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+	return reached
+}
+
+// Reaches reports whether this call site can execute a matching callee: its
+// static callee matches directly, or one of its resolved program targets is
+// in reached (a map previously computed by Program.Reaches with the same
+// predicate).
+func (cs *CallSite) Reaches(match func(*types.Func) bool, reached map[*Func]bool) bool {
+	if match(cs.Callee) {
+		return true
+	}
+	for _, t := range cs.Targets {
+		if reached[t] {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionSummaries computes the bottom-up union fixpoint over the call graph:
+//
+//	S(f) = direct(f) ∪ ⋃ { S(g) : f may call g }
+//
+// Recursive cycles converge because the lattice is finite sets under union.
+// The result maps every program function to its accumulated fact set.
+func (p *Program) UnionSummaries(direct func(*Func) []string) map[*Func]map[string]bool {
+	sum := make(map[*Func]map[string]bool, len(p.funcs))
+	for _, fn := range p.funcs {
+		s := map[string]bool{}
+		for _, k := range direct(fn) {
+			s[k] = true
+		}
+		sum[fn] = s
+	}
+	callers := p.Callers()
+	work := append([]*Func(nil), p.funcs...)
+	for len(work) > 0 {
+		g := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, c := range callers[g] {
+			grew := false
+			for k := range sum[g] {
+				if !sum[c][k] {
+					sum[c][k] = true
+					grew = true
+				}
+			}
+			if grew {
+				work = append(work, c)
+			}
+		}
+	}
+	return sum
+}

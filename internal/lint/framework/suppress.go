@@ -1,0 +1,75 @@
+package framework
+
+import (
+	"os"
+	"strings"
+)
+
+// Finding suppression: a justified annotation silences one analyzer at one
+// site. The form is
+//
+//	//ordlint:ignore <analyzer> <reason...>
+//
+// either trailing the flagged line or on its own line immediately above it.
+// The reason is mandatory — an annotation without one suppresses nothing, so
+// lazy or truncated markers surface as ordinary findings instead of silently
+// rotting. There is no wildcard: each analyzer to be silenced needs its own
+// annotation, which keeps every suppression attributable to one contract and
+// one justification.
+
+const ignoreMarker = "//ordlint:ignore"
+
+// FilterSuppressed drops findings covered by an //ordlint:ignore annotation
+// naming their analyzer. Files that cannot be read (e.g. findings synthesized
+// by tests against virtual positions) pass through unfiltered.
+func FilterSuppressed(findings []Finding) []Finding {
+	if len(findings) == 0 {
+		return findings
+	}
+	cache := map[string]map[int]map[string]bool{}
+	out := make([]Finding, 0, len(findings))
+	for _, f := range findings {
+		lines, ok := cache[f.Posn.Filename]
+		if !ok {
+			lines = suppressedLines(f.Posn.Filename)
+			cache[f.Posn.Filename] = lines
+		}
+		if lines[f.Posn.Line][f.Analyzer] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// suppressedLines parses one file's //ordlint:ignore annotations into a map
+// from 1-based line number to the analyzer names suppressed on that line.
+func suppressedLines(filename string) map[int]map[string]bool {
+	src, err := os.ReadFile(filename)
+	if err != nil {
+		return nil
+	}
+	out := map[int]map[string]bool{}
+	for i, line := range strings.Split(string(src), "\n") {
+		_, after, ok := strings.Cut(line, ignoreMarker)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(after)
+		if len(fields) < 2 {
+			continue // no analyzer name, or no reason: not a valid suppression
+		}
+		name := fields[0]
+		mark := func(n int) {
+			if out[n] == nil {
+				out[n] = map[string]bool{}
+			}
+			out[n][name] = true
+		}
+		mark(i + 1) // trailing annotation covers its own line
+		if strings.HasPrefix(strings.TrimSpace(line), "//") {
+			mark(i + 2) // whole-line annotation covers the next line
+		}
+	}
+	return out
+}

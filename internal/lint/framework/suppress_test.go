@@ -1,0 +1,68 @@
+package framework_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ordxml/internal/lint/framework"
+)
+
+// TestFilterSuppressed covers the //ordlint:ignore grammar: a trailing
+// annotation silences its own line, a whole-line annotation the next line,
+// only the named analyzer is silenced, and an annotation without a reason
+// suppresses nothing.
+func TestFilterSuppressed(t *testing.T) {
+	src := strings.Join([]string{
+		"package p",
+		"var a = 1 //ordlint:ignore rawsql trailing annotation with a reason",
+		"//ordlint:ignore wraperr whole-line annotation with a reason",
+		"var b = 2",
+		"var c = 3 //ordlint:ignore rawsql",
+		"var d = 4",
+	}, "\n")
+	file := filepath.Join(t.TempDir(), "p.go")
+	if err := os.WriteFile(file, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(analyzer string, line int) framework.Finding {
+		return framework.Finding{
+			Analyzer: analyzer,
+			Posn:     token.Position{Filename: file, Line: line},
+			Message:  "m",
+		}
+	}
+	in := []framework.Finding{
+		mk("rawsql", 2),  // suppressed: trailing annotation
+		mk("wraperr", 2), // kept: annotation names a different analyzer
+		mk("wraperr", 4), // suppressed: whole-line annotation above
+		mk("rawsql", 4),  // kept: annotation names a different analyzer
+		mk("rawsql", 5),  // kept: no reason given, annotation is void
+		mk("rawsql", 6),  // kept: line 5's trailing annotation covers line 5 only
+	}
+	out := framework.FilterSuppressed(in)
+	var kept []string
+	for _, f := range out {
+		kept = append(kept, f.Analyzer+":"+strconv.Itoa(f.Posn.Line))
+	}
+	want := []string{"wraperr:2", "rawsql:4", "rawsql:5", "rawsql:6"}
+	if strings.Join(kept, " ") != strings.Join(want, " ") {
+		t.Errorf("kept %v, want %v", kept, want)
+	}
+}
+
+// TestFilterSuppressedUnreadableFile keeps findings whose file cannot be
+// read (e.g. synthesized positions) rather than dropping them.
+func TestFilterSuppressedUnreadableFile(t *testing.T) {
+	in := []framework.Finding{{
+		Analyzer: "rawsql",
+		Posn:     token.Position{Filename: "/nonexistent/x.go", Line: 3},
+	}}
+	if out := framework.FilterSuppressed(in); len(out) != 1 {
+		t.Errorf("findings in unreadable files must pass through, got %d", len(out))
+	}
+}

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/lockorder"
+)
+
+// TestLockOrder runs the analyzer over the regression fixture modeled on the
+// pre-fix PR 7 buffer pool: the fault path's shard.mu → evictMu acquisition
+// (one call deep, via addToClock) against the sweep's evictMu → shard.mu.
+func TestLockOrder(t *testing.T) {
+	framework.RunTest(t, lockorder.Analyzer, "testdata/src/bufpool")
+}

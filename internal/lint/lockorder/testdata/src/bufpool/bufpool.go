@@ -1,0 +1,156 @@
+// Package bufpool reproduces, in miniature, the lock-order inversion PR 7's
+// review found in the engine's buffer pool before the fix: the page-fault
+// path registered the new frame with the clock sweep while still holding its
+// shard lock (shard.mu → evictMu), while the eviction sweep holds evictMu and
+// locks each shard to flush victims (evictMu → shard.mu). Two goroutines on
+// those paths can deadlock. The analyzer must connect the fault-path half of
+// the cycle through the addToClock helper — the acquisition is one call deep.
+package bufpool
+
+import "sync"
+
+type shard struct {
+	mu     sync.Mutex
+	frames map[int]int
+}
+
+type Pool struct {
+	evictMu sync.Mutex
+	clock   []int
+	viewMu  sync.RWMutex
+	mu      sync.Mutex
+	shards  [4]shard
+}
+
+// Fault is the pre-fix page-fault path: the clock registration happens while
+// the shard lock is held, completing the cycle against makeRoom.
+func (p *Pool) Fault(id int) {
+	sh := &p.shards[id%4]
+	sh.mu.Lock()
+	sh.frames[id] = id
+	p.addToClock(id) // want `lock order cycle: call to bufpool.Pool.addToClock may acquire bufpool.Pool.evictMu while bufpool.shard.mu is held`
+	sh.mu.Unlock()
+}
+
+func (p *Pool) addToClock(id int) {
+	p.evictMu.Lock()
+	p.clock = append(p.clock, id)
+	p.evictMu.Unlock()
+}
+
+// FaultFixed is the post-fix shape: registration is hoisted out of the shard
+// critical section, so no shard.mu → evictMu edge arises here.
+func (p *Pool) FaultFixed(id int) {
+	sh := &p.shards[id%4]
+	sh.mu.Lock()
+	sh.frames[id] = id
+	sh.mu.Unlock()
+	p.addToClock(id)
+}
+
+// makeRoom is the eviction sweep: evictMu guards the clock hand, and each
+// victim's shard is locked to flush it — the other half of the cycle.
+func (p *Pool) makeRoom() {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock() // want `lock order cycle: bufpool.shard.mu acquired while bufpool.Pool.evictMu is held`
+		sh.frames = nil
+		sh.mu.Unlock()
+	}
+}
+
+// Stats and Publish order viewMu and evictMu oppositely; RLock counts as an
+// acquisition of the same class, so the reader side still forms the cycle.
+func (p *Pool) Stats() int {
+	p.viewMu.RLock()
+	defer p.viewMu.RUnlock()
+	p.evictMu.Lock() // want `lock order cycle: bufpool.Pool.evictMu acquired while bufpool.Pool.viewMu is held`
+	n := len(p.clock)
+	p.evictMu.Unlock()
+	return n
+}
+
+func (p *Pool) Publish() {
+	p.evictMu.Lock()
+	defer p.evictMu.Unlock()
+	p.viewMu.Lock() // want `lock order cycle: bufpool.Pool.viewMu acquired while bufpool.Pool.evictMu is held`
+	p.viewMu.Unlock()
+}
+
+// FreeID nests Pool.mu → shard.mu, an order nothing inverts: edges that are
+// not part of any cycle are not findings.
+func (p *Pool) FreeID(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sh := &p.shards[id%4]
+	sh.mu.Lock()
+	delete(sh.frames, id)
+	sh.mu.Unlock()
+}
+
+// Sweep spawns a goroutine that locks Pool.mu while the spawner holds
+// evictMu. The goroutine inherits no locks, so this must NOT create an
+// evictMu → Pool.mu edge (which would close a false cycle with statsLoop).
+func (p *Pool) Sweep() {
+	p.evictMu.Lock()
+	go func() {
+		p.mu.Lock()
+		p.clock = nil
+		p.mu.Unlock()
+	}()
+	p.evictMu.Unlock()
+}
+
+// statsLoop orders Pool.mu → evictMu; combined with a (bogus) edge from
+// Sweep's goroutine this would be a cycle, so it guards the goroutine rule.
+func (p *Pool) statsLoop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addToClock(0)
+}
+
+// flushPending mirrors wal.Log.commitLocked's group-commit shape: entered
+// with Pool.mu held, it hands the lock over (unlock, disk work, relock).
+// The re-acquisition must NOT read as a Pool.mu self-cycle.
+func (p *Pool) flushPending() {
+	p.mu.Unlock()
+	p.clock = append(p.clock[:0], p.clock...)
+	p.mu.Lock()
+}
+
+func (p *Pool) CommitAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flushPending()
+}
+
+// lockAgain, by contrast, plainly re-locks a class its caller already
+// holds: a genuine self-deadlock.
+func (p *Pool) lockAgain() {
+	p.mu.Lock()
+	p.clock = nil
+	p.mu.Unlock()
+}
+
+func (p *Pool) reenter() {
+	p.mu.Lock()
+	p.lockAgain() // want `lock order cycle: call to bufpool.Pool.lockAgain may acquire bufpool.Pool.mu while bufpool.Pool.mu is held`
+	p.mu.Unlock()
+}
+
+// Registry exercises the promoted-method path: an embedded sync.Mutex forms
+// the class bufpool.Registry.Mutex.
+type Registry struct {
+	sync.Mutex
+	m map[string]int
+}
+
+var registry = Registry{m: map[string]int{}}
+
+func Register(name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.m[name] = 1
+}

@@ -1,0 +1,16 @@
+package viewmut_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/viewmut"
+)
+
+// TestViewMut runs the analyzer over a miniature catalog: builder-cone
+// writes (BuildView, snapshotData, newSnapshot, and the fill helper admitted
+// by the caller fixpoint) pass; in-place mutation of a published View,
+// directly or through a method, is flagged; Table-boundary writes are not.
+func TestViewMut(t *testing.T) {
+	framework.RunTest(t, viewmut.Analyzer, "testdata/src/catalog")
+}

@@ -1,0 +1,18 @@
+// Package sqldb is a miniature stand-in for the engine's SQL layer: the
+// walfirst analyzer recognizes the state-apply anchors structurally
+// (DB.Exec and friends in a package named sqldb).
+package sqldb
+
+type DB struct {
+	rows int
+}
+
+func (db *DB) Exec(sql string, args ...any) (int, error) {
+	db.rows++
+	return 1, nil
+}
+
+func (db *DB) BulkInsert(table string, rows [][]any) (int, error) {
+	db.rows += len(rows)
+	return len(rows), nil
+}

@@ -1,0 +1,127 @@
+// Package store is a miniature durable store exercising the walfirst
+// contract: exported Store methods are the mutation surface, logOp is the
+// WAL-append helper, and sqldb.DB.Exec is the state-apply anchor.
+package store
+
+import (
+	"ordxml/internal/lint/walfirst/testdata/src/sqldb"
+	"ordxml/internal/lint/walfirst/testdata/src/wal"
+)
+
+type durState struct {
+	log *wal.Log
+}
+
+type Store struct {
+	dur *durState
+	db  *sqldb.DB
+}
+
+// logOp appends one operation record; the WAL anchor is one call deep from
+// every entry point, so the analyzer must connect it interprocedurally.
+func (s *Store) logOp(kind byte, body []byte) (func(), error) {
+	if s.dur == nil {
+		return func() {}, nil
+	}
+	if _, err := s.dur.log.AppendSync(kind, body); err != nil {
+		return nil, err
+	}
+	return func() {}, nil
+}
+
+// apply is an unexported helper reaching the apply anchor: not an entry
+// point itself, but entries calling it unlogged must be flagged through it.
+func (s *Store) apply(sql string) error {
+	_, err := s.db.Exec(sql)
+	return err
+}
+
+// Insert is the contract-conforming shape: log, then apply.
+func (s *Store) Insert(x string) error {
+	unlock, err := s.logOp(1, []byte(x))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	_, err = s.db.Exec("INSERT INTO edge VALUES (?)")
+	return err
+}
+
+// Rename applies before logging: the classic ordering bug.
+func (s *Store) Rename(x string) error {
+	if _, err := s.db.Exec("UPDATE node SET tag = ?"); err != nil { // want `mutation before WAL append: call to Exec applies engine state with no prior WAL append in store.Store.Rename`
+		return err
+	}
+	unlock, err := s.logOp(2, []byte(x))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return nil
+}
+
+// Drop never logs at all.
+func (s *Store) Drop(x string) error {
+	_, err := s.db.Exec("DELETE FROM node") // want `mutation before WAL append: call to Exec applies engine state with no prior WAL append in store.Store.Drop`
+	return err
+}
+
+// Move hides the unlogged apply one helper deep.
+func (s *Store) Move(x string) error {
+	if err := s.apply("UPDATE node SET parent = ?"); err != nil { // want `mutation before WAL append: call to apply applies engine state with no prior WAL append in store.Store.Move`
+		return err
+	}
+	unlock, err := s.logOp(3, []byte(x))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	return nil
+}
+
+// Load's memory-only branch is exempt: with s.dur == nil there is no log to
+// append to, and the guard body is recognized structurally.
+func (s *Store) Load(x string) error {
+	if s.dur == nil {
+		_, err := s.db.Exec("INSERT INTO node VALUES (?)")
+		return err
+	}
+	unlock, err := s.logOp(4, []byte(x))
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	_, err = s.db.Exec("INSERT INTO node VALUES (?)")
+	return err
+}
+
+// LoadString delegates to Load, which logs before applying: a call reaching
+// both anchors satisfies the contract.
+func (s *Store) LoadString(x string) error {
+	return s.Load(x)
+}
+
+// Flush-barrier half: WritePage must see an EnsureDurable call earlier in
+// the same body.
+
+type pageFile struct{}
+
+func (pageFile) WritePage(id int, lsn uint64, b []byte) error { return nil }
+
+type Pool struct {
+	file          pageFile
+	EnsureDurable func(lsn uint64) error
+}
+
+func (p *Pool) flushFrame(lsn uint64, b []byte) error {
+	if p.EnsureDurable != nil {
+		if err := p.EnsureDurable(lsn); err != nil {
+			return err
+		}
+	}
+	return p.file.WritePage(1, lsn, b)
+}
+
+func (p *Pool) flushUnfenced(lsn uint64, b []byte) error {
+	return p.file.WritePage(1, lsn, b) // want `page write without durability barrier: WritePage in store.Pool.flushUnfenced has no preceding EnsureDurable call`
+}

@@ -1,0 +1,16 @@
+package walfirst_test
+
+import (
+	"testing"
+
+	"ordxml/internal/lint/framework"
+	"ordxml/internal/lint/walfirst"
+)
+
+// TestWALFirst runs the analyzer over a miniature durable store: entries
+// that log-then-apply (directly or by delegation) pass, entries that apply
+// first — even through an unexported helper — are flagged, the memory-only
+// `dur == nil` branch is exempt, and an unfenced WritePage is flagged.
+func TestWALFirst(t *testing.T) {
+	framework.RunTest(t, walfirst.Analyzer, "testdata/src/store")
+}
