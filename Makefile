@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint lint-sarif check fuzz-smoke bench torture
+.PHONY: build test race lint lint-sarif check fuzz-smoke bench torture govern-torture
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,15 @@ bench:
 # failpoint and the store must recover to an acknowledged prefix.
 torture:
 	ORDXML_TORTURE_OPS=120 $(GO) test -run '^TestCrashTorture$$' -count=1 -v .
+
+# govern-torture runs the query-lifecycle governance suite under the race
+# detector: the cancellation storm (N readers canceled at random against a
+# writer, all three encodings), deadline aborts with goroutine-leak checks,
+# memory-budget and admission-shed paths, the degraded read-only transitions
+# (WAL append and page-write failures), and the streaming-cursor early-close
+# regression tests.
+govern-torture:
+	$(GO) test -race -count=1 -v -run \
+		'TestCancellationStorm|TestQueryDeadlineAborts|TestQueryCancellation|TestSessionQueryTimeout|TestMemoryBudgetAbortsQuery|TestAdmissionControlSheds|TestWALFailureDegradesToReadOnly|TestPageWriteFailureDegradesStore' .
+	$(GO) test -race -count=1 -run 'TestQueryRows|TestQueryAborts' ./internal/sqldb/
+	$(GO) test -race -count=1 ./internal/govern/

@@ -5,6 +5,7 @@
 //
 //	xmlbench [-exp E3] [-items 200] [-quick] [-json] [-stats] [-obs [-obs-out BENCH_obs.json]]
 //	xmlbench -concurrency 1,4,8 [-duration 2s] [-concurrency-out BENCH_concurrency.json]
+//	xmlbench -shed 1,2,4,8,16 [-shed-active 2] [-duration 2s] [-shed-out BENCH_shed.json]
 //
 // Without -exp it runs every experiment. -quick shrinks workload sizes for a
 // fast smoke run; EXPERIMENTS.md records full-size results. -json emits one
@@ -24,6 +25,13 @@
 // encoding, plus one traced pass over a disk-paged durable store recording
 // the WAL and buffer-pool activity. The report lands in the -json object's
 // "obs" field and, with -obs-out, in its own JSON file.
+//
+// -shed switches to the load-shedding benchmark: the store's admission gate
+// is fixed at -shed-active slots while the offered closed-loop client count
+// sweeps the -shed list, per encoding. The report (admitted throughput, shed
+// rate, admitted-request latency quantiles) demonstrates graceful
+// degradation — past saturation the shed rate climbs while admitted p99
+// stays bounded — and is written to -shed-out.
 //
 // -pool switches to the buffer-pool benchmark: at each listed frame count,
 // the catalog document is loaded into a disk-paged durable store and the
@@ -78,6 +86,9 @@ func main() {
 	concOut := flag.String("concurrency-out", "BENCH_concurrency.json", "where -concurrency writes its JSON report")
 	pool := flag.String("pool", "", "run the buffer-pool benchmark at these frame counts (e.g. 32,256,1024)")
 	poolOut := flag.String("pool-out", "BENCH_bufpool.json", "where -pool writes its JSON report")
+	shed := flag.String("shed", "", "run the load-shedding benchmark at these offered client counts (e.g. 1,2,4,8,16)")
+	shedActive := flag.Int("shed-active", 2, "admission gate size (active slots) for -shed")
+	shedOut := flag.String("shed-out", "BENCH_shed.json", "where -shed writes its JSON report")
 	obs := flag.Bool("obs", false, "also measure request-tracing overhead on the E3 suite (tracer off vs on)")
 	obsOut := flag.String("obs-out", "", "where -obs writes its JSON report (empty: stdout/-json only)")
 	flag.Parse()
@@ -92,6 +103,13 @@ func main() {
 	if *pool != "" {
 		if err := runPool(*pool, *items, *quick, *poolOut); err != nil {
 			fmt.Fprintf(os.Stderr, "buffer-pool benchmark failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shed != "" {
+		if err := runShed(*shed, *items, *shedActive, *quick, *duration, *shedOut); err != nil {
+			fmt.Fprintf(os.Stderr, "shed benchmark failed: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -236,6 +254,44 @@ func runConcurrency(levels string, items int, quick bool, window time.Duration, 
 		return err
 	}
 	fmt.Println(bench.ConcurrencyTable(rep).String())
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n", outPath)
+	return nil
+}
+
+// runShed parses the offered-client list, runs the load-shedding benchmark,
+// prints the table and writes the JSON report.
+func runShed(levels string, items, maxActive int, quick bool, window time.Duration, outPath string) error {
+	var offered []int
+	for _, f := range strings.Split(levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shed list %q: each entry must be a positive integer", levels)
+		}
+		offered = append(offered, n)
+	}
+	if maxActive < 1 {
+		return fmt.Errorf("bad -shed-active %d: want a positive integer", maxActive)
+	}
+	if quick {
+		if items > 50 {
+			items = 50
+		}
+		if window > 500*time.Millisecond {
+			window = 500 * time.Millisecond
+		}
+	}
+	rep, err := bench.RunShed(items, offered, maxActive, window)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.ShedTable(rep).String())
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -72,6 +72,8 @@ const helpText = `commands:
                                     documents, heap pages, B+tree indexes)
   stats                             storage and work-counter summary
   parallel <n>                      set the query parallelism degree (1 = serial)
+  \timeout <dur>                    session query timeout for reads (e.g. 500ms;
+                                    0 removes it; no argument shows the current)
   \explain <select ...>             show the SQL engine's physical plan
   \analyze <select ...>             run with EXPLAIN ANALYZE instrumentation
                                     (per-worker actuals labeled w0=, w1=, ...)
@@ -268,6 +270,25 @@ func (sh *shell) Execute(line string) (string, error) {
 		}
 		sh.store.SetParallelism(n)
 		return fmt.Sprintf("parallelism set to %d", sh.store.Parallelism()), nil
+	case `\timeout`:
+		if len(args) == 0 {
+			if d := sh.store.QueryTimeout(); d > 0 {
+				return fmt.Sprintf("query timeout %s", d), nil
+			}
+			return "no query timeout", nil
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil && args[0] == "0" {
+			d, err = 0, nil
+		}
+		if err != nil || d < 0 {
+			return "", fmt.Errorf("bad timeout %q (want a duration like 500ms, or 0)", args[0])
+		}
+		sh.store.SetQueryTimeout(d)
+		if d == 0 {
+			return "query timeout removed", nil
+		}
+		return fmt.Sprintf("query timeout set to %s (reads past it fail with %v)", d, ordxml.ErrDeadlineExceeded), nil
 	case `\explain`:
 		if rest == "" {
 			return "", fmt.Errorf(`usage: \explain <select ...>`)
@@ -307,6 +328,9 @@ func (sh *shell) Execute(line string) (string, error) {
 			}
 			out = fmt.Sprintf("bufpool: %d/%d frames resident (%d dirty, %d pinned), %.1f%% hit ratio (%d hits, %d misses), %d evictions, %d dirty flushes\n%s",
 				p.Resident, p.Capacity, p.Dirty, p.Pinned, hitPct, p.Hits, p.Misses, p.Evictions, p.DirtyFlushes, out)
+		}
+		if ok, cause := sh.store.Degraded(); ok {
+			out = fmt.Sprintf("DEGRADED: read-only (%s); reads serve, mutations fail, reopen to recover\n%s", cause, out)
 		}
 		return out, nil
 	case `\checkpoint`:

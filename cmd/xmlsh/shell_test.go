@@ -225,3 +225,27 @@ func TestLabelWorkerRows(t *testing.T) {
 		t.Errorf("labelWorkerRows:\n got %q\nwant %q", got, want)
 	}
 }
+
+func TestShellTimeoutCommand(t *testing.T) {
+	sh := &shell{}
+	mustFail(t, sh, `\timeout 1s`) // no store yet
+	run(t, sh, "open dewey")
+	run(t, sh, "loadstr <a><b>x</b></a>")
+	if out := run(t, sh, `\timeout`); out != "no query timeout" {
+		t.Errorf("\\timeout: %q", out)
+	}
+	if out := run(t, sh, `\timeout 250ms`); !strings.Contains(out, "250ms") {
+		t.Errorf("\\timeout 250ms: %q", out)
+	}
+	if out := run(t, sh, `\timeout`); !strings.Contains(out, "250ms") {
+		t.Errorf("\\timeout status: %q", out)
+	}
+	mustFail(t, sh, `\timeout -5s`)
+	mustFail(t, sh, `\timeout soon`)
+	if out := run(t, sh, `\timeout 0`); !strings.Contains(out, "removed") {
+		t.Errorf("\\timeout 0: %q", out)
+	}
+	if out := run(t, sh, "query /a/b"); !strings.Contains(out, "1 match(es)") {
+		t.Errorf("query after timeout removal: %q", out)
+	}
+}

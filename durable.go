@@ -15,6 +15,7 @@ import (
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/core/update"
 	"ordxml/internal/failpoint"
+	"ordxml/internal/govern"
 	"ordxml/internal/obs"
 	olog "ordxml/internal/obs/log"
 	"ordxml/internal/sqldb"
@@ -165,6 +166,9 @@ func (s *Store) Durable() bool { return s.dur != nil }
 // check's outcome. The /debug/readyz endpoint serves this.
 func (s *Store) Health() []string {
 	var problems []string
+	if ok, cause := s.Degraded(); ok {
+		problems = append(problems, fmt.Sprintf("degraded: read-only: %s", cause))
+	}
 	if s.dur != nil {
 		if err := s.dur.log.Failed(); err != nil {
 			problems = append(problems, fmt.Sprintf("wal: %v", err))
@@ -362,6 +366,14 @@ func OpenDurable(dir string, opts Options) (*Store, error) {
 		checkpoints: reg.Counter("wal.checkpoints"),
 		ckptLat:     reg.Histogram("wal.checkpoint.latency"),
 		opErrors:    opErrors,
+	}
+	if pool != nil {
+		// A failed page write (flush or checkpoint) leaves disk state behind
+		// the pool's idea of it; the store degrades to read-only — snapshot
+		// reads still serve from memory, mutations are refused until reopen.
+		pool.OnWriteError = func(err error) {
+			s.enterDegraded(fmt.Sprintf("page write failed: %v", err))
+		}
 	}
 	// Readiness gauge: milliseconds since the last completed checkpoint
 	// (-1 until one completes). Pair with wal.size_bytes to decide when the
@@ -679,6 +691,15 @@ func readWALLSN(db *sqldb.DB) (uint64, error) {
 // carries an active trace span the append+fsync is recorded as a
 // "wal.append_sync" child annotated with the assigned LSN.
 func (s *Store) logOp(ctx context.Context, kind byte, encode func(*wal.BodyWriter)) (unlock func(), err error) {
+	// Cancellation is only honored here, before any durable effect: once the
+	// record is appended the operation always completes (a mutation is never
+	// abandoned between its WAL record and its apply).
+	if err := govern.CtxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.readOnlyErr(); err != nil {
+		return nil, err
+	}
 	if s.dur == nil {
 		return func() {}, nil
 	}
@@ -690,6 +711,10 @@ func (s *Store) logOp(ctx context.Context, kind byte, encode func(*wal.BodyWrite
 	if err != nil {
 		sp.End()
 		s.dur.mu.Unlock()
+		// The failed append poisons the log (fail-stop); the store degrades to
+		// read-only so snapshot reads keep serving. The caller gets the I/O
+		// error itself — later mutations get ErrReadOnly.
+		s.enterDegraded(fmt.Sprintf("write-ahead log append failed: %v", err))
 		return nil, fmt.Errorf("write-ahead log: %w", err)
 	}
 	sp.Arg("lsn", int64(lsn)).End()

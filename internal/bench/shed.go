@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ordxml"
+	"ordxml/internal/obs"
+)
+
+// Load-shedding benchmark: closed-loop clients over the E3 query mix against
+// a store whose admission gate is deliberately smaller than the offered
+// load. The point of admission control is graceful degradation — as offered
+// concurrency grows past the gate, the shed rate should rise while the
+// latency of *admitted* requests stays bounded, instead of every request
+// getting uniformly slower behind an unbounded queue.
+
+// ShedResult is one (encoding, offered-clients) cell of the shed benchmark,
+// serialized into BENCH_shed.json.
+type ShedResult struct {
+	Encoding string  `json:"encoding"`
+	Offered  int     `json:"offered_clients"`
+	Seconds  float64 `json:"seconds"`
+	Admitted int64   `json:"admitted"`
+	Shed     int64   `json:"shed"`
+	ShedRate float64 `json:"shed_rate"`
+	QPS      float64 `json:"admitted_qps"`
+	MeanUS   float64 `json:"mean_us"`
+	P50US    float64 `json:"p50_us"`
+	P95US    float64 `json:"p95_us"`
+	P99US    float64 `json:"p99_us"`
+}
+
+// ShedReport is the top-level shape of BENCH_shed.json.
+type ShedReport struct {
+	SchemaVersion  int          `json:"schema_version"`
+	ItemsPerRegion int          `json:"items_per_region"`
+	QueryMix       string       `json:"query_mix"`
+	MaxActive      int          `json:"max_active"`
+	MaxQueue       int          `json:"max_queue"`
+	MaxWaitMS      float64      `json:"max_wait_ms"`
+	Results        []ShedResult `json:"results"`
+}
+
+// RunShed measures admitted throughput, shed rate and admitted-request
+// latency at each offered client count, per encoding, with the admission
+// gate fixed at maxActive slots (queue of maxActive, 2 ms max wait).
+func RunShed(itemsPerRegion int, offered []int, maxActive int, perLevel time.Duration) (ShedReport, error) {
+	const maxWait = 2 * time.Millisecond
+	rep := ShedReport{
+		SchemaVersion:  1,
+		ItemsPerRegion: itemsPerRegion,
+		QueryMix:       "E3 Q1-Q9",
+		MaxActive:      maxActive,
+		MaxQueue:       maxActive,
+		MaxWaitMS:      float64(maxWait.Microseconds()) / 1e3,
+	}
+	doc := CatalogDoc(itemsPerRegion)
+	suite := QuerySuite(itemsPerRegion)
+	for _, cfg := range Encodings() {
+		s, id, err := NewStore(cfg, doc)
+		if err != nil {
+			return rep, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		// Warm plan caches before the gate goes up.
+		for _, q := range suite {
+			if _, err := s.QueryValues(id, q.XPath); err != nil {
+				return rep, fmt.Errorf("%s %s: %w", cfg.Name, q.ID, err)
+			}
+		}
+		s.SetAdmissionLimit(maxActive, maxActive, maxWait)
+		for _, n := range offered {
+			r, err := runShedLevel(s, id, suite, n, perLevel)
+			if err != nil {
+				return rep, fmt.Errorf("%s offered=%d: %w", cfg.Name, n, err)
+			}
+			r.Encoding = cfg.Name
+			rep.Results = append(rep.Results, r)
+		}
+	}
+	return rep, nil
+}
+
+// runShedLevel runs one closed-loop measurement: n clients cycle through the
+// query suite until the window elapses, counting admitted and shed requests
+// separately and timing only the admitted ones.
+func runShedLevel(s *ordxml.Store, id ordxml.DocID, suite []QuerySpec, n int, window time.Duration) (ShedResult, error) {
+	var (
+		hist           obs.Histogram
+		admitted, shed atomic.Int64
+		stop           atomic.Bool
+		wg             sync.WaitGroup
+		errOnce        sync.Once
+		runErr         error
+	)
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; !stop.Load(); i++ {
+				q := suite[i%len(suite)]
+				t0 := time.Now()
+				_, err := s.QueryValuesCtx(context.Background(), id, q.XPath)
+				switch {
+				case err == nil:
+					hist.Observe(time.Since(t0))
+					admitted.Add(1)
+				case errors.Is(err, ordxml.ErrOverloaded):
+					shed.Add(1)
+					// Model a client retry delay: without it the fail-fast
+					// shed path spins the closed loop into millions of
+					// back-to-back sheds and the rate column saturates.
+					time.Sleep(time.Millisecond)
+				default:
+					errOnce.Do(func() { runErr = fmt.Errorf("%s: %w", q.ID, err) })
+					return
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return ShedResult{}, runErr
+	}
+	snap := hist.Snapshot()
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	total := admitted.Load() + shed.Load()
+	rate := 0.0
+	if total > 0 {
+		rate = float64(shed.Load()) / float64(total)
+	}
+	return ShedResult{
+		Offered:  n,
+		Seconds:  elapsed.Seconds(),
+		Admitted: admitted.Load(),
+		Shed:     shed.Load(),
+		ShedRate: rate,
+		QPS:      float64(admitted.Load()) / elapsed.Seconds(),
+		MeanUS:   us(snap.Mean()),
+		P50US:    us(snap.P50),
+		P95US:    us(snap.P95),
+		P99US:    us(snap.P99),
+	}, nil
+}
+
+// ShedTable renders a report as an aligned text table.
+func ShedTable(rep ShedReport) Table {
+	t := Table{
+		Title: fmt.Sprintf("Shed: closed-loop %s, %d items/region, gate %d active / %d queued / %.1fms wait",
+			rep.QueryMix, rep.ItemsPerRegion, rep.MaxActive, rep.MaxQueue, rep.MaxWaitMS),
+		Note:   "latency columns cover admitted requests only; shed requests fail fast with ErrOverloaded",
+		Header: []string{"encoding", "offered", "admitted_qps", "shed_rate", "mean_us", "p50_us", "p95_us", "p99_us"},
+	}
+	for _, r := range rep.Results {
+		t.Rows = append(t.Rows, []string{
+			r.Encoding,
+			fmt.Sprintf("%d", r.Offered),
+			fmt.Sprintf("%.0f", r.QPS),
+			fmt.Sprintf("%.1f%%", 100*r.ShedRate),
+			fmt.Sprintf("%.1f", r.MeanUS),
+			fmt.Sprintf("%.1f", r.P50US),
+			fmt.Sprintf("%.1f", r.P95US),
+			fmt.Sprintf("%.1f", r.P99US),
+		})
+	}
+	return t
+}

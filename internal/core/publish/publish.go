@@ -12,11 +12,13 @@
 package publish
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"ordxml/internal/core/dewey"
 	"ordxml/internal/core/encoding"
+	"ordxml/internal/govern"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/sqltypes"
 	"ordxml/internal/sqlgen"
@@ -132,13 +134,20 @@ func (p *Publisher) Document(doc int64) (*xmltree.Node, error) {
 // DocumentAt reconstructs the document as of a pinned snapshot (nil pins the
 // current version).
 func (p *Publisher) DocumentAt(snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
+	return p.DocumentCtx(context.Background(), snap, doc)
+}
+
+// DocumentCtx is DocumentAt with a caller context: the reconstruction's
+// statements run governed (cancellation, deadline, memory budget) and join
+// the request trace.
+func (p *Publisher) DocumentCtx(ctx context.Context, snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
 	if snap == nil {
 		snap = p.db.Snapshot()
 	}
 	if p.opts.Kind == encoding.Local {
-		return p.documentLocal(snap, doc)
+		return p.documentLocal(ctx, snap, doc)
 	}
-	res, err := p.allOrdered.QueryAt(snap, sqldb.I(doc))
+	res, err := p.allOrdered.QueryAtCtx(ctx, snap, sqldb.I(doc))
 	if err != nil {
 		return nil, err
 	}
@@ -178,8 +187,8 @@ func buildPreOrder(rows []sqltypes.Row, rootParent int64) (*xmltree.Node, error)
 
 // documentLocal rebuilds from the local encoding: one unordered scan, then a
 // per-parent sibling sort.
-func (p *Publisher) documentLocal(snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
-	res, err := p.allRows.QueryAt(snap, sqldb.I(doc))
+func (p *Publisher) documentLocal(ctx context.Context, snap *sqldb.Snap, doc int64) (*xmltree.Node, error) {
+	res, err := p.allRows.QueryAtCtx(ctx, snap, sqldb.I(doc))
 	if err != nil {
 		return nil, err
 	}
@@ -231,10 +240,15 @@ func (p *Publisher) Subtree(doc, id int64) (*xmltree.Node, error) {
 // SubtreeAt reconstructs a subtree as of a pinned snapshot (nil pins the
 // current version).
 func (p *Publisher) SubtreeAt(snap *sqldb.Snap, doc, id int64) (*xmltree.Node, error) {
+	return p.SubtreeCtx(context.Background(), snap, doc, id)
+}
+
+// SubtreeCtx is SubtreeAt with a caller context (see DocumentCtx).
+func (p *Publisher) SubtreeCtx(ctx context.Context, snap *sqldb.Snap, doc, id int64) (*xmltree.Node, error) {
 	if snap == nil {
 		snap = p.db.Snapshot()
 	}
-	res, err := p.byID.QueryAt(snap, sqldb.I(doc), sqldb.I(id))
+	res, err := p.byID.QueryAtCtx(ctx, snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return nil, err
 	}
@@ -246,19 +260,24 @@ func (p *Publisher) SubtreeAt(snap *sqldb.Snap, doc, id int64) (*xmltree.Node, e
 		return nil, err
 	}
 	if p.opts.Kind == encoding.Dewey {
-		return p.subtreeDewey(snap, doc, rootRow)
+		return p.subtreeDewey(ctx, snap, doc, rootRow)
 	}
 	// Global and Local: recurse through the (doc, parent, order) index —
 	// there is no single range containing exactly the subtree.
 	node := rootRow.toNode()
-	if err := p.fillChildren(snap, doc, rootRow.id, node); err != nil {
+	if err := p.fillChildren(ctx, snap, doc, rootRow.id, node); err != nil {
 		return nil, err
 	}
 	return node, nil
 }
 
-func (p *Publisher) fillChildren(snap *sqldb.Snap, doc, id int64, node *xmltree.Node) error {
-	res, err := p.children.QueryAt(snap, sqldb.I(doc), sqldb.I(id))
+func (p *Publisher) fillChildren(ctx context.Context, snap *sqldb.Snap, doc, id int64, node *xmltree.Node) error {
+	// One child query per element: the statements are too small to reach the
+	// executor's poll interval, so the recursion checks the context itself.
+	if err := govern.CtxErr(ctx); err != nil {
+		return err
+	}
+	res, err := p.children.QueryAtCtx(ctx, snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return err
 	}
@@ -269,7 +288,7 @@ func (p *Publisher) fillChildren(snap *sqldb.Snap, doc, id int64, node *xmltree.
 		}
 		child := nr.toNode()
 		attach(node, child)
-		if err := p.fillChildren(snap, doc, nr.id, child); err != nil {
+		if err := p.fillChildren(ctx, snap, doc, nr.id, child); err != nil {
 			return err
 		}
 	}
@@ -277,7 +296,7 @@ func (p *Publisher) fillChildren(snap *sqldb.Snap, doc, id int64, node *xmltree.
 }
 
 // subtreeDewey extracts the subtree with one path-prefix range scan.
-func (p *Publisher) subtreeDewey(snap *sqldb.Snap, doc int64, rootRow nodeRow) (*xmltree.Node, error) {
+func (p *Publisher) subtreeDewey(ctx context.Context, snap *sqldb.Snap, doc int64, rootRow nodeRow) (*xmltree.Node, error) {
 	var low, high sqltypes.Value
 	if p.opts.DeweyAsText {
 		ps := rootRow.order.Text()
@@ -299,7 +318,7 @@ func (p *Publisher) subtreeDewey(snap *sqldb.Snap, doc int64, rootRow nodeRow) (
 		}
 		high = sqldb.B(succ)
 	}
-	res, err := p.pathRange.QueryAt(snap, sqldb.I(doc), low, high)
+	res, err := p.pathRange.QueryAtCtx(ctx, snap, sqldb.I(doc), low, high)
 	if err != nil {
 		return nil, err
 	}

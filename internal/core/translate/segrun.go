@@ -45,6 +45,11 @@ func (r *run) runSegment(doc int64, seg segment, ctx []NodeRef, first bool) ([]N
 
 	var bindings []binding
 	runOnce := func(params []sqltypes.Value, ctxID int64) error {
+		// One statement per context node: poll here so huge context sets
+		// observe cancellation between statements.
+		if err := r.poll(); err != nil {
+			return err
+		}
 		sp := r.trace.Start(StageExec)
 		var res *sqldb.Result
 		err := r.tracedExec(func(ctx context.Context) error {
@@ -323,10 +328,13 @@ func (r *run) sortAxisOrder(doc int64, members []NodeRef, axis xpath.Axis) error
 // fetchNode loads one node's full NodeRef through the memoized point-lookup
 // path.
 func (r *run) fetchNode(doc, id int64) (NodeRef, bool, error) {
+	if err := r.poll(); err != nil {
+		return NodeRef{}, false, err
+	}
 	if ref, ok := r.nodeMemo[id]; ok {
 		return ref, ref.ID != 0, nil
 	}
-	res, err := r.nodeStmt.QueryAt(r.snap, sqldb.I(doc), sqldb.I(id))
+	res, err := r.nodeStmt.QueryAtCtx(r.ctx, r.snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return NodeRef{}, false, err
 	}

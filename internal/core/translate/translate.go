@@ -33,6 +33,7 @@ import (
 
 	"ordxml/internal/core/encoding"
 	"ordxml/internal/core/xpath"
+	"ordxml/internal/govern"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb"
 	"ordxml/internal/sqldb/bufpool"
@@ -135,6 +136,23 @@ type run struct {
 	// pool, when non-nil alongside an active span, lets each statement
 	// execution emit a bufpool fetch/evict/flush delta event.
 	pool *bufpool.Pool
+	// polls counts client-side loop iterations for cooperative cancellation
+	// (see run.poll).
+	polls int
+}
+
+// poll checks the request context once per govern.PollInterval iterations of
+// a client-side loop (per-context statement fan-out, ancestry walks, local
+// order-key construction). The executor polls inside each statement, but a
+// point lookup returns long before its first poll interval — a path that
+// fans out into thousands of tiny statements would otherwise never observe
+// cancellation.
+func (r *run) poll() error {
+	r.polls++
+	if r.polls%govern.PollInterval != 0 {
+		return nil
+	}
+	return govern.CtxErr(r.ctx)
 }
 
 // tracedExec runs fn (one SQL statement execution) under the request trace:
@@ -443,10 +461,13 @@ func (e *Evaluator) prepare(sql string) (*sqldb.Stmt, error) {
 // parentOf returns (parent id, local order) of a node through the memoized
 // point-lookup path.
 func (r *run) parentOf(doc, id int64) (parentInfo, error) {
+	if err := r.poll(); err != nil {
+		return parentInfo{}, err
+	}
 	if info, ok := r.parentMemo[id]; ok {
 		return info, nil
 	}
-	res, err := r.parentStmt.QueryAt(r.snap, sqldb.I(doc), sqldb.I(id))
+	res, err := r.parentStmt.QueryAtCtx(r.ctx, r.snap, sqldb.I(doc), sqldb.I(id))
 	if err != nil {
 		return parentInfo{}, err
 	}

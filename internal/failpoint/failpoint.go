@@ -15,7 +15,9 @@
 // CrashExitCode, bypassing deferred functions — simulating a machine crash at
 // exactly that point. Mode "error" makes Hit return an error wrapping
 // ErrInjected once, then disarms, so callers' error paths run and the process
-// survives.
+// survives. Mode "enospc" is error mode with the injected error additionally
+// wrapping syscall.ENOSPC — simulating a full disk, so degraded-mode handling
+// that inspects the underlying errno can be exercised.
 package failpoint
 
 import (
@@ -27,6 +29,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 )
 
 // CrashExitCode is the process exit status used by crash-mode failpoints,
@@ -50,6 +53,9 @@ const (
 	Crash
 	// Error makes Hit return an error at the trigger hit, then disarms.
 	Error
+	// Enospc is Error with the injected error also wrapping syscall.ENOSPC,
+	// simulating a full disk at the trigger hit.
+	Enospc
 )
 
 // String returns the mode's spelling in arming specs.
@@ -59,6 +65,8 @@ func (m Mode) String() string {
 		return "crash"
 	case Error:
 		return "error"
+	case Enospc:
+		return "enospc"
 	default:
 		return "off"
 	}
@@ -71,8 +79,10 @@ func parseMode(s string) (Mode, error) {
 		return Crash, nil
 	case "error":
 		return Error, nil
+	case "enospc":
+		return Enospc, nil
 	default:
-		return Off, fmt.Errorf("failpoint: unknown mode %q (want crash or error)", s)
+		return Off, fmt.Errorf("failpoint: unknown mode %q (want crash, error or enospc)", s)
 	}
 }
 
@@ -270,6 +280,11 @@ func (f *FP) Act() error {
 		f.arm(Off, 1)
 		mu.Unlock()
 		return fmt.Errorf("failpoint %s: %w", f.name, ErrInjected)
+	case Enospc:
+		mu.Lock()
+		f.arm(Off, 1)
+		mu.Unlock()
+		return fmt.Errorf("failpoint %s: %w: %w", f.name, ErrInjected, syscall.ENOSPC)
 	default:
 		return nil
 	}

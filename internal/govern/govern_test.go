@@ -1,0 +1,211 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ordxml/internal/obs"
+)
+
+func TestCtxErrTypes(t *testing.T) {
+	if err := CtxErr(nil); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := CtxErr(context.Background()); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := CtxErr(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	err = CtxErr(dctx)
+	if !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired ctx: %v", err)
+	}
+}
+
+func TestRecoveredWrapsErrInternal(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = Recovered(p)
+			}
+		}()
+		panic("boom")
+	}()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("want ErrInternal, got %v", err)
+	}
+}
+
+func TestAccountantBudget(t *testing.T) {
+	var a *Accountant
+	if err := a.Charge(1 << 40); err != nil {
+		t.Fatalf("nil accountant charged: %v", err)
+	}
+	a = NewAccountant(100, nil)
+	if err := a.Charge(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(60); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("overflow charge: %v", err)
+	}
+	// The overflowing charge is still recorded, so release stays balanced.
+	if got := a.Used(); got != 120 {
+		t.Fatalf("used = %d, want 120", got)
+	}
+	a.Release(120)
+	if got, peak := a.Used(), a.Peak(); got != 0 || peak != 120 {
+		t.Fatalf("used, peak = %d, %d; want 0, 120", got, peak)
+	}
+	// Unlimited accountant only tracks.
+	a = NewAccountant(0, nil)
+	if err := a.Charge(1 << 40); err != nil {
+		t.Fatalf("unlimited: %v", err)
+	}
+}
+
+func TestAccountantMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := NewMemMetrics(reg)
+	a := NewAccountant(10, met)
+	a.Charge(8)
+	if err := a.Charge(8); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("want budget abort, got %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["mem.charged_bytes"]; got != 16 {
+		t.Fatalf("charged_bytes = %d", got)
+	}
+	if got := snap.Counters["mem.budget_aborts"]; got != 1 {
+		t.Fatalf("budget_aborts = %d", got)
+	}
+	if got := snap.Gauges["mem.query_peak_bytes"]; got != 16 {
+		t.Fatalf("query_peak_bytes = %d", got)
+	}
+}
+
+func TestAccountantContext(t *testing.T) {
+	if got := AccountantFrom(context.Background()); got != nil {
+		t.Fatalf("empty ctx carries %v", got)
+	}
+	a := NewAccountant(1, nil)
+	ctx := WithAccountant(context.Background(), a)
+	if got := AccountantFrom(ctx); got != a {
+		t.Fatal("accountant lost in ctx")
+	}
+}
+
+func TestAdmissionNilAdmitsEverything(t *testing.T) {
+	var a *Admission
+	release, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+func TestAdmissionShedsWhenSaturated(t *testing.T) {
+	// One slot, no queue: the second concurrent request sheds immediately.
+	a := NewAdmission(1, 0, 0)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	r1()
+	r2, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r2()
+}
+
+func TestAdmissionQueueAdmitsAfterRelease(t *testing.T) {
+	a := NewAdmission(1, 1, time.Second)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var qerr error
+	go func() {
+		defer wg.Done()
+		r2, err := a.Acquire(context.Background())
+		if err != nil {
+			qerr = err
+			return
+		}
+		r2()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r1()
+	wg.Wait()
+	if qerr != nil {
+		t.Fatalf("queued request: %v", qerr)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := NewAdmission(1, 4, 5*time.Millisecond)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	if _, err := a.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want timeout shed, got %v", err)
+	}
+}
+
+func TestAdmissionQueueCancellation(t *testing.T) {
+	// A client giving up while queued is a cancellation, not a shed.
+	a := NewAdmission(1, 4, time.Minute)
+	r1, err := a.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.Acquire(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestAdmissionMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := NewAdmission(2, 0, 0)
+	a.RegisterMetrics(reg)
+	r1, _ := a.Acquire(context.Background())
+	r2, _ := a.Acquire(context.Background())
+	a.Acquire(context.Background()) // shed
+	snap := reg.Snapshot()
+	if got := snap.Counters["admission.admitted"]; got != 2 {
+		t.Fatalf("admitted = %d", got)
+	}
+	if got := snap.Counters["admission.shed"]; got != 1 {
+		t.Fatalf("shed = %d", got)
+	}
+	if got := snap.Gauges["admission.active"]; got != 2 {
+		t.Fatalf("active = %d", got)
+	}
+	r1()
+	r2()
+	if got := reg.Snapshot().Gauges["admission.active"]; got != 0 {
+		t.Fatalf("active after release = %d", got)
+	}
+}

@@ -220,6 +220,12 @@ type Pool struct {
 	// It must not return until the log is durable through that position —
 	// the WAL-before-data rule.
 	EnsureDurable func(lsn uint64) error
+	// OnWriteError, when set, is told about every dirty-page flush failure
+	// (page-file write or WAL-before-data error), including ones the eviction
+	// path swallows and retries. The durable store uses it to enter degraded
+	// read-only mode: a page file that cannot take writes means mutations can
+	// no longer be made durable, while already-written pages still read fine.
+	OnWriteError func(error)
 
 	hits, misses, evictions atomic.Int64
 	dirtyFlushes, overshoot atomic.Int64
@@ -477,19 +483,27 @@ func (p *Pool) flushFrame(f *Frame) error {
 	}
 	if p.EnsureDurable != nil {
 		if err := p.EnsureDurable(lsn); err != nil {
-			return fmt.Errorf("bufpool: wal-before-data for page %d: %w", f.id, err)
+			return p.writeError(fmt.Errorf("bufpool: wal-before-data for page %d: %w", f.id, err))
 		}
 	}
 	if err := fpFlush.Hit(); err != nil {
-		return err
+		return p.writeError(err)
 	}
 	if err := p.file.WritePage(f.id, lsn, *b); err != nil {
-		return err
+		return p.writeError(err)
 	}
 	f.dirty.Store(false)
 	p.dirtyCount.Add(-1)
 	p.dirtyFlushes.Add(1)
 	return nil
+}
+
+// writeError reports a flush failure to OnWriteError and passes it through.
+func (p *Pool) writeError(err error) error {
+	if p.OnWriteError != nil {
+		p.OnWriteError(err)
+	}
+	return err
 }
 
 // FlushAll writes every dirty frame to the page file (WAL-before-data

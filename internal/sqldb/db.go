@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ordxml/internal/govern"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/bufpool"
 	"ordxml/internal/sqldb/catalog"
@@ -53,6 +54,17 @@ type DB struct {
 	// tracer records the request-scoped span tree (disabled by default; one
 	// atomic load per query when off).
 	tracer *obs.Tracer
+	// memBudget, when > 0, caps each statement's materialized footprint
+	// (hash tables, sort buffers, result rows); over-budget statements abort
+	// with govern.ErrMemoryBudget. A request-scoped accountant in the context
+	// (govern.WithAccountant) takes precedence, so multi-statement requests
+	// can share one budget.
+	memBudget  atomic.Int64
+	memMetrics *govern.MemMetrics
+	// openCursors counts live streaming Rows cursors (published as
+	// sqldb.cursors.open); a nonzero steady-state value indicates a caller
+	// leaking cursors and the snapshot views pinned under them.
+	openCursors atomic.Int64
 }
 
 // Result is re-exported for callers of Query.
@@ -73,12 +85,13 @@ func OpenPooled(pool *bufpool.Pool) *DB {
 func openCat(cat *catalog.Catalog) *DB {
 	reg := obs.NewRegistry()
 	db := &DB{cat: cat, plans: newPlanCache(reg), metrics: newDBMetrics(reg),
-		tracer: obs.NewTracer(0)}
+		tracer: obs.NewTracer(0), memMetrics: govern.NewMemMetrics(reg)}
 	db.workers.Store(1)
 	db.publishes = reg.Counter("sqldb.view.publishes")
 	reg.RegisterFunc("sqldb.view.version", func() int64 {
 		return int64(db.view.Load().Version())
 	})
+	reg.RegisterFunc("sqldb.cursors.open", db.openCursors.Load)
 	db.registerStorageFuncs()
 	db.publish()
 	return db
@@ -148,6 +161,46 @@ func (db *DB) SetParallelism(n int) {
 
 // Parallelism returns the current planner worker count.
 func (db *DB) Parallelism() int { return int(db.workers.Load()) }
+
+// SetMemoryBudget caps the bytes a single statement may materialize in
+// pipeline-breaking operators (hash-join builds, sort buffers, DISTINCT and
+// GROUP BY state) and the result set itself; statements that exceed it abort
+// with an error matching govern.ErrMemoryBudget. n <= 0 removes the cap.
+// A request-scoped accountant installed with govern.WithAccountant overrides
+// the per-statement default, letting one budget govern a whole request.
+func (db *DB) SetMemoryBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	db.memBudget.Store(n)
+}
+
+// MemoryBudget returns the per-statement memory cap (0 = unlimited).
+func (db *DB) MemoryBudget() int64 { return db.memBudget.Load() }
+
+// RequestAccountant returns a fresh accountant enforcing the DB's memory
+// budget, for callers that want one budget to span a whole multi-statement
+// request (install it with govern.WithAccountant on the request context).
+// Returns nil when no budget is configured.
+func (db *DB) RequestAccountant() *govern.Accountant {
+	if b := db.memBudget.Load(); b > 0 {
+		return govern.NewAccountant(b, db.memMetrics)
+	}
+	return nil
+}
+
+// accountant resolves the memory accountant for one statement: the request's
+// own (carried in ctx, shared across every statement the request issues), or
+// a fresh per-statement one when the DB has a budget configured, or nil.
+func (db *DB) accountant(ctx context.Context) *govern.Accountant {
+	if a := govern.AccountantFrom(ctx); a != nil {
+		return a
+	}
+	if b := db.memBudget.Load(); b > 0 {
+		return govern.NewAccountant(b, db.memMetrics)
+	}
+	return nil
+}
 
 func (db *DB) planOpts() plan.Options {
 	return plan.Options{Workers: int(db.workers.Load())}
@@ -331,7 +384,16 @@ func truncForTrace(sql string) string {
 	return sql
 }
 
-func (db *DB) queryAt(ctx context.Context, v *catalog.View, sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (*Result, error) {
+func (db *DB) queryAt(ctx context.Context, v *catalog.View, sql string, preparsed sqlparse.Statement, params []sqltypes.Value) (res *Result, err error) {
+	// Contain executor panics at the statement boundary: a query runs against
+	// an immutable snapshot and can corrupt nothing, so a panicking operator
+	// (or a poisoned page read surfacing as a panic) fails this statement
+	// with govern.ErrInternal instead of the process.
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, govern.Recovered(p)
+		}
+	}()
 	sp := obs.FromContext(ctx)
 	psp := sp.StartChild("plan")
 	node, ex, err := db.selectPlan(v, sql, preparsed)
@@ -345,7 +407,7 @@ func (db *DB) queryAt(ctx context.Context, v *catalog.View, sql string, preparse
 	if planParallelism(node) > 0 {
 		db.metrics.parallelQ.Inc()
 	}
-	return exec.RunSpan(node, params, v, sp)
+	return exec.RunGoverned(ctx, node, params, v, sp, db.accountant(ctx))
 }
 
 // planParallelism returns the widest worker count of any exchange operator

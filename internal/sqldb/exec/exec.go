@@ -4,9 +4,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"ordxml/internal/govern"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
@@ -53,6 +55,11 @@ type buildEnv struct {
 	// every operator gets a child span (Open→Close wall interval, row count
 	// arg), and Gather workers open their own lanes under it.
 	span *obs.ActiveSpan
+	// ctx, when non-nil, is the statement context scans poll for
+	// cancellation; mem, when non-nil, is the query's shared memory
+	// accountant charged by pipeline-breaking operators.
+	ctx context.Context
+	mem *govern.Accountant
 }
 
 // data resolves the table's readable storage for this query.
@@ -158,7 +165,7 @@ func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, erro
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{input: in, keys: x.Keys, env: &expr.Env{Params: params}}, nil
+		return &sortOp{input: in, keys: x.Keys, env: &expr.Env{Params: params}, gov: env.newTick()}, nil
 	case *plan.Limit:
 		in, err := build(x.Input, params, env)
 		if err != nil {
@@ -170,7 +177,7 @@ func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, erro
 		if err != nil {
 			return nil, err
 		}
-		return &distinctOp{input: in}, nil
+		return &distinctOp{input: in, gov: env.newTick()}, nil
 	case *plan.HashJoin:
 		l, err := build(x.Left, params, env)
 		if err != nil {
@@ -181,7 +188,7 @@ func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, erro
 			return nil, err
 		}
 		return &hashJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
-			rightWidth: len(x.Right.Schema())}, nil
+			gov: env.newTick(), rightWidth: len(x.Right.Schema())}, nil
 	case *plan.PartitionedHashJoin:
 		l, err := build(x.Left, params, env)
 		if err != nil {
@@ -211,13 +218,13 @@ func buildOp(n plan.Node, params []sqltypes.Value, env buildEnv) (Operator, erro
 			return nil, err
 		}
 		return &nlJoinOp{node: x, left: l, right: r, env: &expr.Env{Params: params},
-			rightWidth: len(x.Right.Schema())}, nil
+			gov: env.newTick(), rightWidth: len(x.Right.Schema())}, nil
 	case *plan.HashAggregate:
 		in, err := build(x.Input, params, env)
 		if err != nil {
 			return nil, err
 		}
-		return &hashAggOp{node: x, input: in, env: &expr.Env{Params: params}}, nil
+		return &hashAggOp{node: x, input: in, env: &expr.Env{Params: params}, gov: env.newTick()}, nil
 	default:
 		return nil, fmt.Errorf("exec: no operator for %T", n)
 	}
@@ -232,11 +239,22 @@ func Run(n plan.Node, params []sqltypes.Value, view *catalog.View) (*Result, err
 // RunSpan executes a SELECT plan like Run, hanging one trace span per
 // operator off sp when sp is non-nil.
 func RunSpan(n plan.Node, params []sqltypes.Value, view *catalog.View, sp *obs.ActiveSpan) (*Result, error) {
-	op, err := build(n, params, buildEnv{view: view, span: sp})
+	return RunGoverned(nil, n, params, view, sp, nil)
+}
+
+// RunGoverned executes a SELECT plan under query governance: scans poll ctx
+// every govern.PollInterval rows (aborting with the typed cancellation
+// errors), and materializing operators plus the result buffer charge mem.
+// Both may be nil for an ungoverned run.
+func RunGoverned(ctx context.Context, n plan.Node, params []sqltypes.Value,
+	view *catalog.View, sp *obs.ActiveSpan, mem *govern.Accountant) (*Result, error) {
+	env := buildEnv{view: view, span: sp, ctx: ctx, mem: mem}
+	op, err := build(n, params, env)
 	if err != nil {
 		return nil, err
 	}
 	if err := op.Open(); err != nil {
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()
@@ -245,6 +263,7 @@ func RunSpan(n plan.Node, params []sqltypes.Value, view *catalog.View, sp *obs.A
 	for i, c := range schema {
 		res.Columns[i] = c.Column
 	}
+	tick := env.newTick()
 	for {
 		row, ok, err := op.Next()
 		if err != nil {
@@ -253,8 +272,32 @@ func RunSpan(n plan.Node, params []sqltypes.Value, view *catalog.View, sp *obs.A
 		if !ok {
 			return res, nil
 		}
+		if err := tick.step(); err != nil {
+			return nil, err
+		}
+		if err := tick.chargeRow(row); err != nil {
+			return nil, err
+		}
 		res.Rows = append(res.Rows, row.Clone())
 	}
+}
+
+// OpenGoverned compiles and opens a governed operator tree without draining
+// it, for streaming consumers (the engine's cursor API). On success the
+// caller owns the operator and must Close it exactly once — Close releases
+// buffer-pool pins and reaps Gather workers even when the stream is only
+// partially consumed. On error nothing is retained.
+func OpenGoverned(ctx context.Context, n plan.Node, params []sqltypes.Value,
+	view *catalog.View, sp *obs.ActiveSpan, mem *govern.Accountant) (Operator, error) {
+	op, err := build(n, params, buildEnv{view: view, span: sp, ctx: ctx, mem: mem})
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	return op, nil
 }
 
 // RunInsert executes an insert plan, returning the number of rows inserted.

@@ -14,6 +14,7 @@ type hashJoinOp struct {
 	left       Operator
 	right      Operator
 	env        *expr.Env
+	gov        *govTick
 	rightWidth int
 
 	table   map[string][]sqltypes.Row
@@ -26,10 +27,13 @@ func (j *hashJoinOp) Open() error {
 	if err := j.right.Open(); err != nil {
 		return err
 	}
+	// The build side is closed on every exit so an abort mid-build (budget,
+	// cancellation) still reaps a Gather running beneath it.
 	j.table = map[string][]sqltypes.Row{}
 	for {
 		row, ok, err := j.right.Next()
 		if err != nil {
+			j.right.Close()
 			return err
 		}
 		if !ok {
@@ -37,10 +41,16 @@ func (j *hashJoinOp) Open() error {
 		}
 		key, hasNull, err := j.keyFor(row, j.node.RightKeys)
 		if err != nil {
+			j.right.Close()
 			return err
 		}
 		if hasNull {
 			continue
+		}
+		// The build hash table holds the right input: charge each entry.
+		if err := j.gov.chargeRow(row); err != nil {
+			j.right.Close()
+			return err
 		}
 		j.table[key] = append(j.table[key], row.Clone())
 	}
@@ -124,6 +134,7 @@ type nlJoinOp struct {
 	left       Operator
 	right      Operator
 	env        *expr.Env
+	gov        *govTick
 	rightWidth int
 
 	rightRows []sqltypes.Row
@@ -142,10 +153,15 @@ func (j *nlJoinOp) Open() error {
 	for {
 		row, ok, err := j.right.Next()
 		if err != nil {
+			j.right.Close()
 			return err
 		}
 		if !ok {
 			break
+		}
+		if err := j.gov.chargeRow(row); err != nil {
+			j.right.Close()
+			return err
 		}
 		j.rightRows = append(j.rightRows, row.Clone())
 	}
@@ -206,6 +222,7 @@ type hashAggOp struct {
 	node  *plan.HashAggregate
 	input Operator
 	env   *expr.Env
+	gov   *govTick
 
 	groups []sqltypes.Row
 	pos    int
@@ -254,6 +271,11 @@ func (a *hashAggOp) Open() error {
 		g, exists := groups[ks]
 		if !exists {
 			if g, err = newGroup(key); err != nil {
+				return err
+			}
+			// The group table grows with distinct keys: charge the key row
+			// plus a fixed overhead per aggregate state.
+			if err := a.gov.charge(key.Memory() + int64(64*(len(a.node.Aggs)+1))); err != nil {
 				return err
 			}
 			groups[ks] = g

@@ -16,6 +16,7 @@ type indexNLJoinOp struct {
 	left Operator
 	env  *expr.Env
 	data *catalog.TableData
+	gov  *govTick
 
 	leftRow sqltypes.Row
 	inner   *catalog.IndexIter
@@ -25,7 +26,7 @@ type indexNLJoinOp struct {
 
 func newIndexNLJoin(n *plan.IndexNLJoin, left Operator, params []sqltypes.Value, env buildEnv) *indexNLJoinOp {
 	return &indexNLJoinOp{node: n, left: left, env: &expr.Env{Params: params},
-		data: env.data(n.Table), width: len(n.Table.Columns)}
+		data: env.data(n.Table), width: len(n.Table.Columns), gov: env.newTick()}
 }
 
 func (j *indexNLJoinOp) Open() error {
@@ -97,6 +98,11 @@ func (j *indexNLJoinOp) openInner() (bool, error) {
 
 func (j *indexNLJoinOp) Next() (sqltypes.Row, bool, error) {
 	for {
+		// The inner index probe bypasses the leaf scans, so this loop polls
+		// for cancellation itself.
+		if err := j.gov.step(); err != nil {
+			return nil, false, err
+		}
 		if j.inner == nil {
 			leftRow, ok, err := j.left.Next()
 			if err != nil || !ok {

@@ -90,6 +90,7 @@ type sortOp struct {
 	input Operator
 	keys  []plan.SortKey
 	env   *expr.Env
+	gov   *govTick
 	rows  []sqltypes.Row
 	pos   int
 }
@@ -110,6 +111,10 @@ func (s *sortOp) Open() error {
 		}
 		if !ok {
 			break
+		}
+		// The sort buffer holds the whole input: charge every buffered row.
+		if err := s.gov.chargeRow(row); err != nil {
+			return err
 		}
 		k := keyed{row: row.Clone(), keys: make(sqltypes.Row, len(s.keys))}
 		s.env.Row = k.row
@@ -217,6 +222,7 @@ func (l *limitOp) Close() { l.input.Close() }
 // distinctOp suppresses duplicate rows.
 type distinctOp struct {
 	input Operator
+	gov   *govTick
 	seen  map[string]struct{}
 }
 
@@ -234,6 +240,10 @@ func (d *distinctOp) Next() (sqltypes.Row, bool, error) {
 		key := string(sqltypes.EncodeKey(nil, row...))
 		if _, dup := d.seen[key]; dup {
 			continue
+		}
+		// The seen-set grows with distinct output: charge each retained key.
+		if err := d.gov.charge(int64(len(key)) + 48); err != nil {
+			return nil, false, err
 		}
 		d.seen[key] = struct{}{}
 		return row, true, nil

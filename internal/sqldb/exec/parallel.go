@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ordxml/internal/govern"
 	"ordxml/internal/obs"
 	"ordxml/internal/sqldb/catalog"
 	"ordxml/internal/sqldb/expr"
@@ -167,6 +168,14 @@ func (g *gatherOp) Open() error {
 		go func(i int, op Operator, wsp *obs.ActiveSpan) {
 			defer g.wg.Done()
 			defer wsp.End()
+			// Contain worker panics: an executor bug (or a poisoned page read)
+			// in one worker must fail this query, not the process. Registered
+			// before op.Close so a panic during Close is caught too.
+			defer func() {
+				if p := recover(); p != nil {
+					g.workerErrs[i] = govern.Recovered(p)
+				}
+			}()
 			defer op.Close()
 			if err := op.Open(); err != nil {
 				g.workerErrs[i] = err
@@ -213,6 +222,9 @@ func (g *gatherOp) Next() (sqltypes.Row, bool, error) {
 }
 
 func (g *gatherOp) Close() {
+	if g.stop == nil {
+		return // Open never started the workers (build error upstream)
+	}
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.wg.Wait()
 	g.finish()
@@ -288,6 +300,11 @@ func (j *partHashJoinOp) Open() error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = govern.Recovered(p)
+				}
+			}()
 			outs[w], errs[w] = j.joinPartition(leftParts[w], rightParts[w])
 		}(w)
 	}
@@ -324,6 +341,7 @@ func (j *partHashJoinOp) partition(in Operator, keys []expr.Expr, env *expr.Env,
 	defer in.Close()
 	parts := make([][]partRow, workers)
 	h := fnv.New32a()
+	tick := j.env.newTick()
 	for {
 		row, ok, err := in.Next()
 		if err != nil {
@@ -348,6 +366,10 @@ func (j *partHashJoinOp) partition(in Operator, keys []expr.Expr, env *expr.Env,
 		}
 		if null {
 			continue
+		}
+		// Both inputs are fully materialized into partitions: charge each row.
+		if err := tick.chargeRow(row); err != nil {
+			return nil, err
 		}
 		h.Reset()
 		h.Write(buf)

@@ -20,13 +20,14 @@ type seqScanOp struct {
 	data *catalog.TableData
 	iter *catalog.RowIter
 	buf  sqltypes.Row
+	gov  *govTick
 
 	cursor *pageCursor // non-nil only for a partitioned parallel scan
 	done   bool
 }
 
 func newSeqScan(n *plan.SeqScan, params []sqltypes.Value, env buildEnv) *seqScanOp {
-	s := &seqScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table)}
+	s := &seqScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table), gov: env.newTick()}
 	if n.Parallel && env.shared != nil && s.data.CanPartition() {
 		s.cursor = env.shared.pageCursor(n, s.data.Pages())
 	}
@@ -50,6 +51,11 @@ func (s *seqScanOp) Open() error {
 
 func (s *seqScanOp) Next() (sqltypes.Row, bool, error) {
 	for {
+		// Scans are the leaves under nearly every plan, so polling here gives
+		// the whole tree cooperative cancellation.
+		if err := s.gov.step(); err != nil {
+			return nil, false, err
+		}
 		if s.iter == nil {
 			if s.cursor == nil || s.done {
 				return nil, false, nil
@@ -109,6 +115,7 @@ type indexScanOp struct {
 	iter  *catalog.IndexIter
 	empty bool
 	buf   sqltypes.Row
+	gov   *govTick
 
 	shared *gatherShared
 	cursor *ridCursor
@@ -117,7 +124,7 @@ type indexScanOp struct {
 }
 
 func newIndexScan(n *plan.IndexScan, params []sqltypes.Value, env buildEnv) *indexScanOp {
-	s := &indexScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table)}
+	s := &indexScanOp{node: n, env: &expr.Env{Params: params}, data: env.data(n.Table), gov: env.newTick()}
 	if n.Parallel && env.shared != nil {
 		s.shared = env.shared
 	}
@@ -217,6 +224,9 @@ func (s *indexScanOp) Next() (sqltypes.Row, bool, error) {
 		return nil, false, nil
 	}
 	for {
+		if err := s.gov.step(); err != nil {
+			return nil, false, err
+		}
 		var rid heap.RID
 		if s.cursor != nil {
 			if s.pos >= len(s.batch) {

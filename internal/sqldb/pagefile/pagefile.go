@@ -19,6 +19,16 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+
+	"ordxml/internal/failpoint"
+)
+
+// Failpoints on the page I/O paths. The write point supports enospc mode
+// (full-disk simulation) to drive the store's degraded read-only transition;
+// the read point exercises fault handling above the pool.
+var (
+	fpWrite = failpoint.New("pagefile.write")
+	fpRead  = failpoint.New("pagefile.read")
 )
 
 // PageID names one page slot in the file. ID 0 is the file header page and
@@ -200,6 +210,9 @@ func (pf *File) WritePage(id PageID, lsn uint64, payload []byte) error {
 	if err := pf.EnsureSize(id); err != nil {
 		return err
 	}
+	if err := fpWrite.Hit(); err != nil {
+		return fmt.Errorf("pagefile: write page %d: %w", id, err)
+	}
 	var page [PageSize]byte
 	copy(page[HeaderSize:], payload)
 	SealPage(page[:], lsn, 0)
@@ -214,6 +227,9 @@ func (pf *File) WritePage(id PageID, lsn uint64, payload []byte) error {
 func (pf *File) ReadPage(id PageID) (Header, []byte, error) {
 	if id == 0 {
 		return Header{}, nil, fmt.Errorf("%w: 0 is the file header", ErrBadPage)
+	}
+	if err := fpRead.Hit(); err != nil {
+		return Header{}, nil, fmt.Errorf("pagefile: read page %d: %w", id, err)
 	}
 	var page [PageSize]byte
 	if _, err := pf.f.ReadAt(page[:], int64(id)*PageSize); err != nil {

@@ -304,8 +304,37 @@ func Coerce(v Value, t Type) (Value, error) {
 	return Value{}, fmt.Errorf("cannot coerce %s value %s to %s", v.typ, v, t)
 }
 
+// valueOverhead approximates the in-memory size of the Value struct itself
+// (tag + three payload fields + string/slice headers, rounded up to cover
+// allocator slack). Used by the query memory accountant.
+const valueOverhead = 64
+
+// Memory estimates the value's in-memory footprint in bytes: the struct
+// plus any out-of-line text or blob payload.
+func (v Value) Memory() int64 {
+	n := int64(valueOverhead)
+	switch v.typ {
+	case Text:
+		n += int64(len(v.s))
+	case Blob:
+		n += int64(len(v.b))
+	}
+	return n
+}
+
 // Row is a tuple of values.
 type Row []Value
+
+// Memory estimates the row's in-memory footprint in bytes (slice header
+// plus every value). Used to charge query memory budgets when a row is
+// materialized into a hash table, sort buffer or result set.
+func (r Row) Memory() int64 {
+	n := int64(24)
+	for _, v := range r {
+		n += v.Memory()
+	}
+	return n
+}
 
 // Clone returns a deep-enough copy of the row (blob payloads are shared; the
 // engine treats value payloads as immutable).

@@ -197,6 +197,10 @@ type Store struct {
 	// dur is the durability state for stores opened with OpenDurable; nil
 	// for memory-only stores. See durable.go.
 	dur *durState
+
+	// gov is the store's governance state: query timeout, admission gate and
+	// the degraded read-only flag. See govern.go.
+	gov storeGovern
 }
 
 // Open creates an empty store with its own embedded database.
@@ -238,7 +242,14 @@ func (s *Store) Encoding() Encoding { return Encoding(s.opts.Kind) }
 // raw document bytes are logged (and fsynced) before shredding, so the
 // reader is consumed fully up front.
 func (s *Store) Load(name string, r io.Reader) (DocID, error) {
-	ctx, root := s.rootSpan(context.Background(), "store.load")
+	return s.LoadCtx(context.Background(), name, r)
+}
+
+// LoadCtx is Load with a caller context: cancellation is observed before the
+// operation is logged (a mutation is never aborted mid-apply — once its WAL
+// record is durable, it completes), and the load joins the request trace.
+func (s *Store) LoadCtx(ctx context.Context, name string, r io.Reader) (DocID, error) {
+	ctx, root := s.rootSpan(ctx, "store.load")
 	defer root.End()
 	if s.dur == nil {
 		return s.shredder.Load(name, r)
@@ -265,7 +276,12 @@ func (s *Store) LoadString(name, xml string) (DocID, error) {
 
 // Drop removes a document.
 func (s *Store) Drop(doc DocID) error {
-	ctx, root := s.rootSpan(context.Background(), "store.drop")
+	return s.DropCtx(context.Background(), doc)
+}
+
+// DropCtx is Drop with a caller context (see LoadCtx for mutation semantics).
+func (s *Store) DropCtx(ctx context.Context, doc DocID) error {
+	ctx, root := s.rootSpan(ctx, "store.drop")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recDrop, func(w *wal.BodyWriter) { w.Int(doc) })
 	if err != nil {
@@ -299,6 +315,11 @@ func (s *Store) Query(doc DocID, xpathExpr string) ([]Node, error) {
 // stages, per-statement planner and operator spans, buffer-pool and WAL
 // activity — retrievable as Chrome trace-event JSON via WriteTrace.
 func (s *Store) QueryCtx(ctx context.Context, doc DocID, xpathExpr string) ([]Node, error) {
+	ctx, end, err := s.beginRead(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
 	refs, err := s.evaluator.QueryCtx(ctx, doc, xpathExpr)
 	if err != nil {
 		return nil, err
@@ -370,15 +391,27 @@ func (s *Store) renderOrderKey(v sqltypes.Value) string {
 // extraction share one pinned snapshot, so the values always belong to the
 // same store version as the match set.
 func (s *Store) QueryValues(doc DocID, xpathExpr string) ([]string, error) {
+	return s.QueryValuesCtx(context.Background(), doc, xpathExpr)
+}
+
+// QueryValuesCtx is QueryValues with a caller context: the query and the
+// per-element content extraction both run governed, sharing the request's
+// deadline and memory budget.
+func (s *Store) QueryValuesCtx(ctx context.Context, doc DocID, xpathExpr string) ([]string, error) {
+	ctx, end, err := s.beginRead(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
 	snap := s.db.Snapshot()
-	refs, err := s.evaluator.QueryAt(snap, doc, xpathExpr)
+	refs, err := s.evaluator.QueryAtCtx(ctx, snap, doc, xpathExpr)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]string, len(refs))
 	for i, r := range refs {
 		if kindOf(r.Kind) == ElementNode {
-			sub, err := s.publisher.SubtreeAt(snap, doc, r.ID)
+			sub, err := s.publisher.SubtreeCtx(ctx, snap, doc, r.ID)
 			if err != nil {
 				return nil, err
 			}
@@ -401,7 +434,18 @@ func (s *Store) ExplainQuery(doc DocID, xpathExpr string) ([]string, error) {
 
 // Serialize reconstructs the subtree rooted at id as XML.
 func (s *Store) Serialize(doc DocID, id NodeID) (string, error) {
-	n, err := s.publisher.Subtree(doc, id)
+	return s.SerializeCtx(context.Background(), doc, id)
+}
+
+// SerializeCtx is Serialize with a caller context: reconstruction observes
+// the request deadline and memory budget and joins the request trace.
+func (s *Store) SerializeCtx(ctx context.Context, doc DocID, id NodeID) (string, error) {
+	ctx, end, err := s.beginRead(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer end()
+	n, err := s.publisher.SubtreeCtx(ctx, nil, doc, id)
 	if err != nil {
 		return "", err
 	}
@@ -410,7 +454,18 @@ func (s *Store) Serialize(doc DocID, id NodeID) (string, error) {
 
 // SerializeDocument reconstructs the whole document.
 func (s *Store) SerializeDocument(doc DocID) (string, error) {
-	n, err := s.publisher.Document(doc)
+	return s.SerializeDocumentCtx(context.Background(), doc)
+}
+
+// SerializeDocumentCtx is SerializeDocument with a caller context (see
+// SerializeCtx).
+func (s *Store) SerializeDocumentCtx(ctx context.Context, doc DocID) (string, error) {
+	ctx, end, err := s.beginRead(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer end()
+	n, err := s.publisher.DocumentCtx(ctx, nil, doc)
 	if err != nil {
 		return "", err
 	}
@@ -419,7 +474,13 @@ func (s *Store) SerializeDocument(doc DocID) (string, error) {
 
 // Insert places an XML fragment relative to the target node.
 func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) (UpdateReport, error) {
-	ctx, root := s.rootSpan(context.Background(), "store.insert")
+	return s.InsertCtx(context.Background(), doc, target, pos, fragment)
+}
+
+// InsertCtx is Insert with a caller context (see LoadCtx for mutation
+// semantics).
+func (s *Store) InsertCtx(ctx context.Context, doc DocID, target NodeID, pos Position, fragment string) (UpdateReport, error) {
+	ctx, root := s.rootSpan(ctx, "store.insert")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recInsert, func(w *wal.BodyWriter) {
 		w.Int(doc)
@@ -437,7 +498,13 @@ func (s *Store) Insert(doc DocID, target NodeID, pos Position, fragment string) 
 
 // Delete removes the subtree rooted at id.
 func (s *Store) Delete(doc DocID, id NodeID) (UpdateReport, error) {
-	ctx, root := s.rootSpan(context.Background(), "store.delete")
+	return s.DeleteCtx(context.Background(), doc, id)
+}
+
+// DeleteCtx is Delete with a caller context (see LoadCtx for mutation
+// semantics).
+func (s *Store) DeleteCtx(ctx context.Context, doc DocID, id NodeID) (UpdateReport, error) {
+	ctx, root := s.rootSpan(ctx, "store.delete")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recDelete, func(w *wal.BodyWriter) {
 		w.Int(doc)
@@ -585,11 +652,22 @@ type Rows struct {
 // for inspecting the shredded relations. Arguments bind to `?` placeholders
 // and may be int, int64, float64, string, []byte, bool or nil.
 func (s *Store) SQL(query string, args ...any) (*Rows, error) {
+	return s.SQLCtx(context.Background(), query, args...)
+}
+
+// SQLCtx is SQL with a caller context: the statement runs governed
+// (cancellation, deadline, memory budget, admission control).
+func (s *Store) SQLCtx(ctx context.Context, query string, args ...any) (*Rows, error) {
 	params, err := toValues(args)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.db.Query(query, params...)
+	ctx, end, err := s.beginRead(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer end()
+	res, err := s.db.QueryCtx(ctx, query, params...)
 	if err != nil {
 		return nil, err
 	}
@@ -670,7 +748,13 @@ func toValue(a any) (sqltypes.Value, error) {
 // SetValue rewrites a text or attribute node's value in place (no order
 // keys change, so no renumbering under any encoding).
 func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
-	ctx, root := s.rootSpan(context.Background(), "store.set_value")
+	return s.SetValueCtx(context.Background(), doc, id, value)
+}
+
+// SetValueCtx is SetValue with a caller context (see LoadCtx for mutation
+// semantics).
+func (s *Store) SetValueCtx(ctx context.Context, doc DocID, id NodeID, value string) error {
+	ctx, root := s.rootSpan(ctx, "store.set_value")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recSetValue, func(w *wal.BodyWriter) {
 		w.Int(doc)
@@ -686,7 +770,13 @@ func (s *Store) SetValue(doc DocID, id NodeID, value string) error {
 
 // Rename changes an element tag or attribute name in place.
 func (s *Store) Rename(doc DocID, id NodeID, name string) error {
-	ctx, root := s.rootSpan(context.Background(), "store.rename")
+	return s.RenameCtx(context.Background(), doc, id, name)
+}
+
+// RenameCtx is Rename with a caller context (see LoadCtx for mutation
+// semantics).
+func (s *Store) RenameCtx(ctx context.Context, doc DocID, id NodeID, name string) error {
+	ctx, root := s.rootSpan(ctx, "store.rename")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recRename, func(w *wal.BodyWriter) {
 		w.Int(doc)
@@ -706,7 +796,12 @@ func (s *Store) Rename(doc DocID, id NodeID, name string) error {
 // delete and insert costs. The returned NewID identifies the relocated
 // subtree root (node ids are not preserved across a move).
 func (s *Store) Move(doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
-	ctx, root := s.rootSpan(context.Background(), "store.move")
+	return s.MoveCtx(context.Background(), doc, id, target, pos)
+}
+
+// MoveCtx is Move with a caller context (see LoadCtx for mutation semantics).
+func (s *Store) MoveCtx(ctx context.Context, doc DocID, id, target NodeID, pos Position) (UpdateReport, error) {
+	ctx, root := s.rootSpan(ctx, "store.move")
 	defer root.End()
 	unlock, err := s.logOp(ctx, recMove, func(w *wal.BodyWriter) {
 		w.Int(doc)

@@ -86,6 +86,12 @@ func newStoreOn(db *sqldb.DB, iopts encoding.Options) (*Store, error) {
 	if s.manager, err = update.New(db, iopts); err != nil {
 		return nil, err
 	}
+	db.Registry().RegisterFunc("store.degraded", func() int64 {
+		if s.gov.degraded.Load() {
+			return 1
+		}
+		return 0
+	})
 	return s, nil
 }
 
